@@ -1,0 +1,22 @@
+//! Statistical analysis of 3PCF measurements (paper §6.1).
+//!
+//! "Partitioning the survey spatially to parallelize over many nodes
+//! amounts to jack-knifing: retaining the local 3PCF results on a per
+//! node basis would therefore constitute many samples of the 3PCF over
+//! small volumes. These can be combined to provide a covariance
+//! matrix." This crate implements that jackknife, the mock-ensemble
+//! covariance the paper describes as the standard technique, and the
+//! χ²/signal-to-noise machinery used to interpret measurements.
+//!
+//! * [`vectorize`] — flatten ζ containers into labeled feature vectors;
+//! * [`covariance`] — sample and delete-one jackknife covariances;
+//! * [`chi2`] — χ², SNR and the Hartlap inverse-covariance correction;
+//! * [`report`] — CSV emission of multipole tables for plotting.
+
+pub mod chi2;
+pub mod covariance;
+pub mod report;
+pub mod vectorize;
+
+pub use covariance::{jackknife_from_partials, sample_covariance, Covariance};
+pub use vectorize::{isotropic_to_vector, zeta_to_vector};

@@ -1,0 +1,97 @@
+//! Analysis-crate integration: covariance and χ² on real engine output.
+
+use galactos_analysis::chi2::{chi_squared, detection_snr, project_components};
+use galactos_analysis::covariance::{jackknife_from_partials, sample_covariance};
+use galactos_analysis::report::{write_anisotropic_csv, write_isotropic_csv};
+use galactos_analysis::vectorize::{zeta_labels, zeta_to_vector};
+use galactos_catalog::uniform_box;
+use galactos_core::config::EngineConfig;
+use galactos_core::engine::Engine;
+use galactos_mocks::cluster_process::NeymanScott;
+
+#[test]
+fn mock_ensemble_covariance_detects_clustering_signal() {
+    // 12 clustered mocks -> ensemble covariance; the mean pair moment
+    // must be detected at high significance against zero.
+    let config = EngineConfig::test_default(6.0, 1, 2);
+    let engine = Engine::new(config);
+    let samples: Vec<Vec<f64>> = (0..12)
+        .map(|m| {
+            let mut cat = NeymanScott {
+                parent_density: 1.2e-3,
+                mean_children: 8.0,
+                sigma: 1.2,
+            }
+            .generate(40.0, 100 + m);
+            cat.periodic = None;
+            zeta_to_vector(&engine.compute(&cat))
+        })
+        .collect();
+    let cov = sample_covariance(&samples);
+    // Project to the (0,0,0) diagonal components (2 of them).
+    let labels_len = samples[0].len();
+    let picked: Vec<usize> = (0..labels_len)
+        .filter(|&i| i % 2 == 0) // real parts
+        .take(2)
+        .collect();
+    let sub = project_components(&cov, &picked);
+    let mean: Vec<f64> = picked.iter().map(|&i| cov.mean[i]).collect();
+    let snr = detection_snr(&mean, &sub).expect("invertible");
+    assert!(snr > 3.0, "clustering signal only {snr} sigma");
+    // chi2 of the mean against itself is zero.
+    let chi = chi_squared(&mean, &mean, &sub).unwrap();
+    assert!(chi.abs() < 1e-9);
+}
+
+#[test]
+fn jackknife_and_ensemble_agree_in_order_of_magnitude() {
+    let config = EngineConfig::test_default(5.0, 1, 2);
+    let engine = Engine::new(config);
+    // One catalog split into 8 regions for jackknife.
+    let mut cat = NeymanScott {
+        parent_density: 1.5e-3,
+        mean_children: 8.0,
+        sigma: 1.0,
+    }
+    .generate(48.0, 7);
+    cat.periodic = None;
+    let positions = cat.positions();
+    let plan = galactos_domain::DomainPlan::build(&positions, cat.bounds, 8);
+    let partials: Vec<_> = (0..8)
+        .map(|r| {
+            let idx: Vec<usize> =
+                plan.owned_indices(r).iter().map(|&i| i as usize).collect();
+            engine.compute(&cat.subset(&idx))
+        })
+        .collect();
+    let jk = jackknife_from_partials(&partials);
+    let labels = zeta_labels(&partials[0]);
+    let idx = labels.iter().position(|s| s == "re[0,0,0](1,1)").unwrap();
+    let sigma_jk = jk.sigmas()[idx];
+    assert!(sigma_jk > 0.0);
+    // Mean must be positive (clustered pair moment).
+    assert!(jk.mean[idx] > 0.0);
+    // The relative error should be "reasonable": between 0.1% and 100%.
+    let rel = sigma_jk / jk.mean[idx];
+    assert!(rel > 1e-3 && rel < 1.0, "relative error {rel}");
+}
+
+#[test]
+fn csv_reports_write_engine_output() {
+    let cat = uniform_box(300, 15.0, 3);
+    let config = EngineConfig::test_default(5.0, 2, 3);
+    let engine = Engine::new(config.clone());
+    let zeta = engine.compute(&cat);
+    let mut aniso = Vec::new();
+    write_anisotropic_csv(&zeta, &mut aniso).unwrap();
+    let text = String::from_utf8(aniso).unwrap();
+    // Header + (l,lp,m) combos × bins²: lmax=2 → 14 combos × 9 bins.
+    assert_eq!(text.lines().count(), 1 + 14 * 9);
+
+    let iso = zeta.compress_isotropic();
+    let centers: Vec<f64> = (0..3).map(|b| config.bins.center(b)).collect();
+    let mut iso_csv = Vec::new();
+    write_isotropic_csv(&iso, &centers, &mut iso_csv).unwrap();
+    let text = String::from_utf8(iso_csv).unwrap();
+    assert_eq!(text.lines().count(), 1 + 3 * 9);
+}

@@ -1,0 +1,23 @@
+//! Shared infrastructure for the paper-reproduction benchmark binaries.
+//!
+//! Each table/figure of the paper's evaluation has a binary under
+//! `src/bin/` (run with `cargo run --release -p galactos-bench --bin
+//! <name>`); kernel microbenchmarks live in `benches/` (run with
+//! `cargo bench`). This library provides what they share:
+//!
+//! * [`costmodel`] — the measured-throughput cost model that converts
+//!   exact per-rank pair counts into simulated times for rank counts far
+//!   beyond the host (the Cori substitution documented in DESIGN.md §1);
+//! * [`datasets`] — catalog generation wrappers at paper-scaled sizes;
+//! * [`tables`] — aligned console table printing;
+//! * [`peak`] — an FMA micro-benchmark measuring the host's achievable
+//!   peak FLOP rate, the denominator of the paper's "39% of peak".
+
+pub mod costmodel;
+pub mod datasets;
+pub mod peak;
+pub mod tables;
+
+/// Standard random seed used by the benchmark binaries so runs are
+/// reproducible.
+pub const BENCH_SEED: u64 = 20170601;

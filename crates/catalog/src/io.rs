@@ -1,0 +1,267 @@
+//! Catalog serialization: a compact binary format and CSV.
+//!
+//! The binary format ("GCAT") is a little-endian stream:
+//!
+//! ```text
+//! magic   u32   0x47434154 ("GCAT")
+//! version u32   1
+//! count   u64
+//! flags   u32   bit 0: periodic
+//! box_len f64   (valid when periodic)
+//! bounds  6×f64 (lo.xyz, hi.xyz)
+//! records count × (x, y, z, weight) f64
+//! ```
+//!
+//! CSV (`x,y,z,weight` with a header line) is provided for interchange
+//! with external plotting/analysis tools.
+
+use crate::galaxy::{Catalog, Galaxy};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use galactos_math::{Aabb, Vec3};
+use std::fs::File;
+use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+const MAGIC: u32 = 0x4743_4154;
+const VERSION: u32 = 1;
+
+/// Errors produced by catalog (de)serialization.
+#[derive(Debug)]
+pub enum CatalogIoError {
+    Io(io::Error),
+    BadMagic(u32),
+    BadVersion(u32),
+    Truncated,
+    Parse(String),
+}
+
+impl std::fmt::Display for CatalogIoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CatalogIoError::Io(e) => write!(f, "I/O error: {e}"),
+            CatalogIoError::BadMagic(m) => write!(f, "bad magic 0x{m:08x}"),
+            CatalogIoError::BadVersion(v) => write!(f, "unsupported version {v}"),
+            CatalogIoError::Truncated => write!(f, "truncated catalog stream"),
+            CatalogIoError::Parse(s) => write!(f, "parse error: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for CatalogIoError {}
+
+impl From<io::Error> for CatalogIoError {
+    fn from(e: io::Error) -> Self {
+        CatalogIoError::Io(e)
+    }
+}
+
+/// Encode a catalog into an in-memory byte buffer.
+pub fn to_bytes(catalog: &Catalog) -> Bytes {
+    let mut buf = BytesMut::with_capacity(64 + 32 * catalog.len());
+    buf.put_u32_le(MAGIC);
+    buf.put_u32_le(VERSION);
+    buf.put_u64_le(catalog.len() as u64);
+    buf.put_u32_le(u32::from(catalog.periodic.is_some()));
+    buf.put_f64_le(catalog.periodic.unwrap_or(0.0));
+    for v in [catalog.bounds.lo, catalog.bounds.hi] {
+        buf.put_f64_le(v.x);
+        buf.put_f64_le(v.y);
+        buf.put_f64_le(v.z);
+    }
+    for g in &catalog.galaxies {
+        buf.put_f64_le(g.pos.x);
+        buf.put_f64_le(g.pos.y);
+        buf.put_f64_le(g.pos.z);
+        buf.put_f64_le(g.weight);
+    }
+    buf.freeze()
+}
+
+/// Decode a catalog from a byte buffer produced by [`to_bytes`].
+pub fn from_bytes(mut buf: impl Buf) -> Result<Catalog, CatalogIoError> {
+    if buf.remaining() < 16 {
+        return Err(CatalogIoError::Truncated);
+    }
+    let magic = buf.get_u32_le();
+    if magic != MAGIC {
+        return Err(CatalogIoError::BadMagic(magic));
+    }
+    let version = buf.get_u32_le();
+    if version != VERSION {
+        return Err(CatalogIoError::BadVersion(version));
+    }
+    let count = buf.get_u64_le() as usize;
+    if buf.remaining() < 4 + 8 + 48 {
+        return Err(CatalogIoError::Truncated);
+    }
+    let flags = buf.get_u32_le();
+    let box_len = buf.get_f64_le();
+    let lo = Vec3::new(buf.get_f64_le(), buf.get_f64_le(), buf.get_f64_le());
+    let hi = Vec3::new(buf.get_f64_le(), buf.get_f64_le(), buf.get_f64_le());
+    if buf.remaining() < count * 32 {
+        return Err(CatalogIoError::Truncated);
+    }
+    let mut galaxies = Vec::with_capacity(count);
+    for _ in 0..count {
+        let pos = Vec3::new(buf.get_f64_le(), buf.get_f64_le(), buf.get_f64_le());
+        let weight = buf.get_f64_le();
+        galaxies.push(Galaxy::new(pos, weight));
+    }
+    Ok(Catalog {
+        galaxies,
+        bounds: Aabb { lo, hi },
+        periodic: if flags & 1 != 0 { Some(box_len) } else { None },
+    })
+}
+
+/// Write a catalog to a file in the binary format.
+pub fn write_binary(catalog: &Catalog, path: impl AsRef<Path>) -> Result<(), CatalogIoError> {
+    let mut w = BufWriter::new(File::create(path)?);
+    w.write_all(&to_bytes(catalog))?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Read a catalog from a binary-format file.
+pub fn read_binary(path: impl AsRef<Path>) -> Result<Catalog, CatalogIoError> {
+    let mut bytes = Vec::new();
+    File::open(path)?.read_to_end(&mut bytes)?;
+    from_bytes(&bytes[..])
+}
+
+/// Write a catalog as CSV (`x,y,z,weight`, with header).
+pub fn write_csv(catalog: &Catalog, path: impl AsRef<Path>) -> Result<(), CatalogIoError> {
+    let mut w = BufWriter::new(File::create(path)?);
+    writeln!(w, "x,y,z,weight")?;
+    for g in &catalog.galaxies {
+        writeln!(w, "{},{},{},{}", g.pos.x, g.pos.y, g.pos.z, g.weight)?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Read a catalog from CSV produced by [`write_csv`] (header optional;
+/// a missing 4th column defaults the weight to 1).
+pub fn read_csv(path: impl AsRef<Path>) -> Result<Catalog, CatalogIoError> {
+    let reader = BufReader::new(File::open(path)?);
+    let mut galaxies = Vec::new();
+    let mut line = String::new();
+    let mut r = reader;
+    let mut first = true;
+    while r.read_line(&mut line)? != 0 {
+        let trimmed = line.trim();
+        if !trimmed.is_empty() {
+            let is_header = first && trimmed.chars().next().is_some_and(|c| c.is_alphabetic());
+            if !is_header {
+                let fields: Vec<&str> = trimmed.split(',').collect();
+                if fields.len() < 3 {
+                    return Err(CatalogIoError::Parse(format!("bad row: {trimmed}")));
+                }
+                let parse = |s: &str| -> Result<f64, CatalogIoError> {
+                    s.trim()
+                        .parse::<f64>()
+                        .map_err(|e| CatalogIoError::Parse(format!("{s}: {e}")))
+                };
+                let pos = Vec3::new(parse(fields[0])?, parse(fields[1])?, parse(fields[2])?);
+                let weight = if fields.len() > 3 { parse(fields[3])? } else { 1.0 };
+                galaxies.push(Galaxy::new(pos, weight));
+            }
+        }
+        first = false;
+        line.clear();
+    }
+    Ok(Catalog::new(galaxies))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Catalog {
+        let mut c = Catalog::new(vec![
+            Galaxy::new(Vec3::new(1.0, 2.0, 3.0), 1.0),
+            Galaxy::new(Vec3::new(-4.0, 5.5, 0.25), -0.5),
+            Galaxy::new(Vec3::new(0.0, 0.0, 0.0), 2.0),
+        ]);
+        c.periodic = None;
+        c
+    }
+
+    #[test]
+    fn bytes_roundtrip() {
+        let c = sample();
+        let bytes = to_bytes(&c);
+        let back = from_bytes(&bytes[..]).unwrap();
+        assert_eq!(back.len(), c.len());
+        assert_eq!(back.periodic, None);
+        for (a, b) in back.galaxies.iter().zip(c.galaxies.iter()) {
+            assert_eq!(a, b);
+        }
+        assert_eq!(back.bounds, c.bounds);
+    }
+
+    #[test]
+    fn bytes_roundtrip_periodic() {
+        let c = Catalog::new_periodic(vec![Galaxy::unit(Vec3::splat(1.0))], 8.0);
+        let back = from_bytes(&to_bytes(&c)[..]).unwrap();
+        assert_eq!(back.periodic, Some(8.0));
+    }
+
+    #[test]
+    fn rejects_bad_magic_and_truncation() {
+        let c = sample();
+        let bytes = to_bytes(&c);
+        let mut corrupted = bytes.to_vec();
+        corrupted[0] ^= 0xFF;
+        assert!(matches!(
+            from_bytes(&corrupted[..]),
+            Err(CatalogIoError::BadMagic(_))
+        ));
+        assert!(matches!(
+            from_bytes(&bytes[..bytes.len() - 8]),
+            Err(CatalogIoError::Truncated)
+        ));
+        assert!(matches!(from_bytes(&bytes[..4]), Err(CatalogIoError::Truncated)));
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("galactos_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cat.gcat");
+        let c = sample();
+        write_binary(&c, &path).unwrap();
+        let back = read_binary(&path).unwrap();
+        assert_eq!(back.len(), 3);
+        assert_eq!(back.galaxies[1].weight, -0.5);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn csv_roundtrip() {
+        let dir = std::env::temp_dir().join("galactos_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cat.csv");
+        let c = sample();
+        write_csv(&c, &path).unwrap();
+        let back = read_csv(&path).unwrap();
+        assert_eq!(back.len(), 3);
+        for (a, b) in back.galaxies.iter().zip(c.galaxies.iter()) {
+            assert!((a.pos - b.pos).norm() < 1e-12);
+            assert!((a.weight - b.weight).abs() < 1e-12);
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn csv_without_weights_defaults_to_one() {
+        let dir = std::env::temp_dir().join("galactos_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("noweights.csv");
+        std::fs::write(&path, "1.0,2.0,3.0\n4.0,5.0,6.0\n").unwrap();
+        let back = read_csv(&path).unwrap();
+        assert_eq!(back.len(), 2);
+        assert_eq!(back.galaxies[0].weight, 1.0);
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,29 @@
+//! Galaxy catalogs: containers, I/O, survey geometry and random catalogs.
+//!
+//! The only input the Galactos algorithm needs is "the 3-D positions of
+//! the galaxies" (paper §1.3) plus per-object weights for the
+//! data-minus-randoms estimator. This crate provides:
+//!
+//! * [`Galaxy`] / [`Catalog`] — the position+weight containers used by
+//!   every other crate;
+//! * [`io`] — a compact binary format (plus CSV) for catalogs, the
+//!   "I/O" slice of the paper's runtime breakdown (Fig. 4);
+//! * [`random`] — uniform Poisson random catalogs, both for algorithm
+//!   testing (ζ must vanish on them) and as the R catalogs of the
+//!   data-minus-randoms estimator (paper §6.1);
+//! * [`survey`] — survey geometry with angular holes and radial
+//!   selection, Monte-Carlo sampled by the random catalogs exactly as
+//!   the paper describes for removing the spurious geometry signal;
+//! * [`stats`] — number density / mean separation diagnostics (the
+//!   quantities behind the paper's sparse-survey argument in §2.1).
+
+pub mod galaxy;
+pub mod io;
+pub mod random;
+pub mod stats;
+pub mod survey;
+
+pub use galaxy::{Catalog, Galaxy};
+pub use random::uniform_box;
+pub use stats::CatalogStats;
+pub use survey::{Cap, SurveyGeometry};

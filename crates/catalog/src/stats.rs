@@ -1,0 +1,131 @@
+//! Catalog diagnostics: density, separation, weight accounting.
+//!
+//! The paper's §2.1 argument for why classic k-d tree 3PCF algorithms
+//! fail on cosmological surveys rests on two numbers: the mean galaxy
+//! separation (13 Mpc/h for BOSS) versus the radial bin width (~10
+//! Mpc/h). This module computes those diagnostics for any catalog.
+
+use crate::galaxy::Catalog;
+
+/// Summary statistics of a catalog.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CatalogStats {
+    pub count: usize,
+    /// Sum of weights (0 for a data-minus-randoms field).
+    pub weight_sum: f64,
+    /// Sum of squared weights (enters shot-noise estimates).
+    pub weight_sq_sum: f64,
+    /// Bounding-box volume.
+    pub volume: f64,
+    /// Number density `N / V`.
+    pub density: f64,
+    /// Mean inter-galaxy separation estimate `(V/N)^{1/3}`.
+    pub mean_separation: f64,
+}
+
+impl CatalogStats {
+    pub fn compute(catalog: &Catalog) -> Self {
+        let count = catalog.len();
+        let weight_sum = catalog.total_weight();
+        let weight_sq_sum = catalog.galaxies.iter().map(|g| g.weight * g.weight).sum();
+        let volume = match catalog.periodic {
+            Some(l) => l * l * l,
+            None => catalog.bounds.volume(),
+        };
+        let density = if volume > 0.0 { count as f64 / volume } else { f64::NAN };
+        let mean_separation = if count > 0 && volume > 0.0 {
+            (volume / count as f64).cbrt()
+        } else {
+            f64::NAN
+        };
+        CatalogStats {
+            count,
+            weight_sum,
+            weight_sq_sum,
+            volume,
+            density,
+            mean_separation,
+        }
+    }
+}
+
+/// Expected number of neighbors within `radius` for a homogeneous
+/// catalog of the given density — the paper's `n·V_Rmax` factor that
+/// drives the O(N²) work estimate.
+pub fn expected_neighbors(density: f64, radius: f64) -> f64 {
+    density * 4.0 / 3.0 * std::f64::consts::PI * radius.powi(3)
+}
+
+/// Histogram the per-galaxy weights into `nbins` uniform bins over
+/// `[min, max]`; under/overflow are clamped to the edge bins.
+pub fn weight_histogram(catalog: &Catalog, min: f64, max: f64, nbins: usize) -> Vec<usize> {
+    assert!(nbins > 0 && max > min);
+    let mut hist = vec![0usize; nbins];
+    let scale = nbins as f64 / (max - min);
+    for g in &catalog.galaxies {
+        let bin = (((g.weight - min) * scale) as isize).clamp(0, nbins as isize - 1) as usize;
+        hist[bin] += 1;
+    }
+    hist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::galaxy::Galaxy;
+    use crate::random::uniform_box;
+    use galactos_math::Vec3;
+
+    #[test]
+    fn stats_of_uniform_box() {
+        let c = uniform_box(8000, 20.0, 3);
+        let s = CatalogStats::compute(&c);
+        assert_eq!(s.count, 8000);
+        assert_eq!(s.weight_sum, 8000.0);
+        assert!((s.volume - 8000.0).abs() < 1e-9);
+        assert!((s.density - 1.0).abs() < 1e-12);
+        assert!((s.mean_separation - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paper_scale_sanity() {
+        // Outer Rim: 2e9 galaxies in a (3000 Mpc/h)^3 box → n ≈ 0.072,
+        // and ~2.4 Mpc/h mean separation.
+        let n = 1.951e9f64;
+        let v = 3000.0f64.powi(3);
+        let density = n / v;
+        assert!((density - 0.0722).abs() < 1e-3);
+        // Expected secondaries within Rmax=200 for that density:
+        let neigh = expected_neighbors(density, 200.0);
+        assert!((neigh / 2.42e6 - 1.0).abs() < 0.01, "{neigh}");
+    }
+
+    #[test]
+    fn zero_weight_combined_field() {
+        let data = Catalog::new(vec![
+            Galaxy::unit(Vec3::ZERO),
+            Galaxy::unit(Vec3::new(1.0, 0.0, 0.0)),
+        ]);
+        let randoms = Catalog::new(vec![
+            Galaxy::unit(Vec3::new(0.5, 0.5, 0.0)),
+            Galaxy::unit(Vec3::new(0.2, 0.8, 0.3)),
+            Galaxy::unit(Vec3::new(0.7, 0.1, 0.9)),
+        ]);
+        let combined = Catalog::data_minus_randoms(&data, &randoms);
+        let s = CatalogStats::compute(&combined);
+        assert!(s.weight_sum.abs() < 1e-12);
+        assert!(s.weight_sq_sum > 0.0);
+    }
+
+    #[test]
+    fn weight_histogram_bins() {
+        let c = Catalog::new(vec![
+            Galaxy::new(Vec3::ZERO, 0.1),
+            Galaxy::new(Vec3::ZERO, 0.9),
+            Galaxy::new(Vec3::ZERO, 0.5),
+            Galaxy::new(Vec3::ZERO, 5.0), // overflow clamps to last bin
+        ]);
+        let h = weight_histogram(&c, 0.0, 1.0, 2);
+        assert_eq!(h, vec![1, 3]);
+    }
+}

@@ -1,0 +1,113 @@
+//! Property-based tests for catalog containers, I/O and geometry.
+
+use galactos_catalog::io::{from_bytes, to_bytes};
+use galactos_catalog::{Catalog, Cap, Galaxy, SurveyGeometry};
+use galactos_math::Vec3;
+use proptest::prelude::*;
+
+fn arb_galaxies() -> impl Strategy<Value = Vec<Galaxy>> {
+    prop::collection::vec(
+        (
+            -1000.0f64..1000.0,
+            -1000.0f64..1000.0,
+            -1000.0f64..1000.0,
+            -5.0f64..5.0,
+        )
+            .prop_map(|(x, y, z, w)| Galaxy::new(Vec3::new(x, y, z), w)),
+        0..200,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn binary_roundtrip_is_lossless(galaxies in arb_galaxies()) {
+        let cat = Catalog::new(galaxies);
+        let back = from_bytes(&to_bytes(&cat)[..]).unwrap();
+        prop_assert_eq!(back.len(), cat.len());
+        for (a, b) in back.galaxies.iter().zip(cat.galaxies.iter()) {
+            prop_assert_eq!(a.pos, b.pos);
+            prop_assert_eq!(a.weight, b.weight);
+        }
+        prop_assert_eq!(back.periodic, cat.periodic);
+    }
+
+    #[test]
+    fn data_minus_randoms_always_zero_weight(
+        data in arb_galaxies(),
+        randoms in arb_galaxies(),
+    ) {
+        let d = Catalog::new(
+            data.into_iter().map(|mut g| { g.weight = g.weight.abs() + 0.1; g }).collect(),
+        );
+        let r = Catalog::new(
+            randoms.into_iter().map(|mut g| { g.weight = g.weight.abs() + 0.1; g }).collect(),
+        );
+        prop_assume!(!d.is_empty() && !r.is_empty());
+        let field = Catalog::data_minus_randoms(&d, &r);
+        let total_scale = d.total_weight().abs() + r.total_weight().abs();
+        prop_assert!(field.total_weight().abs() < 1e-9 * total_scale.max(1.0));
+        prop_assert_eq!(field.len(), d.len() + r.len());
+    }
+
+    #[test]
+    fn bounds_contain_every_galaxy(galaxies in arb_galaxies()) {
+        prop_assume!(!galaxies.is_empty());
+        let cat = Catalog::new(galaxies);
+        for g in &cat.galaxies {
+            prop_assert!(cat.bounds.contains(g.pos));
+        }
+    }
+
+    #[test]
+    fn subset_preserves_order_and_values(
+        galaxies in arb_galaxies(),
+        picks in prop::collection::vec(0usize..200, 0..50),
+    ) {
+        prop_assume!(!galaxies.is_empty());
+        let cat = Catalog::new(galaxies);
+        let indices: Vec<usize> = picks.into_iter().map(|p| p % cat.len()).collect();
+        let sub = cat.subset(&indices);
+        prop_assert_eq!(sub.len(), indices.len());
+        for (s, &i) in sub.galaxies.iter().zip(indices.iter()) {
+            prop_assert_eq!(s.pos, cat.galaxies[i].pos);
+        }
+    }
+
+    #[test]
+    fn survey_footprint_is_consistent_with_geometry(
+        px in -200.0f64..200.0,
+        py in -200.0f64..200.0,
+        pz in -200.0f64..200.0,
+        rmin in 1.0f64..50.0,
+        extra in 1.0f64..100.0,
+        cap_z in 0.1f64..1.0,
+    ) {
+        let rmax = rmin + extra;
+        let mut survey = SurveyGeometry::full_shell(Vec3::ZERO, rmin, rmax);
+        survey.holes.push(Cap::new(Vec3::Z, cap_z));
+        let p = Vec3::new(px, py, pz);
+        let inside = survey.in_footprint(p);
+        let r = p.norm();
+        if r < rmin || r > rmax {
+            prop_assert!(!inside, "outside the shell must be excluded");
+        } else if r > 0.0 {
+            let in_cap = (p / r).dot(Vec3::Z) >= cap_z.cos();
+            prop_assert_eq!(inside, !in_cap);
+        }
+    }
+
+    #[test]
+    fn completeness_is_monotone_interpolation(
+        r in 0.0f64..120.0,
+        f_lo in 0.0f64..1.0,
+        f_hi in 0.0f64..1.0,
+    ) {
+        let mut survey = SurveyGeometry::full_shell(Vec3::ZERO, 0.0, 120.0);
+        survey.radial_completeness = vec![(10.0, f_lo), (100.0, f_hi)];
+        let c = survey.completeness(r);
+        let (lo, hi) = if f_lo <= f_hi { (f_lo, f_hi) } else { (f_hi, f_lo) };
+        prop_assert!(c >= lo - 1e-12 && c <= hi + 1e-12, "c={c} outside [{lo},{hi}]");
+    }
+}

@@ -1,0 +1,29 @@
+//! An in-memory, MPI-like cluster simulator.
+//!
+//! Galactos' multi-node layer (paper §3.2) needs exactly four primitives:
+//! point-to-point sends between ranks (the halo exchange follows the k-d
+//! partition tree, exchanging boundary galaxies with a peer on the
+//! opposite sub-communicator), communicator **splitting** into sub-
+//! communicators of nearly equal size, barriers, and a final reduction of
+//! the multipole arrays. This crate implements those primitives over
+//! in-process threads and channels:
+//!
+//! * every rank runs as an OS thread inside [`run_cluster`];
+//! * [`Comm`] provides `send`/`recv` (typed, tag-matched), `split`,
+//!   `barrier`, `broadcast`, `gather`, reductions;
+//! * all traffic is metered ([`TrafficStats`]) so benchmarks can report
+//!   halo-exchange volumes — the quantity that stays *constant per rank*
+//!   under weak scaling and explains the paper's flat Figure 6.
+//!
+//! The simulator trades absolute latency realism for full fidelity of
+//! the communication *pattern*: any deadlock, mismatched tag or wrong
+//! peer in the algorithm shows up here exactly as it would on a real
+//! machine.
+
+pub mod comm;
+pub mod payload;
+pub mod stats;
+
+pub use comm::{run_cluster, run_cluster_with_stacks, Comm};
+pub use payload::Payload;
+pub use stats::{ClusterStats, TrafficStats};

@@ -1,0 +1,91 @@
+//! Message payload trait with byte accounting.
+//!
+//! Messages travel between ranks as moved Rust values (same address
+//! space), but the simulator still needs to know how many bytes each
+//! message *would* occupy on a wire to report halo-exchange volumes.
+//! [`Payload::wire_bytes`] provides that estimate.
+
+/// A value that can be sent between ranks.
+pub trait Payload: Send + 'static {
+    /// Approximate serialized size in bytes (used for traffic metering
+    /// only; never for allocation).
+    fn wire_bytes(&self) -> usize;
+}
+
+macro_rules! impl_payload_primitive {
+    ($($t:ty),*) => {
+        $(impl Payload for $t {
+            fn wire_bytes(&self) -> usize {
+                std::mem::size_of::<$t>()
+            }
+        })*
+    };
+}
+
+impl_payload_primitive!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64, bool);
+
+impl Payload for () {
+    fn wire_bytes(&self) -> usize {
+        0
+    }
+}
+
+impl<T: Send + Copy + 'static> Payload for Vec<T> {
+    fn wire_bytes(&self) -> usize {
+        self.len() * std::mem::size_of::<T>() + 8
+    }
+}
+
+impl<T: Send + Copy + 'static, const N: usize> Payload for [T; N] {
+    fn wire_bytes(&self) -> usize {
+        N * std::mem::size_of::<T>()
+    }
+}
+
+impl Payload for String {
+    fn wire_bytes(&self) -> usize {
+        self.len() + 8
+    }
+}
+
+impl<A: Payload, B: Payload> Payload for (A, B) {
+    fn wire_bytes(&self) -> usize {
+        self.0.wire_bytes() + self.1.wire_bytes()
+    }
+}
+
+impl<A: Payload, B: Payload, C: Payload> Payload for (A, B, C) {
+    fn wire_bytes(&self) -> usize {
+        self.0.wire_bytes() + self.1.wire_bytes() + self.2.wire_bytes()
+    }
+}
+
+impl<T: Payload> Payload for Option<T> {
+    fn wire_bytes(&self) -> usize {
+        1 + self.as_ref().map_or(0, |v| v.wire_bytes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitive_sizes() {
+        assert_eq!(3.0f64.wire_bytes(), 8);
+        assert_eq!(1u32.wire_bytes(), 4);
+        assert_eq!(().wire_bytes(), 0);
+        assert_eq!(true.wire_bytes(), 1);
+    }
+
+    #[test]
+    fn container_sizes() {
+        let v: Vec<f64> = vec![0.0; 100];
+        assert_eq!(v.wire_bytes(), 808);
+        let s = String::from("hello");
+        assert_eq!(s.wire_bytes(), 13);
+        assert_eq!((1u64, 2u64).wire_bytes(), 16);
+        assert_eq!(Some(5.0f64).wire_bytes(), 9);
+        assert_eq!(None::<f64>.wire_bytes(), 1);
+    }
+}

@@ -1,0 +1,126 @@
+//! Per-rank and cluster-wide traffic accounting.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Atomic traffic counters for one rank.
+#[derive(Debug, Default)]
+pub struct TrafficStats {
+    pub messages_sent: AtomicU64,
+    pub bytes_sent: AtomicU64,
+    pub messages_received: AtomicU64,
+    pub bytes_received: AtomicU64,
+}
+
+impl TrafficStats {
+    pub fn record_send(&self, bytes: usize) {
+        self.messages_sent.fetch_add(1, Ordering::Relaxed);
+        self.bytes_sent.fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+
+    pub fn record_recv(&self, bytes: usize) {
+        self.messages_received.fetch_add(1, Ordering::Relaxed);
+        self.bytes_received.fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+
+    pub fn snapshot(&self) -> TrafficSnapshot {
+        TrafficSnapshot {
+            messages_sent: self.messages_sent.load(Ordering::Relaxed),
+            bytes_sent: self.bytes_sent.load(Ordering::Relaxed),
+            messages_received: self.messages_received.load(Ordering::Relaxed),
+            bytes_received: self.bytes_received.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of one rank's counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TrafficSnapshot {
+    pub messages_sent: u64,
+    pub bytes_sent: u64,
+    pub messages_received: u64,
+    pub bytes_received: u64,
+}
+
+/// Cluster-wide view over all ranks' counters.
+#[derive(Clone, Debug)]
+pub struct ClusterStats {
+    per_rank: Vec<Arc<TrafficStats>>,
+}
+
+impl ClusterStats {
+    pub fn new(num_ranks: usize) -> Self {
+        ClusterStats {
+            per_rank: (0..num_ranks).map(|_| Arc::new(TrafficStats::default())).collect(),
+        }
+    }
+
+    pub fn rank(&self, r: usize) -> &Arc<TrafficStats> {
+        &self.per_rank[r]
+    }
+
+    pub fn num_ranks(&self) -> usize {
+        self.per_rank.len()
+    }
+
+    /// Snapshot every rank.
+    pub fn snapshots(&self) -> Vec<TrafficSnapshot> {
+        self.per_rank.iter().map(|s| s.snapshot()).collect()
+    }
+
+    /// Total bytes sent across the cluster.
+    pub fn total_bytes_sent(&self) -> u64 {
+        self.per_rank
+            .iter()
+            .map(|s| s.bytes_sent.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Total messages sent across the cluster.
+    pub fn total_messages_sent(&self) -> u64 {
+        self.per_rank
+            .iter()
+            .map(|s| s.messages_sent.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Maximum bytes sent by any single rank (load-balance indicator).
+    pub fn max_bytes_sent_per_rank(&self) -> u64 {
+        self.per_rank
+            .iter()
+            .map(|s| s.bytes_sent.load(Ordering::Relaxed))
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let s = TrafficStats::default();
+        s.record_send(100);
+        s.record_send(50);
+        s.record_recv(100);
+        let snap = s.snapshot();
+        assert_eq!(snap.messages_sent, 2);
+        assert_eq!(snap.bytes_sent, 150);
+        assert_eq!(snap.messages_received, 1);
+        assert_eq!(snap.bytes_received, 100);
+    }
+
+    #[test]
+    fn cluster_totals() {
+        let cs = ClusterStats::new(3);
+        cs.rank(0).record_send(10);
+        cs.rank(1).record_send(20);
+        cs.rank(2).record_send(5);
+        assert_eq!(cs.total_bytes_sent(), 35);
+        assert_eq!(cs.total_messages_sent(), 3);
+        assert_eq!(cs.max_bytes_sent_per_rank(), 20);
+        assert_eq!(cs.num_ranks(), 3);
+        assert_eq!(cs.snapshots().len(), 3);
+    }
+}

@@ -1,0 +1,568 @@
+//! The anisotropic 3PCF engine: Algorithm 1 with the §3.3 optimizations.
+//!
+//! Per primary galaxy: gather secondaries within Rmax from the k-d tree,
+//! rotate separations into the line-of-sight frame, bin them into radial
+//! shells, bucket-accumulate the 286 monomials, assemble the shell
+//! coefficients `a_ℓm`, and accumulate
+//! `ζ^m_{ℓℓ'}(r₁, r₂) += w_i · a_ℓm(r₁) · conj(a_ℓ'm(r₂))`.
+//! Primaries are distributed over threads with dynamic scheduling
+//! (work stealing), each thread owning private accumulators that are
+//! merged once at the end — "this approach ensures maximum independent
+//! work for each thread".
+
+use crate::config::{EngineConfig, Scheduling, TreePrecision};
+use crate::flops::FlopCounter;
+use crate::kernel::{KernelAccumulator, PairBuckets};
+use crate::result::AnisotropicZeta;
+use crate::timing::{Stage, StageTimer};
+use galactos_catalog::{Catalog, Galaxy};
+use galactos_kdtree::{KdTree, TreeConfig};
+use galactos_math::monomial::MonomialBasis;
+use galactos_math::ylm::{YlmPairProductTable, YlmTable};
+use galactos_math::{lm_count, lm_index, Complex64, Vec3};
+use rayon::prelude::*;
+use std::time::Instant;
+
+/// Precision-erased k-d tree.
+enum Tree {
+    F32(KdTree<f32>),
+    F64(KdTree<f64>),
+}
+
+impl Tree {
+    fn build(positions: &[Vec3], precision: TreePrecision) -> Self {
+        match precision {
+            TreePrecision::Mixed => Tree::F32(KdTree::build(positions, TreeConfig::default())),
+            TreePrecision::Double => Tree::F64(KdTree::build(positions, TreeConfig::default())),
+        }
+    }
+
+    fn for_each_within<F: FnMut(u32)>(&self, c: Vec3, r: f64, f: &mut F) {
+        match self {
+            Tree::F32(t) => t.for_each_within(c, r, f),
+            Tree::F64(t) => t.for_each_within(c, r, f),
+        }
+    }
+
+    fn for_each_within_periodic<F: FnMut(u32)>(&self, c: Vec3, r: f64, box_len: f64, f: &mut F) {
+        match self {
+            Tree::F32(t) => t.for_each_within_periodic(c, r, box_len, f),
+            Tree::F64(t) => t.for_each_within_periodic(c, r, box_len, f),
+        }
+    }
+}
+
+/// The anisotropic 3PCF engine. Construct once (tables are built at
+/// construction), then [`Engine::compute`] any number of catalogs.
+pub struct Engine {
+    config: EngineConfig,
+    basis: MonomialBasis,
+    ylm: YlmTable,
+    /// Degree-2ℓmax machinery for the self-pair (degenerate triangle)
+    /// correction; present only when enabled.
+    self_basis: Option<MonomialBasis>,
+    self_table: Option<YlmPairProductTable>,
+}
+
+/// Per-thread working state: buckets, accumulators, result partials.
+struct ThreadState {
+    neighbors: Vec<u32>,
+    buckets: PairBuckets,
+    acc: KernelAccumulator,
+    /// Reduced monomial sums, `nbins × nmono`.
+    sums: Vec<f64>,
+    /// Shell coefficients, `nbins × lm_count`.
+    alm: Vec<Complex64>,
+    self_scratch: Vec<f64>,
+    /// Self-pair monomial sums (degree ≤ 2ℓmax), `nbins × nmono2`.
+    self_sums: Vec<f64>,
+    zeta: AnisotropicZeta,
+    binned_pairs: u64,
+    candidate_pairs: u64,
+    t_search: u64,
+    t_bin: u64,
+    t_kernel: u64,
+    t_assembly: u64,
+}
+
+impl Engine {
+    pub fn new(config: EngineConfig) -> Self {
+        config.validate();
+        let basis = MonomialBasis::new(config.lmax);
+        let ylm = YlmTable::new(config.lmax, &basis);
+        let (self_basis, self_table) = if config.subtract_self_pairs {
+            let b2 = MonomialBasis::new(2 * config.lmax);
+            let t2 = YlmPairProductTable::new(config.lmax, &b2);
+            (Some(b2), Some(t2))
+        } else {
+            (None, None)
+        };
+        Engine { config, basis, ylm, self_basis, self_table }
+    }
+
+    #[inline]
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Compute the anisotropic 3PCF of a catalog (every galaxy acts as a
+    /// primary; periodic boxes use minimum-image separations).
+    pub fn compute(&self, catalog: &Catalog) -> AnisotropicZeta {
+        self.compute_instrumented(catalog, None, None)
+    }
+
+    /// [`Engine::compute`] with stage timing and FLOP counting.
+    pub fn compute_instrumented(
+        &self,
+        catalog: &Catalog,
+        timer: Option<&StageTimer>,
+        flops: Option<&FlopCounter>,
+    ) -> AnisotropicZeta {
+        if catalog.periodic.is_some() {
+            assert!(
+                self.config.line_of_sight.is_uniform(),
+                "periodic catalogs require a fixed line of sight"
+            );
+            assert!(
+                self.config.bins.rmax() <= catalog.periodic.unwrap() * 0.5,
+                "rmax must be <= box/2 for periodic queries"
+            );
+        }
+        self.run(&catalog.galaxies, catalog.len(), catalog.periodic, timer, flops)
+    }
+
+    /// Compute the *isotropic* multipoles of a catalog through the full
+    /// anisotropic machinery plus the addition-theorem compression —
+    /// "Galactos, a scalable algorithm and highly optimized
+    /// implementation for both the isotropic and anisotropic 3PCF"
+    /// (paper §3). Matches the independent Legendre baseline in
+    /// [`crate::isotropic`] (tests enforce it) while using the fast
+    /// monomial kernel.
+    pub fn compute_isotropic(&self, catalog: &Catalog) -> crate::result::IsotropicZeta {
+        self.compute(catalog).compress_isotropic()
+    }
+
+    /// Compute with only the first `n_primaries` galaxies acting as
+    /// primaries; the remainder participate as secondaries only. This is
+    /// the per-rank entry point of the distributed pipeline ("ignoring
+    /// secondary galaxies that are in the k-d tree because of halo
+    /// exchange").
+    pub fn compute_subset(&self, galaxies: &[Galaxy], n_primaries: usize) -> AnisotropicZeta {
+        assert!(n_primaries <= galaxies.len());
+        self.run(galaxies, n_primaries, None, None, None)
+    }
+
+    fn run(
+        &self,
+        galaxies: &[Galaxy],
+        n_primaries: usize,
+        periodic: Option<f64>,
+        timer: Option<&StageTimer>,
+        flops: Option<&FlopCounter>,
+    ) -> AnisotropicZeta {
+        let positions: Vec<Vec3> = galaxies.iter().map(|g| g.pos).collect();
+        let t0 = Instant::now();
+        let tree = Tree::build(&positions, self.config.precision);
+        if let Some(t) = timer {
+            t.add(Stage::TreeBuild, t0.elapsed().as_nanos() as u64);
+        }
+
+        let process_range = |state: &mut ThreadState, range: &[usize]| {
+            for &i in range {
+                self.process_primary(state, galaxies, &tree, i, periodic);
+            }
+        };
+
+        let make_state = || self.new_thread_state();
+        let finish = |mut state: ThreadState| -> AnisotropicZeta {
+            if let Some(t) = timer {
+                t.add(Stage::TreeSearch, state.t_search);
+                t.add(Stage::Binning, state.t_bin);
+                t.add(Stage::Multipole, state.t_kernel);
+                t.add(Stage::Assembly, state.t_assembly);
+            }
+            if let Some(f) = flops {
+                f.record(state.binned_pairs, state.candidate_pairs);
+            }
+            state.zeta.binned_pairs = state.binned_pairs;
+            state.zeta
+        };
+
+        let indices: Vec<usize> = (0..n_primaries).collect();
+        let zero = || AnisotropicZeta::zeros(self.config.lmax, self.config.bins.nbins());
+        match self.config.scheduling {
+            Scheduling::Dynamic => indices
+                .par_chunks(16)
+                .map(|chunk| {
+                    let mut state = make_state();
+                    process_range(&mut state, chunk);
+                    finish(state)
+                })
+                .reduce(zero, |mut a, b| {
+                    a.merge(&b);
+                    a
+                }),
+            Scheduling::Static => {
+                let nthreads = rayon::current_num_threads().max(1);
+                let chunk = n_primaries.div_ceil(nthreads).max(1);
+                indices
+                    .par_chunks(chunk)
+                    .map(|big_chunk| {
+                        let mut state = make_state();
+                        process_range(&mut state, big_chunk);
+                        finish(state)
+                    })
+                    .reduce(zero, |mut a, b| {
+                        a.merge(&b);
+                        a
+                    })
+            }
+        }
+    }
+
+    fn new_thread_state(&self) -> ThreadState {
+        let nbins = self.config.bins.nbins();
+        let nmono = self.basis.len();
+        let acc = if self.config.simd_kernel {
+            KernelAccumulator::new_simd(nbins, nmono)
+        } else {
+            KernelAccumulator::new_scalar(nbins, nmono)
+        };
+        let nmono2 = self.self_basis.as_ref().map_or(0, |b| b.len());
+        ThreadState {
+            neighbors: Vec::with_capacity(1024),
+            buckets: PairBuckets::new(nbins, self.config.bucket_size),
+            acc,
+            sums: vec![0.0; nbins * nmono],
+            alm: vec![Complex64::ZERO; nbins * lm_count(self.config.lmax)],
+            self_scratch: vec![0.0; nmono2],
+            self_sums: vec![0.0; nbins * nmono2],
+            zeta: AnisotropicZeta::zeros(self.config.lmax, nbins),
+            binned_pairs: 0,
+            candidate_pairs: 0,
+            t_search: 0,
+            t_bin: 0,
+            t_kernel: 0,
+            t_assembly: 0,
+        }
+    }
+
+    fn process_primary(
+        &self,
+        state: &mut ThreadState,
+        galaxies: &[Galaxy],
+        tree: &Tree,
+        i: usize,
+        periodic: Option<f64>,
+    ) {
+        let primary = galaxies[i];
+        let Some(rotation) = self.config.line_of_sight.rotation_for(primary.pos) else {
+            return; // degenerate line of sight (primary at the observer)
+        };
+        // Identity-rotation fast path for the plane-parallel ẑ case.
+        let rotate = rotation != galactos_math::Mat3::IDENTITY;
+        let rmax = self.config.bins.rmax();
+        let nbins = self.config.bins.nbins();
+        let nmono = self.basis.len();
+
+        // --- gather secondaries ---
+        let t0 = Instant::now();
+        state.neighbors.clear();
+        let neighbors = &mut state.neighbors;
+        match periodic {
+            Some(l) => tree.for_each_within_periodic(primary.pos, rmax, l, &mut |id| {
+                neighbors.push(id)
+            }),
+            None => tree.for_each_within(primary.pos, rmax, &mut |id| neighbors.push(id)),
+        }
+        state.t_search += t0.elapsed().as_nanos() as u64;
+        state.candidate_pairs += state.neighbors.len() as u64;
+
+        // --- rotate, bin, bucket, accumulate ---
+        let t1 = Instant::now();
+        state.acc.reset();
+        if let Some(b2) = &self.self_basis {
+            state.self_sums[..nbins * b2.len()].iter_mut().for_each(|v| *v = 0.0);
+        }
+        let mut kernel_nanos = 0u64;
+        let mut binned = 0u64;
+        for idx in 0..state.neighbors.len() {
+            let j = state.neighbors[idx] as usize;
+            if j == i {
+                continue;
+            }
+            let delta = match periodic {
+                Some(l) => galaxies[j].pos.periodic_delta(primary.pos, l),
+                None => galaxies[j].pos - primary.pos,
+            };
+            let r2 = delta.norm_sq();
+            if r2 == 0.0 {
+                continue; // coincident points: direction undefined
+            }
+            let r = r2.sqrt();
+            let Some(bin) = self.config.bins.bin_of(r) else {
+                continue;
+            };
+            let d = if rotate { rotation.mul_vec(delta) } else { delta };
+            let inv_r = 1.0 / r;
+            let (ux, uy, uz) = (d.x * inv_r, d.y * inv_r, d.z * inv_r);
+            let wj = galaxies[j].weight;
+            binned += 1;
+            if state.buckets.push(bin, ux, uy, uz, wj) {
+                let tk = Instant::now();
+                let (dx, dy, dz, w) = state.buckets.slices(bin);
+                state.acc.flush_bucket(self.basis.schedule(), bin, dx, dy, dz, w);
+                state.buckets.clear_bin(bin);
+                kernel_nanos += tk.elapsed().as_nanos() as u64;
+            }
+            if let Some(b2) = &self.self_basis {
+                // Degenerate-triangle sums: weight w² at degree ≤ 2ℓmax.
+                let n2 = b2.len();
+                b2.accumulate_into(
+                    ux,
+                    uy,
+                    uz,
+                    wj * wj,
+                    &mut state.self_scratch,
+                    &mut state.self_sums[bin * n2..(bin + 1) * n2],
+                );
+            }
+        }
+        // Final sweep of partially filled buckets.
+        let tk = Instant::now();
+        let filled: Vec<usize> = state.buckets.non_empty_bins().collect();
+        for bin in filled {
+            let (dx, dy, dz, w) = state.buckets.slices(bin);
+            state.acc.flush_bucket(self.basis.schedule(), bin, dx, dy, dz, w);
+            state.buckets.clear_bin(bin);
+        }
+        kernel_nanos += tk.elapsed().as_nanos() as u64;
+        state.binned_pairs += binned;
+        state.t_kernel += kernel_nanos;
+        state.t_bin += (t1.elapsed().as_nanos() as u64).saturating_sub(kernel_nanos);
+
+        // --- assemble a_lm and accumulate zeta ---
+        let t2 = Instant::now();
+        let nlm = lm_count(self.config.lmax);
+        for bin in 0..nbins {
+            state.acc.reduce_bin(bin, &mut state.sums[bin * nmono..(bin + 1) * nmono]);
+            self.ylm.assemble_alm(
+                &state.sums[bin * nmono..(bin + 1) * nmono],
+                &mut state.alm[bin * nlm..(bin + 1) * nlm],
+            );
+        }
+        let wi = primary.weight;
+        let lmax = self.config.lmax;
+        for l in 0..=lmax {
+            for lp in 0..=lmax {
+                for m in 0..=l.min(lp) {
+                    let i1 = lm_index(l, m);
+                    let i2 = lm_index(lp, m);
+                    for b1 in 0..nbins {
+                        let a1 = state.alm[b1 * nlm + i1];
+                        if a1 == Complex64::ZERO {
+                            continue;
+                        }
+                        for b2 in 0..nbins {
+                            let a2 = state.alm[b2 * nlm + i2];
+                            let v = a1 * a2.conj() * wi;
+                            state.zeta.add_to(l, lp, m, b1, b2, v);
+                        }
+                    }
+                }
+            }
+        }
+        // Remove the degenerate j = k terms from diagonal bins.
+        if let (Some(b2), Some(t2b)) = (&self.self_basis, &self.self_table) {
+            let n2 = b2.len();
+            for bin in 0..nbins {
+                let sums = &state.self_sums[bin * n2..(bin + 1) * n2];
+                for l in 0..=lmax {
+                    for lp in 0..=lmax {
+                        for m in 0..=l.min(lp) {
+                            let v = t2b.assemble(l, lp, m, sums) * wi;
+                            state.zeta.add_to(l, lp, m, bin, bin, -v);
+                        }
+                    }
+                }
+            }
+        }
+        state.zeta.total_primary_weight += wi;
+        state.zeta.num_primaries += 1;
+        state.t_assembly += t2.elapsed().as_nanos() as u64;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::EngineConfig;
+    use galactos_catalog::uniform_box;
+    use galactos_math::LineOfSight;
+
+    fn small_catalog(n: usize, box_len: f64, seed: u64) -> Catalog {
+        let mut c = uniform_box(n, box_len, seed);
+        c.periodic = None; // treat as plain point set unless stated
+        c
+    }
+
+    #[test]
+    fn zeta_l0_counts_weighted_pairs() {
+        // ζ^0_{00}(b, b') = Σ_i w_i · a_00(b) a_00(b') with a_00 = Σ w/√(4π),
+        // so the (0,0,0) coefficient is pair-count arithmetic we can
+        // verify directly.
+        let cat = small_catalog(40, 10.0, 3);
+        let config = EngineConfig::test_default(6.0, 2, 3);
+        let engine = Engine::new(config);
+        let zeta = engine.compute(&cat);
+
+        // Direct computation.
+        let bins = &engine.config().bins;
+        let mut want = vec![vec![0.0f64; 3]; 40]; // per-primary per-bin counts
+        for i in 0..40 {
+            for j in 0..40 {
+                if i == j {
+                    continue;
+                }
+                let r = cat.galaxies[i].pos.distance(cat.galaxies[j].pos);
+                if let Some(b) = bins.bin_of(r) {
+                    want[i][b] += 1.0;
+                }
+            }
+        }
+        let inv4pi = 1.0 / (4.0 * std::f64::consts::PI);
+        for b1 in 0..3 {
+            for b2 in 0..3 {
+                let direct: f64 = (0..40).map(|i| want[i][b1] * want[i][b2]).sum();
+                let got = zeta.get(0, 0, 0, b1, b2);
+                assert!(
+                    (got.re - direct * inv4pi).abs() < 1e-9 * (1.0 + direct),
+                    "b1={b1} b2={b2}: {} vs {}",
+                    got.re,
+                    direct * inv4pi
+                );
+                assert!(got.im.abs() < 1e-10);
+            }
+        }
+        assert_eq!(zeta.num_primaries, 40);
+    }
+
+    #[test]
+    fn simd_and_scalar_kernels_agree() {
+        let cat = small_catalog(120, 12.0, 7);
+        let mut config = EngineConfig::test_default(6.0, 4, 4);
+        config.simd_kernel = true;
+        let simd = Engine::new(config.clone()).compute(&cat);
+        config.simd_kernel = false;
+        let scalar = Engine::new(config).compute(&cat);
+        let scale = simd.max_abs().max(1.0);
+        assert!(
+            simd.max_difference(&scalar) < 1e-9 * scale,
+            "diff {}",
+            simd.max_difference(&scalar)
+        );
+    }
+
+    #[test]
+    fn mixed_precision_close_to_double() {
+        let cat = small_catalog(150, 15.0, 9);
+        let mut config = EngineConfig::test_default(6.0, 3, 3);
+        config.precision = TreePrecision::Double;
+        let double = Engine::new(config.clone()).compute(&cat);
+        config.precision = TreePrecision::Mixed;
+        let mixed = Engine::new(config).compute(&cat);
+        // The tree only gates *which* pairs are found; far from bin
+        // edges results are identical. Allow a tiny relative difference
+        // for boundary flips.
+        let scale = double.max_abs().max(1.0);
+        assert!(
+            mixed.max_difference(&double) < 1e-3 * scale,
+            "diff {}",
+            mixed.max_difference(&double)
+        );
+    }
+
+    #[test]
+    fn static_and_dynamic_scheduling_agree() {
+        let cat = small_catalog(100, 10.0, 11);
+        let mut config = EngineConfig::test_default(5.0, 3, 3);
+        config.scheduling = Scheduling::Dynamic;
+        let dynamic = Engine::new(config.clone()).compute(&cat);
+        config.scheduling = Scheduling::Static;
+        let fixed = Engine::new(config).compute(&cat);
+        let scale = dynamic.max_abs().max(1.0);
+        assert!(dynamic.max_difference(&fixed) < 1e-9 * scale);
+        assert_eq!(dynamic.num_primaries, fixed.num_primaries);
+        assert_eq!(dynamic.binned_pairs, fixed.binned_pairs);
+    }
+
+    #[test]
+    fn subset_restricts_primaries() {
+        let cat = small_catalog(60, 10.0, 13);
+        let config = EngineConfig::test_default(5.0, 2, 2);
+        let engine = Engine::new(config);
+        let z = engine.compute_subset(&cat.galaxies, 10);
+        assert_eq!(z.num_primaries, 10);
+        assert_eq!(z.total_primary_weight, 10.0);
+    }
+
+    #[test]
+    fn periodic_wraps_neighbors() {
+        // Two galaxies near opposite faces: only the periodic run pairs
+        // them.
+        let galaxies = vec![
+            Galaxy::unit(Vec3::new(0.5, 5.0, 5.0)),
+            Galaxy::unit(Vec3::new(9.5, 5.0, 5.0)),
+        ];
+        let config = EngineConfig::test_default(2.0, 1, 2);
+        let engine = Engine::new(config);
+        let open = Catalog::new(galaxies.clone());
+        let z_open = engine.compute(&open);
+        assert_eq!(z_open.binned_pairs, 0);
+        let wrapped = Catalog::new_periodic(galaxies, 10.0);
+        let z_wrap = engine.compute(&wrapped);
+        assert_eq!(z_wrap.binned_pairs, 2);
+    }
+
+    #[test]
+    fn radial_los_runs_and_skips_degenerate_primary() {
+        let mut cat = small_catalog(30, 8.0, 17);
+        // Place one galaxy exactly at the observer.
+        cat.galaxies[0].pos = Vec3::ZERO;
+        let mut config = EngineConfig::test_default(4.0, 2, 2);
+        config.line_of_sight = LineOfSight::Radial { observer: Vec3::ZERO };
+        let engine = Engine::new(config);
+        let z = engine.compute(&cat);
+        // 29 usable primaries (the one at the observer is skipped).
+        assert_eq!(z.num_primaries, 29);
+    }
+
+    #[test]
+    fn instrumentation_reports_stages_and_flops() {
+        let cat = small_catalog(200, 10.0, 19);
+        let config = EngineConfig::test_default(4.0, 3, 3);
+        let engine = Engine::new(config);
+        let timer = StageTimer::new();
+        let flops = FlopCounter::new();
+        let z = engine.compute_instrumented(&cat, Some(&timer), Some(&flops));
+        assert!(timer.get(Stage::TreeBuild) > 0);
+        assert!(timer.get(Stage::Multipole) > 0);
+        assert_eq!(
+            flops.binned_pairs.load(std::sync::atomic::Ordering::Relaxed),
+            z.binned_pairs
+        );
+        assert!(flops.kernel_flops(3) > 0);
+    }
+
+    #[test]
+    fn bucket_size_does_not_change_results() {
+        let cat = small_catalog(90, 9.0, 23);
+        let mut config = EngineConfig::test_default(5.0, 3, 3);
+        config.bucket_size = 4;
+        let small = Engine::new(config.clone()).compute(&cat);
+        config.bucket_size = 256;
+        let large = Engine::new(config).compute(&cat);
+        let scale = small.max_abs().max(1.0);
+        assert!(small.max_difference(&large) < 1e-9 * scale);
+    }
+}

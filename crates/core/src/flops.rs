@@ -1,0 +1,116 @@
+//! FLOP accounting — reproduces the paper's §3.3.2 / §5.1 arithmetic.
+//!
+//! The paper's numbers at `ℓmax = 10`:
+//! * 286 monomials per (pair, bin);
+//! * 2 FLOPs per monomial per pair → 572 ≈ 576 FLOPs/pair in the
+//!   multipole kernel;
+//! * ~37 FLOPs/pair in the k-d tree search → ~609 FLOPs/pair total;
+//! * flop/byte ratio `286·2·k / ((3k + 286·2)·8)` → 9.6 at bucket
+//!   `k = 128`, asymptote 23.8;
+//! * 8.17×10¹⁵ pairs for the full 1.951×10⁹-galaxy run.
+
+use galactos_math::monomial::monomial_count;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// FLOPs per pair spent in the multipole kernel at a given `ℓmax`
+/// (1 multiply + 1 add per monomial).
+pub fn kernel_flops_per_pair(lmax: usize) -> u64 {
+    2 * monomial_count(lmax) as u64
+}
+
+/// The paper's empirical k-d tree search cost per pair.
+pub const TREE_FLOPS_PER_PAIR: u64 = 37;
+
+/// Total FLOPs per pair (multipole kernel + tree search), the paper's
+/// "average of 609 FLOPs per galaxy pair" at `ℓmax = 10`.
+pub fn total_flops_per_pair(lmax: usize) -> u64 {
+    kernel_flops_per_pair(lmax) + TREE_FLOPS_PER_PAIR
+}
+
+/// Arithmetic intensity (FLOPs per byte) of the multipole kernel for
+/// bucket size `k` at `ℓmax`: reads `3k` coordinates, writes/reads the
+/// `nmono` 8-lane outputs once per bucket (§3.3.2).
+pub fn arithmetic_intensity(bucket_size: usize, lmax: usize) -> f64 {
+    let nmono = monomial_count(lmax) as f64;
+    let k = bucket_size as f64;
+    (nmono * 2.0 * k) / ((3.0 * k + nmono * 2.0) * 8.0)
+}
+
+/// Working-set size in bytes of one bucket flush (paper: 21.4 kB at
+/// k = 128, ℓmax = 10 — "does not fit in L1 cache when run with 4
+/// threads per core").
+pub fn working_set_bytes(bucket_size: usize, lmax: usize) -> usize {
+    // inputs: 3 coordinate arrays of k f64 + outputs: nmono 8-lane f64.
+    3 * bucket_size * 8 + monomial_count(lmax) * 8 * 8
+}
+
+/// Runtime FLOP/pair counters, shared across engine threads.
+#[derive(Debug, Default)]
+pub struct FlopCounter {
+    /// Pairs that landed in a radial bin (multipole kernel executions).
+    pub binned_pairs: AtomicU64,
+    /// Pairs examined by the neighbor search (tree-cost pairs).
+    pub candidate_pairs: AtomicU64,
+}
+
+impl FlopCounter {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn record(&self, binned: u64, candidates: u64) {
+        self.binned_pairs.fetch_add(binned, Ordering::Relaxed);
+        self.candidate_pairs.fetch_add(candidates, Ordering::Relaxed);
+    }
+
+    /// Total kernel FLOPs implied by the recorded pair counts.
+    pub fn kernel_flops(&self, lmax: usize) -> u64 {
+        self.binned_pairs.load(Ordering::Relaxed) * kernel_flops_per_pair(lmax)
+    }
+
+    /// Total FLOPs including the tree-search estimate.
+    pub fn total_flops(&self, lmax: usize) -> u64 {
+        self.kernel_flops(lmax)
+            + self.candidate_pairs.load(Ordering::Relaxed) * TREE_FLOPS_PER_PAIR
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_numbers_at_lmax_10() {
+        assert_eq!(kernel_flops_per_pair(10), 572);
+        assert_eq!(total_flops_per_pair(10), 609);
+        // flop/byte at the paper's bucket size:
+        let ai = arithmetic_intensity(128, 10);
+        assert!((ai - 9.6).abs() < 0.1, "arithmetic intensity {ai}");
+        // small-k limit ~1/8, large-k limit ~23.8:
+        assert!((arithmetic_intensity(1, 10) - 0.125).abs() < 0.05);
+        assert!((arithmetic_intensity(1_000_000, 10) - 23.83).abs() < 0.1);
+        // Working set at the paper's parameters: 21.4 kB.
+        let ws = working_set_bytes(128, 10);
+        assert!((ws as f64 / 1000.0 - 21.4).abs() < 0.5, "{ws} bytes"); // paper quotes decimal kB
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let c = FlopCounter::new();
+        c.record(100, 150);
+        c.record(50, 75);
+        assert_eq!(c.kernel_flops(10), 150 * 572);
+        assert_eq!(c.total_flops(10), 150 * 572 + 225 * 37);
+    }
+
+    #[test]
+    fn full_system_flop_estimate_matches_paper() {
+        // 8.17e15 pairs × 609 FLOPs / 982.4 s ≈ 5.06 PF (mixed precision).
+        let pairs = 8.17e15f64;
+        let pflops = pairs * 609.0 / 982.4 / 1e15;
+        assert!((pflops - 5.06).abs() < 0.05, "{pflops} PF");
+        // …and in double precision 1070.6 s ≈ 4.65 PF.
+        let pflops_d = pairs * 609.0 / 1070.6 / 1e15;
+        assert!((pflops_d - 4.65).abs() < 0.05, "{pflops_d} PF");
+    }
+}

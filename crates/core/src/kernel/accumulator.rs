@@ -1,0 +1,150 @@
+//! Unified accumulator over the SIMD and scalar kernel paths.
+
+use crate::kernel::scalar::accumulate_bucket_scalar;
+use crate::kernel::simd::accumulate_bucket_simd;
+use galactos_math::monomial::UpdateStep;
+use galactos_simd::{F64x8, ILP_BATCHES};
+
+/// Per-(bin, monomial) accumulation state for one thread; either 8-lane
+/// vectors with a deferred reduction (the paper's layout) or plain
+/// scalar sums (the reference path).
+#[derive(Clone, Debug)]
+pub enum KernelAccumulator {
+    Simd {
+        nbins: usize,
+        nmono: usize,
+        /// `lanes[bin * nmono + mono]`
+        lanes: Vec<F64x8>,
+        scratch: Vec<F64x8>,
+    },
+    Scalar {
+        nbins: usize,
+        nmono: usize,
+        /// `sums[bin * nmono + mono]`
+        sums: Vec<f64>,
+        scratch: Vec<f64>,
+    },
+}
+
+impl KernelAccumulator {
+    pub fn new_simd(nbins: usize, nmono: usize) -> Self {
+        KernelAccumulator::Simd {
+            nbins,
+            nmono,
+            lanes: vec![F64x8::ZERO; nbins * nmono],
+            scratch: vec![F64x8::ZERO; ILP_BATCHES * nmono],
+        }
+    }
+
+    pub fn new_scalar(nbins: usize, nmono: usize) -> Self {
+        KernelAccumulator::Scalar {
+            nbins,
+            nmono,
+            sums: vec![0.0; nbins * nmono],
+            scratch: vec![0.0; nmono],
+        }
+    }
+
+    #[inline]
+    pub fn nmono(&self) -> usize {
+        match self {
+            KernelAccumulator::Simd { nmono, .. } => *nmono,
+            KernelAccumulator::Scalar { nmono, .. } => *nmono,
+        }
+    }
+
+    /// Zero all accumulators (start of a new primary).
+    pub fn reset(&mut self) {
+        match self {
+            KernelAccumulator::Simd { lanes, .. } => {
+                lanes.iter_mut().for_each(|v| *v = F64x8::ZERO);
+            }
+            KernelAccumulator::Scalar { sums, .. } => {
+                sums.iter_mut().for_each(|v| *v = 0.0);
+            }
+        }
+    }
+
+    /// Flush one bucket of pairs into `bin`'s accumulators.
+    pub fn flush_bucket(
+        &mut self,
+        schedule: &[UpdateStep],
+        bin: usize,
+        dx: &[f64],
+        dy: &[f64],
+        dz: &[f64],
+        w: &[f64],
+    ) {
+        match self {
+            KernelAccumulator::Simd { nmono, lanes, scratch, .. } => {
+                let acc = &mut lanes[bin * *nmono..(bin + 1) * *nmono];
+                accumulate_bucket_simd(schedule, dx, dy, dz, w, scratch, acc);
+            }
+            KernelAccumulator::Scalar { nmono, sums, scratch, .. } => {
+                let acc = &mut sums[bin * *nmono..(bin + 1) * *nmono];
+                accumulate_bucket_scalar(schedule, dx, dy, dz, w, scratch, acc);
+            }
+        }
+    }
+
+    /// Reduce a bin's accumulators into plain sums — the single deferred
+    /// reduction per multipole of §3.3.2.
+    pub fn reduce_bin(&self, bin: usize, out: &mut [f64]) {
+        match self {
+            KernelAccumulator::Simd { nmono, lanes, .. } => {
+                debug_assert_eq!(out.len(), *nmono);
+                let acc = &lanes[bin * *nmono..(bin + 1) * *nmono];
+                for (o, v) in out.iter_mut().zip(acc.iter()) {
+                    *o = v.horizontal_sum();
+                }
+            }
+            KernelAccumulator::Scalar { nmono, sums, .. } => {
+                out.copy_from_slice(&sums[bin * *nmono..(bin + 1) * *nmono]);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use galactos_math::monomial::MonomialBasis;
+
+    #[test]
+    fn simd_and_scalar_accumulators_agree() {
+        let basis = MonomialBasis::new(4);
+        let nmono = basis.len();
+        let dx = [0.6, -0.8, 0.0, 0.36];
+        let dy = [0.0, 0.6, 0.6, -0.48];
+        let dz = [0.8, 0.0, -0.8, 0.8];
+        let w = [1.0, 0.5, 2.0, 1.5];
+
+        let mut simd = KernelAccumulator::new_simd(2, nmono);
+        let mut scalar = KernelAccumulator::new_scalar(2, nmono);
+        for acc in [&mut simd, &mut scalar] {
+            acc.flush_bucket(basis.schedule(), 1, &dx, &dy, &dz, &w);
+            acc.flush_bucket(basis.schedule(), 0, &dx[..2], &dy[..2], &dz[..2], &w[..2]);
+        }
+        let mut a = vec![0.0; nmono];
+        let mut b = vec![0.0; nmono];
+        for bin in 0..2 {
+            simd.reduce_bin(bin, &mut a);
+            scalar.reduce_bin(bin, &mut b);
+            for i in 0..nmono {
+                assert!((a[i] - b[i]).abs() < 1e-12 * (1.0 + b[i].abs()), "bin {bin} mono {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn reset_zeroes_state() {
+        let basis = MonomialBasis::new(3);
+        let nmono = basis.len();
+        let mut acc = KernelAccumulator::new_simd(1, nmono);
+        acc.flush_bucket(basis.schedule(), 0, &[0.5], &[0.5], &[0.707], &[1.0]);
+        acc.reset();
+        let mut out = vec![1.0; nmono];
+        acc.reduce_bin(0, &mut out);
+        assert!(out.iter().all(|&v| v == 0.0));
+    }
+}

@@ -1,0 +1,27 @@
+//! The multipole accumulation kernel (paper §3.3).
+//!
+//! Structure mirrors the paper exactly:
+//!
+//! * **Pre-binning** ([`buckets`]): pairs are collected per radial bin
+//!   into fixed-capacity buckets (default 128) so that each kernel
+//!   invocation touches a single bin's accumulators — "this approach
+//!   enables the use of effective vectorization over galaxy pairs, and
+//!   also yields efficient cache reuse" (§3.3.1).
+//! * **Vectorized accumulation** ([`simd`]): monomials are built by the
+//!   2-FLOP parent/axis schedule over 8-wide lanes, accumulating into a
+//!   per-monomial 8-element array whose horizontal reduction is deferred
+//!   to the end of the primary — "replacing N/8 vector reductions with
+//!   only 1 vector reduction for each of the 286 elements" (§3.3.2) —
+//!   with 4 independent batches in flight for instruction-level
+//!   parallelism.
+//! * **Scalar reference** ([`scalar`]): the same arithmetic one lane
+//!   wide; tests require bit-level-close agreement, and the
+//!   vectorization ablation benchmarks the two against each other.
+
+pub mod accumulator;
+pub mod buckets;
+pub mod scalar;
+pub mod simd;
+
+pub use accumulator::KernelAccumulator;
+pub use buckets::PairBuckets;

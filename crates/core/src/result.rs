@@ -1,0 +1,526 @@
+//! Result containers: `ζ^m_{ℓℓ'}(r₁, r₂)` and its isotropic compression.
+//!
+//! Storage covers `0 ≤ ℓ, ℓ' ≤ ℓmax` and `0 ≤ m ≤ min(ℓ, ℓ')`; negative
+//! spins follow from `ζ^{−m}_{ℓℓ'} = conj(ζ^m_{ℓℓ'})` (a consequence of
+//! `a_{ℓ,−m} = (−1)^m conj(a_{ℓm})` for real-weighted point sets) and
+//! are not stored. The radial dependence is a full `nbins × nbins`
+//! matrix in `(r₁, r₂)`.
+
+use galactos_math::legendre::legendre_p;
+use galactos_math::Complex64;
+
+/// Number of `(ℓ, m≥0)` entries for a given `lmax` (re-export shim for
+/// internal use).
+#[inline]
+pub(crate) fn lm_table_len(lmax: usize) -> usize {
+    galactos_math::lm_count(lmax)
+}
+
+/// Index layout shared by the engine and the result container.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ZetaLayout {
+    lmax: usize,
+    nbins: usize,
+    /// Offset (in lm-combination slots) of each `(ℓ, ℓ')` block.
+    lm_offsets: Vec<usize>,
+    n_lm: usize,
+}
+
+impl ZetaLayout {
+    pub fn new(lmax: usize, nbins: usize) -> Self {
+        let side = lmax + 1;
+        let mut lm_offsets = Vec::with_capacity(side * side);
+        let mut off = 0usize;
+        for l in 0..side {
+            for lp in 0..side {
+                lm_offsets.push(off);
+                off += l.min(lp) + 1;
+            }
+        }
+        ZetaLayout { lmax, nbins, lm_offsets, n_lm: off }
+    }
+
+    #[inline]
+    pub fn lmax(&self) -> usize {
+        self.lmax
+    }
+
+    #[inline]
+    pub fn nbins(&self) -> usize {
+        self.nbins
+    }
+
+    /// Number of stored `(ℓ, ℓ', m)` combinations.
+    #[inline]
+    pub fn n_lm_combos(&self) -> usize {
+        self.n_lm
+    }
+
+    /// Total number of stored complex values.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.n_lm * self.nbins * self.nbins
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Flat index of `(ℓ, ℓ', m, b₁, b₂)`.
+    #[inline]
+    pub fn index(&self, l: usize, lp: usize, m: usize, b1: usize, b2: usize) -> usize {
+        debug_assert!(l <= self.lmax && lp <= self.lmax);
+        debug_assert!(m <= l.min(lp));
+        debug_assert!(b1 < self.nbins && b2 < self.nbins);
+        let lm = self.lm_offsets[l * (self.lmax + 1) + lp] + m;
+        (lm * self.nbins + b1) * self.nbins + b2
+    }
+}
+
+/// The anisotropic 3PCF multipole estimate: weighted sums of
+/// `a_ℓm(r₁)·conj(a_ℓ'm(r₂))` over primaries, plus the bookkeeping
+/// needed to normalize or merge partial results.
+#[derive(Clone, Debug)]
+pub struct AnisotropicZeta {
+    layout: ZetaLayout,
+    data: Vec<Complex64>,
+    /// Sum of primary weights folded in (for averaging).
+    pub total_primary_weight: f64,
+    /// Number of primaries processed.
+    pub num_primaries: u64,
+    /// Number of (primary, secondary) pairs that landed in a radial bin.
+    pub binned_pairs: u64,
+}
+
+impl AnisotropicZeta {
+    pub fn zeros(lmax: usize, nbins: usize) -> Self {
+        let layout = ZetaLayout::new(lmax, nbins);
+        let data = vec![Complex64::ZERO; layout.len()];
+        AnisotropicZeta {
+            layout,
+            data,
+            total_primary_weight: 0.0,
+            num_primaries: 0,
+            binned_pairs: 0,
+        }
+    }
+
+    #[inline]
+    pub fn layout(&self) -> &ZetaLayout {
+        &self.layout
+    }
+
+    #[inline]
+    pub fn lmax(&self) -> usize {
+        self.layout.lmax
+    }
+
+    #[inline]
+    pub fn nbins(&self) -> usize {
+        self.layout.nbins
+    }
+
+    /// `ζ^m_{ℓℓ'}(b₁, b₂)` for `m ≥ 0`.
+    #[inline]
+    pub fn get(&self, l: usize, lp: usize, m: usize, b1: usize, b2: usize) -> Complex64 {
+        self.data[self.layout.index(l, lp, m, b1, b2)]
+    }
+
+    /// Any spin, using `ζ^{−m} = conj(ζ^m)`.
+    #[inline]
+    pub fn get_signed(&self, l: usize, lp: usize, m: i64, b1: usize, b2: usize) -> Complex64 {
+        let v = self.get(l, lp, m.unsigned_abs() as usize, b1, b2);
+        if m >= 0 {
+            v
+        } else {
+            v.conj()
+        }
+    }
+
+    #[inline]
+    pub fn add_to(&mut self, l: usize, lp: usize, m: usize, b1: usize, b2: usize, v: Complex64) {
+        let idx = self.layout.index(l, lp, m, b1, b2);
+        self.data[idx] += v;
+    }
+
+    #[inline]
+    pub fn data(&self) -> &[Complex64] {
+        &self.data
+    }
+
+    #[inline]
+    pub fn data_mut(&mut self) -> &mut [Complex64] {
+        &mut self.data
+    }
+
+    /// Merge another partial result (thread- or rank-local) into this one.
+    pub fn merge(&mut self, other: &AnisotropicZeta) {
+        assert_eq!(self.layout, other.layout, "layout mismatch in merge");
+        for (a, b) in self.data.iter_mut().zip(other.data.iter()) {
+            *a += *b;
+        }
+        self.total_primary_weight += other.total_primary_weight;
+        self.num_primaries += other.num_primaries;
+        self.binned_pairs += other.binned_pairs;
+    }
+
+    /// The per-primary average: every coefficient divided by the total
+    /// primary weight (no-op if that weight is zero, as in a pure
+    /// data-minus-randoms field).
+    pub fn normalized(&self) -> AnisotropicZeta {
+        let mut out = self.clone();
+        if self.total_primary_weight != 0.0 {
+            let inv = 1.0 / self.total_primary_weight;
+            for v in out.data.iter_mut() {
+                *v = *v * inv;
+            }
+        }
+        out
+    }
+
+    /// Largest |coefficient| difference against another result.
+    pub fn max_difference(&self, other: &AnisotropicZeta) -> f64 {
+        assert_eq!(self.layout, other.layout);
+        self.data
+            .iter()
+            .zip(other.data.iter())
+            .map(|(a, b)| a.dist_inf(*b))
+            .fold(0.0, f64::max)
+    }
+
+    /// Largest |coefficient| (used for tolerance scaling in tests).
+    pub fn max_abs(&self) -> f64 {
+        self.data.iter().map(|c| c.abs()).fold(0.0, f64::max)
+    }
+
+    /// Compress to the isotropic multipoles via the spherical-harmonic
+    /// addition theorem:
+    /// `K_ℓ(b₁,b₂) = 4π/(2ℓ+1) Σ_{m=−ℓ}^{ℓ} ζ^m_{ℓℓ}(b₁,b₂)`, which equals
+    /// the Legendre-weighted triplet sum `Σ w P_ℓ(û₁·û₂)` measured by the
+    /// independent isotropic baseline.
+    pub fn compress_isotropic(&self) -> IsotropicZeta {
+        let lmax = self.lmax();
+        let nbins = self.nbins();
+        let mut out = IsotropicZeta::zeros(lmax, nbins);
+        for l in 0..=lmax {
+            let pref = 4.0 * std::f64::consts::PI / (2 * l + 1) as f64;
+            for b1 in 0..nbins {
+                for b2 in 0..nbins {
+                    let mut sum = self.get(l, l, 0, b1, b2).re;
+                    for m in 1..=l {
+                        sum += 2.0 * self.get(l, l, m, b1, b2).re;
+                    }
+                    out.set(l, b1, b2, pref * sum);
+                }
+            }
+        }
+        out.total_primary_weight = self.total_primary_weight;
+        out.num_primaries = self.num_primaries;
+        out
+    }
+
+    /// Reconstruct the full angular dependence of the 3PCF estimate at
+    /// one bin pair: `ζ(r̂₁, r̂₂) = Σ_{ℓℓ'm} ζ^m_{ℓℓ'} Y_ℓm(r̂₁)
+    /// conj(Y_ℓ'm(r̂₂))`, summing negative spins through the conjugation
+    /// identity. The result is real (up to round-off) because the
+    /// underlying triplet sums are real; the real part is returned.
+    ///
+    /// Directions are in the *rotated* frame where ẑ is the line of
+    /// sight, so `dir.z` is the cosine of a side's angle to the line of
+    /// sight — the μ variables of RSD analyses.
+    pub fn evaluate(&self, dir1: galactos_math::Vec3, dir2: galactos_math::Vec3, b1: usize, b2: usize) -> f64 {
+        use galactos_math::sphharm::ylm_all_cartesian;
+        let lmax = self.lmax();
+        let nlm = crate::result::lm_table_len(lmax);
+        let mut y1 = vec![Complex64::ZERO; nlm];
+        let mut y2 = vec![Complex64::ZERO; nlm];
+        ylm_all_cartesian(lmax, dir1, &mut y1);
+        ylm_all_cartesian(lmax, dir2, &mut y2);
+        let mut acc = Complex64::ZERO;
+        for l in 0..=lmax {
+            for lp in 0..=lmax {
+                // m = 0 term once, m > 0 terms plus conjugate partners.
+                let z0 = self.get(l, lp, 0, b1, b2);
+                acc += z0
+                    * y1[galactos_math::lm_index(l, 0)]
+                    * y2[galactos_math::lm_index(lp, 0)].conj();
+                for m in 1..=l.min(lp) {
+                    let z = self.get(l, lp, m, b1, b2);
+                    let t = z
+                        * y1[galactos_math::lm_index(l, m)]
+                        * y2[galactos_math::lm_index(lp, m)].conj();
+                    // The −m partner: ζ^{-m} = conj(ζ^m) and
+                    // Y_{l,-m}(a) conj(Y_{l',-m}(b)) = conj(Y_{lm}(a) conj(Y_{l'm}(b))),
+                    // so the pair sums to 2·Re(t).
+                    acc += Complex64::real(2.0 * t.re);
+                }
+            }
+        }
+        acc.re
+    }
+
+    /// Serialize to interleaved f64s (re, im, …) plus trailing counters —
+    /// the wire format of the distributed reduction.
+    pub fn to_f64_vec(&self) -> Vec<f64> {
+        let mut out = Vec::with_capacity(2 * self.data.len() + 3);
+        for c in &self.data {
+            out.push(c.re);
+            out.push(c.im);
+        }
+        out.push(self.total_primary_weight);
+        out.push(self.num_primaries as f64);
+        out.push(self.binned_pairs as f64);
+        out
+    }
+
+    /// Inverse of [`Self::to_f64_vec`] given a matching layout.
+    pub fn from_f64_vec(lmax: usize, nbins: usize, v: &[f64]) -> Self {
+        let mut out = AnisotropicZeta::zeros(lmax, nbins);
+        assert_eq!(v.len(), 2 * out.data.len() + 3, "wire length mismatch");
+        for (i, c) in out.data.iter_mut().enumerate() {
+            *c = Complex64::new(v[2 * i], v[2 * i + 1]);
+        }
+        out.total_primary_weight = v[v.len() - 3];
+        out.num_primaries = v[v.len() - 2] as u64;
+        out.binned_pairs = v[v.len() - 1] as u64;
+        out
+    }
+}
+
+/// Isotropic 3PCF multipoles `K_ℓ(b₁, b₂) = Σ w·P_ℓ(û₁·û₂)` (triplet
+/// sums weighted by Legendre polynomials — the quantity of the
+/// Slepian–Eisenstein 2015 algorithm, up to their normalization).
+#[derive(Clone, Debug)]
+pub struct IsotropicZeta {
+    lmax: usize,
+    nbins: usize,
+    data: Vec<f64>,
+    pub total_primary_weight: f64,
+    pub num_primaries: u64,
+}
+
+impl IsotropicZeta {
+    pub fn zeros(lmax: usize, nbins: usize) -> Self {
+        IsotropicZeta {
+            lmax,
+            nbins,
+            data: vec![0.0; (lmax + 1) * nbins * nbins],
+            total_primary_weight: 0.0,
+            num_primaries: 0,
+        }
+    }
+
+    #[inline]
+    pub fn lmax(&self) -> usize {
+        self.lmax
+    }
+
+    #[inline]
+    pub fn nbins(&self) -> usize {
+        self.nbins
+    }
+
+    #[inline]
+    fn index(&self, l: usize, b1: usize, b2: usize) -> usize {
+        debug_assert!(l <= self.lmax && b1 < self.nbins && b2 < self.nbins);
+        (l * self.nbins + b1) * self.nbins + b2
+    }
+
+    #[inline]
+    pub fn get(&self, l: usize, b1: usize, b2: usize) -> f64 {
+        self.data[self.index(l, b1, b2)]
+    }
+
+    #[inline]
+    pub fn set(&mut self, l: usize, b1: usize, b2: usize, v: f64) {
+        let i = self.index(l, b1, b2);
+        self.data[i] = v;
+    }
+
+    #[inline]
+    pub fn add_to(&mut self, l: usize, b1: usize, b2: usize, v: f64) {
+        let i = self.index(l, b1, b2);
+        self.data[i] += v;
+    }
+
+    pub fn merge(&mut self, other: &IsotropicZeta) {
+        assert_eq!(self.lmax, other.lmax);
+        assert_eq!(self.nbins, other.nbins);
+        for (a, b) in self.data.iter_mut().zip(other.data.iter()) {
+            *a += *b;
+        }
+        self.total_primary_weight += other.total_primary_weight;
+        self.num_primaries += other.num_primaries;
+    }
+
+    pub fn max_difference(&self, other: &IsotropicZeta) -> f64 {
+        self.data
+            .iter()
+            .zip(other.data.iter())
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max)
+    }
+
+    pub fn max_abs(&self) -> f64 {
+        self.data.iter().map(|v| v.abs()).fold(0.0, f64::max)
+    }
+
+    /// Evaluate the full isotropic 3PCF at an opening angle from the
+    /// multipole sum `ζ(b₁, b₂; cos χ) = Σ_ℓ (2ℓ+1)/(4π) ζ_ℓ P_ℓ(cos χ)`
+    /// — the inverse of the Legendre decomposition.
+    pub fn evaluate_at_angle(&self, b1: usize, b2: usize, cos_chi: f64) -> f64 {
+        (0..=self.lmax)
+            .map(|l| {
+                (2 * l + 1) as f64 / (4.0 * std::f64::consts::PI)
+                    * self.get(l, b1, b2)
+                    * legendre_p(l, cos_chi)
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layout_is_dense_and_unique() {
+        let layout = ZetaLayout::new(4, 3);
+        let mut seen = std::collections::HashSet::new();
+        for l in 0..=4 {
+            for lp in 0..=4 {
+                for m in 0..=l.min(lp) {
+                    for b1 in 0..3 {
+                        for b2 in 0..3 {
+                            let idx = layout.index(l, lp, m, b1, b2);
+                            assert!(idx < layout.len());
+                            assert!(seen.insert(idx), "duplicate index");
+                        }
+                    }
+                }
+            }
+        }
+        assert_eq!(seen.len(), layout.len());
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = AnisotropicZeta::zeros(2, 2);
+        let mut b = AnisotropicZeta::zeros(2, 2);
+        a.add_to(1, 1, 0, 0, 1, Complex64::new(1.0, 2.0));
+        b.add_to(1, 1, 0, 0, 1, Complex64::new(0.5, -1.0));
+        a.total_primary_weight = 2.0;
+        b.total_primary_weight = 3.0;
+        a.num_primaries = 2;
+        b.num_primaries = 3;
+        a.merge(&b);
+        assert!(a.get(1, 1, 0, 0, 1).dist_inf(Complex64::new(1.5, 1.0)) < 1e-15);
+        assert_eq!(a.total_primary_weight, 5.0);
+        assert_eq!(a.num_primaries, 5);
+    }
+
+    #[test]
+    fn normalized_divides_by_weight() {
+        let mut a = AnisotropicZeta::zeros(1, 1);
+        a.add_to(0, 0, 0, 0, 0, Complex64::real(10.0));
+        a.total_primary_weight = 4.0;
+        let n = a.normalized();
+        assert!((n.get(0, 0, 0, 0, 0).re - 2.5).abs() < 1e-15);
+        // zero-weight field: no-op
+        let mut z = AnisotropicZeta::zeros(1, 1);
+        z.add_to(0, 0, 0, 0, 0, Complex64::real(7.0));
+        assert_eq!(z.normalized().get(0, 0, 0, 0, 0).re, 7.0);
+    }
+
+    #[test]
+    fn signed_access_conjugates() {
+        let mut a = AnisotropicZeta::zeros(2, 1);
+        a.add_to(2, 1, 1, 0, 0, Complex64::new(3.0, 4.0));
+        let plus = a.get_signed(2, 1, 1, 0, 0);
+        let minus = a.get_signed(2, 1, -1, 0, 0);
+        assert_eq!(minus, plus.conj());
+    }
+
+    #[test]
+    fn wire_roundtrip() {
+        let mut a = AnisotropicZeta::zeros(3, 2);
+        a.add_to(3, 2, 1, 1, 0, Complex64::new(-1.5, 0.25));
+        a.total_primary_weight = 9.0;
+        a.num_primaries = 7;
+        a.binned_pairs = 1234;
+        let wire = a.to_f64_vec();
+        let back = AnisotropicZeta::from_f64_vec(3, 2, &wire);
+        assert_eq!(back.max_difference(&a), 0.0);
+        assert_eq!(back.total_primary_weight, 9.0);
+        assert_eq!(back.num_primaries, 7);
+        assert_eq!(back.binned_pairs, 1234);
+    }
+
+    #[test]
+    fn isotropic_container_roundtrip() {
+        let mut k = IsotropicZeta::zeros(3, 2);
+        k.set(2, 0, 1, 5.0);
+        k.add_to(2, 0, 1, 1.0);
+        assert_eq!(k.get(2, 0, 1), 6.0);
+        let mut k2 = IsotropicZeta::zeros(3, 2);
+        k2.set(2, 0, 1, 4.0);
+        k.merge(&k2);
+        assert_eq!(k.get(2, 0, 1), 10.0);
+        assert_eq!(k.max_abs(), 10.0);
+    }
+
+    #[test]
+    fn evaluate_monopole_only() {
+        use galactos_math::Vec3;
+        let mut z = AnisotropicZeta::zeros(0, 1);
+        z.add_to(0, 0, 0, 0, 0, Complex64::real(8.0));
+        // ζ(r̂1, r̂2) = ζ000 · Y00 Y00* = 8 / 4π for any directions.
+        let want = 8.0 / (4.0 * std::f64::consts::PI);
+        for (a, b) in [
+            (Vec3::Z, Vec3::X),
+            (Vec3::new(0.3, 0.4, -0.5), Vec3::new(1.0, 1.0, 1.0)),
+        ] {
+            assert!((z.evaluate(a, b, 0, 0) - want).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn evaluate_axisymmetric_about_los() {
+        use galactos_math::{Mat3, Vec3};
+        // Fill with arbitrary coefficients; the reconstruction must be
+        // invariant under a common rotation of both directions about ẑ
+        // (the equal-spin structure of ζ^m guarantees axisymmetry).
+        let mut z = AnisotropicZeta::zeros(3, 1);
+        let mut val = 0.1;
+        for l in 0..=3usize {
+            for lp in 0..=3usize {
+                for m in 0..=l.min(lp) {
+                    z.add_to(l, lp, m, 0, 0, Complex64::new(val, -0.5 * val));
+                    val += 0.07;
+                }
+            }
+        }
+        let u1 = Vec3::new(0.3, -0.2, 0.93).normalized().unwrap();
+        let u2 = Vec3::new(-0.6, 0.5, 0.62).normalized().unwrap();
+        let base = z.evaluate(u1, u2, 0, 0);
+        for phi in [0.4, 1.3, 2.9] {
+            let r = Mat3::rotation_about(Vec3::Z, phi);
+            let rotated = z.evaluate(r.mul_vec(u1), r.mul_vec(u2), 0, 0);
+            assert!(
+                (rotated - base).abs() < 1e-10 * (1.0 + base.abs()),
+                "phi={phi}: {rotated} vs {base}"
+            );
+        }
+    }
+
+    #[test]
+    fn evaluate_at_angle_inverts_decomposition() {
+        // Put a single multipole in: ζ(χ) must be ∝ P_l(cos χ).
+        let mut k = IsotropicZeta::zeros(4, 1);
+        k.set(3, 0, 0, 2.0);
+        let x = 0.4;
+        let want = 7.0 / (4.0 * std::f64::consts::PI) * 2.0 * legendre_p(3, x);
+        assert!((k.evaluate_at_angle(0, 0, x) - want).abs() < 1e-12);
+    }
+}

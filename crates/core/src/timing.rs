@@ -1,0 +1,147 @@
+//! Stage timers for the runtime breakdown (paper Figure 4).
+//!
+//! The paper decomposes single-node runtime into I/O, k-d tree
+//! construction, k-d tree search, and the multipole accumulation
+//! function (55% of the total on the 225k-galaxy dataset). These timers
+//! accumulate per-thread CPU time per stage so the breakdown benchmark
+//! can print the same chart.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Pipeline stages, in report order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Stage {
+    /// Reading/creating the catalog.
+    Io,
+    /// Building the k-d tree (includes partitioning/halo exchange when
+    /// distributed).
+    TreeBuild,
+    /// Range queries gathering secondaries.
+    TreeSearch,
+    /// Rotation, radial binning, bucket filling.
+    Binning,
+    /// The vectorized multipole accumulation kernel.
+    Multipole,
+    /// a_ℓm assembly and ζ accumulation.
+    Assembly,
+}
+
+pub const ALL_STAGES: [Stage; 6] = [
+    Stage::Io,
+    Stage::TreeBuild,
+    Stage::TreeSearch,
+    Stage::Binning,
+    Stage::Multipole,
+    Stage::Assembly,
+];
+
+impl Stage {
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::Io => "I/O",
+            Stage::TreeBuild => "k-d tree build",
+            Stage::TreeSearch => "k-d tree search",
+            Stage::Binning => "rotation+binning",
+            Stage::Multipole => "multipole accumulation",
+            Stage::Assembly => "a_lm & zeta assembly",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            Stage::Io => 0,
+            Stage::TreeBuild => 1,
+            Stage::TreeSearch => 2,
+            Stage::Binning => 3,
+            Stage::Multipole => 4,
+            Stage::Assembly => 5,
+        }
+    }
+}
+
+/// Thread-safe per-stage nanosecond accumulator.
+#[derive(Debug, Default)]
+pub struct StageTimer {
+    nanos: [AtomicU64; 6],
+}
+
+impl StageTimer {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a measured duration to a stage.
+    pub fn add(&self, stage: Stage, nanos: u64) {
+        self.nanos[stage.index()].fetch_add(nanos, Ordering::Relaxed);
+    }
+
+    /// Time a closure and attribute it to a stage.
+    pub fn time<T>(&self, stage: Stage, f: impl FnOnce() -> T) -> T {
+        let t0 = Instant::now();
+        let out = f();
+        self.add(stage, t0.elapsed().as_nanos() as u64);
+        out
+    }
+
+    pub fn get(&self, stage: Stage) -> u64 {
+        self.nanos[stage.index()].load(Ordering::Relaxed)
+    }
+
+    /// Snapshot all stages as `(stage, nanos, fraction_of_total)`.
+    pub fn breakdown(&self) -> Vec<(Stage, u64, f64)> {
+        let values: Vec<u64> = ALL_STAGES.iter().map(|&s| self.get(s)).collect();
+        let total: u64 = values.iter().sum();
+        ALL_STAGES
+            .iter()
+            .zip(values)
+            .map(|(&s, v)| {
+                let frac = if total > 0 { v as f64 / total as f64 } else { 0.0 };
+                (s, v, frac)
+            })
+            .collect()
+    }
+
+    /// Fraction of accumulated time spent in one stage.
+    pub fn fraction(&self, stage: Stage) -> f64 {
+        let total: u64 = ALL_STAGES.iter().map(|&s| self.get(s)).sum();
+        if total == 0 {
+            0.0
+        } else {
+            self.get(stage) as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulates_and_fractions() {
+        let t = StageTimer::new();
+        t.add(Stage::Multipole, 550);
+        t.add(Stage::TreeSearch, 250);
+        t.add(Stage::Io, 200);
+        assert_eq!(t.get(Stage::Multipole), 550);
+        assert!((t.fraction(Stage::Multipole) - 0.55).abs() < 1e-12);
+        let b = t.breakdown();
+        assert_eq!(b.len(), 6);
+        let total_frac: f64 = b.iter().map(|(_, _, f)| f).sum();
+        assert!((total_frac - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn timing_closure_runs_it() {
+        let t = StageTimer::new();
+        let v = t.time(Stage::Assembly, || 40 + 2);
+        assert_eq!(v, 42);
+        assert!(t.get(Stage::Assembly) > 0);
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(Stage::Multipole.name(), "multipole accumulation");
+        assert_eq!(ALL_STAGES.len(), 6);
+    }
+}

@@ -1,0 +1,221 @@
+//! Engine-vs-oracle integration tests: the O(N²) production engine must
+//! reproduce the O(N³) triplet-counting definition exactly (up to FP
+//! round-off), for every (ℓ, ℓ', m), every bin pair, every line-of-sight
+//! convention, and with weights.
+
+use galactos_catalog::{uniform_box, Catalog, Galaxy};
+use galactos_core::config::{EngineConfig, TreePrecision};
+use galactos_core::engine::Engine;
+use galactos_core::naive::{naive_anisotropic, seminaive_anisotropic};
+use galactos_math::{LineOfSight, Vec3};
+use rand::prelude::*;
+use rand_chacha::ChaCha8Rng;
+
+fn random_weighted_galaxies(n: usize, box_len: f64, seed: u64) -> Vec<Galaxy> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            Galaxy::new(
+                Vec3::new(
+                    rng.random_range(0.0..box_len),
+                    rng.random_range(0.0..box_len),
+                    rng.random_range(0.0..box_len),
+                ),
+                rng.random_range(0.25..2.0),
+            )
+        })
+        .collect()
+}
+
+fn engine_config(rmax: f64, lmax: usize, nbins: usize) -> EngineConfig {
+    let mut c = EngineConfig::test_default(rmax, lmax, nbins);
+    c.precision = TreePrecision::Double;
+    c
+}
+
+#[test]
+fn engine_equals_triplet_oracle_fixed_los() {
+    let galaxies = random_weighted_galaxies(35, 10.0, 1);
+    let config = engine_config(6.0, 4, 3);
+    let engine = Engine::new(config.clone()).compute(&Catalog::new(galaxies.clone()));
+    let oracle = naive_anisotropic(&galaxies, &config, None, true);
+    let scale = oracle.max_abs().max(1.0);
+    assert!(
+        engine.max_difference(&oracle) < 1e-9 * scale,
+        "engine vs O(N^3): {}",
+        engine.max_difference(&oracle)
+    );
+    assert_eq!(engine.num_primaries, oracle.num_primaries);
+}
+
+#[test]
+fn engine_equals_triplet_oracle_radial_los() {
+    // Radial line of sight: a different rotation per primary — the full
+    // anisotropic machinery.
+    let galaxies = random_weighted_galaxies(30, 8.0, 3);
+    let mut config = engine_config(5.0, 3, 3);
+    config.line_of_sight = LineOfSight::Radial {
+        observer: Vec3::new(-30.0, -40.0, -20.0),
+    };
+    let engine = Engine::new(config.clone()).compute(&Catalog::new(galaxies.clone()));
+    let oracle = naive_anisotropic(&galaxies, &config, None, true);
+    let scale = oracle.max_abs().max(1.0);
+    assert!(
+        engine.max_difference(&oracle) < 1e-9 * scale,
+        "diff {}",
+        engine.max_difference(&oracle)
+    );
+}
+
+#[test]
+fn engine_self_subtraction_equals_oracle_without_self() {
+    let galaxies = random_weighted_galaxies(25, 8.0, 5);
+    let mut config = engine_config(5.0, 3, 2);
+    config.subtract_self_pairs = true;
+    let engine = Engine::new(config.clone()).compute(&Catalog::new(galaxies.clone()));
+    let oracle = naive_anisotropic(&galaxies, &config, None, false);
+    let scale = oracle.max_abs().max(1.0);
+    assert!(
+        engine.max_difference(&oracle) < 1e-9 * scale,
+        "self-subtracted engine vs oracle: {}",
+        engine.max_difference(&oracle)
+    );
+}
+
+#[test]
+fn engine_equals_seminaive_at_paper_lmax() {
+    // lmax = 10 (the paper's order) is too slow for the O(N³) oracle at
+    // meaningful N, but the O(N²·lm) direct-Y baseline is fine.
+    let galaxies = random_weighted_galaxies(60, 10.0, 7);
+    let config = engine_config(6.0, 10, 3);
+    let engine = Engine::new(config.clone()).compute(&Catalog::new(galaxies.clone()));
+    let semi = seminaive_anisotropic(&galaxies, &config, None);
+    let scale = semi.max_abs().max(1.0);
+    assert!(
+        engine.max_difference(&semi) < 1e-8 * scale,
+        "diff {} at scale {scale}",
+        engine.max_difference(&semi)
+    );
+}
+
+#[test]
+fn engine_periodic_equals_oracle_periodic() {
+    let cat = uniform_box(40, 10.0, 9);
+    let config = engine_config(4.9, 3, 3);
+    let engine = Engine::new(config.clone()).compute(&cat);
+    let oracle = naive_anisotropic(&cat.galaxies, &config, Some(10.0), true);
+    let scale = oracle.max_abs().max(1.0);
+    assert!(
+        engine.max_difference(&oracle) < 1e-9 * scale,
+        "periodic diff {}",
+        engine.max_difference(&oracle)
+    );
+}
+
+#[test]
+fn isotropic_compression_equals_independent_legendre_baseline() {
+    // The addition-theorem compression of the anisotropic engine must
+    // reproduce the independent isotropic implementation — this is the
+    // rotation-invariance check of the whole pipeline.
+    use galactos_core::isotropic::{isotropic_multipoles, isotropic_triplets};
+    let galaxies = random_weighted_galaxies(35, 9.0, 11);
+    // Radial LOS so the engine genuinely rotates (the isotropic
+    // statistic must not care).
+    let mut config = engine_config(5.0, 4, 3);
+    config.line_of_sight = LineOfSight::Radial {
+        observer: Vec3::new(50.0, -20.0, 90.0),
+    };
+    let engine_zeta = Engine::new(config.clone()).compute(&Catalog::new(galaxies.clone()));
+    let compressed = engine_zeta.compress_isotropic();
+    let baseline = isotropic_multipoles(&galaxies, &config.bins, 4, None, true);
+    let gold = isotropic_triplets(&galaxies, &config.bins, 4, None, true);
+    let scale = gold.max_abs().max(1.0);
+    assert!(
+        compressed.max_difference(&gold) < 1e-8 * scale,
+        "compressed vs gold: {}",
+        compressed.max_difference(&gold)
+    );
+    assert!(
+        baseline.max_difference(&gold) < 1e-8 * scale,
+        "baseline vs gold: {}",
+        baseline.max_difference(&gold)
+    );
+}
+
+#[test]
+fn anisotropy_zero_for_fixed_los_along_every_axis_statistic() {
+    // For an isotropic random catalog the *expected* anisotropic signal
+    // vanishes; here we check the deterministic part: ζ^m for m > 0 on a
+    // single pair of galaxies placed along the line of sight must be
+    // zero (axisymmetric configuration has no m ≠ 0 power).
+    let galaxies = vec![
+        Galaxy::unit(Vec3::new(5.0, 5.0, 2.0)),
+        Galaxy::unit(Vec3::new(5.0, 5.0, 6.0)),
+    ];
+    let config = engine_config(5.0, 3, 2);
+    let zeta = Engine::new(config).compute(&Catalog::new(galaxies));
+    for l in 0..=3usize {
+        for lp in 0..=3usize {
+            for m in 1..=l.min(lp) {
+                for b1 in 0..2 {
+                    for b2 in 0..2 {
+                        let v = zeta.get(l, lp, m, b1, b2);
+                        assert!(
+                            v.abs() < 1e-12,
+                            "m={m} should vanish for axial configuration: {v}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn rotating_catalog_about_los_leaves_m_columns_covariant() {
+    // Rotating all galaxies by φ₀ about the z line of sight multiplies
+    // a_ℓm by e^{imφ₀}, leaving ζ^m = a·a* invariant. Verify.
+    let galaxies = random_weighted_galaxies(25, 8.0, 13);
+    let phi = 0.83f64;
+    let (s, c) = phi.sin_cos();
+    let rotated: Vec<Galaxy> = galaxies
+        .iter()
+        .map(|g| {
+            Galaxy::new(
+                Vec3::new(
+                    c * g.pos.x - s * g.pos.y,
+                    s * g.pos.x + c * g.pos.y,
+                    g.pos.z,
+                ),
+                g.weight,
+            )
+        })
+        .collect();
+    let config = engine_config(5.0, 3, 2);
+    let a = Engine::new(config.clone()).compute(&Catalog::new(galaxies));
+    let b = Engine::new(config).compute(&Catalog::new(rotated));
+    let scale = a.max_abs().max(1.0);
+    assert!(
+        a.max_difference(&b) < 1e-8 * scale,
+        "zeta must be invariant under rotations about the LOS: {}",
+        a.max_difference(&b)
+    );
+}
+
+#[test]
+fn uniform_catalog_high_multipoles_are_noise() {
+    // Statistical null test: on a uniform random catalog the normalized
+    // anisotropic multipoles with l>0 are consistent with zero (much
+    // smaller than the l=0 signal).
+    let cat = uniform_box(800, 20.0, 17);
+    let config = engine_config(6.0, 3, 2);
+    let zeta = Engine::new(config).compute(&cat).normalized();
+    let signal = zeta.get(0, 0, 0, 1, 1).re.abs();
+    for l in 1..=3usize {
+        let v = zeta.get(l, l, 0, 1, 1).abs();
+        assert!(
+            v < 0.15 * signal,
+            "l={l} multipole {v} not small vs l=0 {signal}"
+        );
+    }
+}

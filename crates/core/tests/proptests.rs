@@ -1,0 +1,138 @@
+//! Property-based tests of the 3PCF engine against its oracles with
+//! randomized catalogs, weights and configurations.
+
+use galactos_catalog::{Catalog, Galaxy};
+use galactos_core::bins::RadialBins;
+use galactos_core::config::{EngineConfig, Scheduling, TreePrecision};
+use galactos_core::engine::Engine;
+use galactos_core::naive::seminaive_anisotropic;
+use galactos_core::result::AnisotropicZeta;
+use galactos_math::{LineOfSight, Vec3};
+use proptest::prelude::*;
+
+fn arb_galaxies(max_n: usize) -> impl Strategy<Value = Vec<Galaxy>> {
+    prop::collection::vec(
+        (
+            0.0f64..20.0,
+            0.0f64..20.0,
+            0.0f64..20.0,
+            0.25f64..2.0,
+        )
+            .prop_map(|(x, y, z, w)| Galaxy::new(Vec3::new(x, y, z), w)),
+        2..max_n,
+    )
+}
+
+fn base_config(lmax: usize, nbins: usize, rmax: f64) -> EngineConfig {
+    let mut c = EngineConfig::test_default(rmax, lmax, nbins);
+    c.precision = TreePrecision::Double;
+    c
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn engine_matches_seminaive_on_random_inputs(
+        galaxies in arb_galaxies(40),
+        lmax in 0usize..5,
+        nbins in 1usize..4,
+        bucket in 1usize..40,
+        simd in prop::bool::ANY,
+    ) {
+        let mut config = base_config(lmax, nbins, 8.0);
+        config.bucket_size = bucket;
+        config.simd_kernel = simd;
+        let engine = Engine::new(config.clone()).compute(&Catalog::new(galaxies.clone()));
+        let oracle = seminaive_anisotropic(&galaxies, &config, None);
+        let scale = oracle.max_abs().max(1.0);
+        prop_assert!(
+            engine.max_difference(&oracle) < 1e-8 * scale,
+            "diff {} (lmax={lmax} nbins={nbins} bucket={bucket} simd={simd})",
+            engine.max_difference(&oracle)
+        );
+        prop_assert_eq!(engine.num_primaries, oracle.num_primaries);
+        prop_assert_eq!(engine.binned_pairs, oracle.binned_pairs);
+    }
+
+    #[test]
+    fn scheduling_never_changes_results(
+        galaxies in arb_galaxies(60),
+        lmax in 0usize..4,
+    ) {
+        let mut config = base_config(lmax, 3, 7.0);
+        config.scheduling = Scheduling::Dynamic;
+        let a = Engine::new(config.clone()).compute(&Catalog::new(galaxies.clone()));
+        config.scheduling = Scheduling::Static;
+        let b = Engine::new(config).compute(&Catalog::new(galaxies));
+        let scale = a.max_abs().max(1.0);
+        prop_assert!(a.max_difference(&b) < 1e-9 * scale);
+    }
+
+    #[test]
+    fn radial_los_skips_only_degenerate_primaries(
+        galaxies in arb_galaxies(30),
+        ox in -5.0f64..25.0,
+        oy in -5.0f64..25.0,
+        oz in -5.0f64..25.0,
+    ) {
+        let observer = Vec3::new(ox, oy, oz);
+        let mut config = base_config(2, 2, 6.0);
+        config.line_of_sight = LineOfSight::Radial { observer };
+        let degenerate = galaxies.iter().filter(|g| (g.pos - observer).norm() == 0.0).count();
+        let z = Engine::new(config).compute(&Catalog::new(galaxies.clone()));
+        prop_assert_eq!(z.num_primaries as usize, galaxies.len() - degenerate);
+    }
+
+    #[test]
+    fn zeta_wire_roundtrip_random(
+        lmax in 0usize..5,
+        nbins in 1usize..5,
+        seedvals in prop::collection::vec(-10.0f64..10.0, 8),
+    ) {
+        let mut z = AnisotropicZeta::zeros(lmax, nbins);
+        // Scatter some values through the container.
+        for (i, v) in seedvals.iter().enumerate() {
+            let l = i % (lmax + 1);
+            let b = i % nbins;
+            z.add_to(l, l, 0, b, b, galactos_math::Complex64::new(*v, -v));
+        }
+        z.total_primary_weight = seedvals.iter().sum();
+        z.num_primaries = seedvals.len() as u64;
+        let back = AnisotropicZeta::from_f64_vec(lmax, nbins, &z.to_f64_vec());
+        prop_assert_eq!(back.max_difference(&z), 0.0);
+        prop_assert_eq!(back.num_primaries, z.num_primaries);
+    }
+
+    #[test]
+    fn bins_partition_the_range(
+        rmin in 0.0f64..5.0,
+        width in 0.5f64..20.0,
+        nbins in 1usize..20,
+        samples in prop::collection::vec(0.0f64..1.0, 20),
+    ) {
+        let bins = RadialBins::linear(rmin, rmin + width, nbins);
+        for t in samples {
+            let r = rmin + t * width * 0.999_999;
+            let b = bins.bin_of(r);
+            prop_assert!(b.is_some(), "r={r} must land in a bin");
+            let b = b.unwrap();
+            prop_assert!(r >= bins.edges()[b] && r < bins.edges()[b + 1]);
+        }
+        prop_assert_eq!(bins.bin_of(rmin + width), None);
+        prop_assert_eq!(bins.bin_of(rmin - 1e-9), None);
+    }
+
+    #[test]
+    fn isotropic_compression_is_real_and_l0_positive(
+        galaxies in arb_galaxies(50),
+    ) {
+        let config = base_config(3, 2, 7.0);
+        let z = Engine::new(config).compute(&Catalog::new(galaxies));
+        let k = z.compress_isotropic();
+        // K_0 diagonal = Σ w (Σ w_j)² / shells ≥ 0 always.
+        for b in 0..2 {
+            prop_assert!(k.get(0, b, b) >= -1e-9, "K0({b},{b}) = {}", k.get(0, b, b));
+        }
+    }
+}

@@ -1,0 +1,151 @@
+//! k-nearest-neighbor queries on the k-d tree.
+//!
+//! Not on the 3PCF hot path (the algorithm is fixed-radius), but required
+//! by catalog diagnostics (mean inter-galaxy separation, the quantity the
+//! paper compares against the bin width when explaining why plain k-d
+//! tree 3PCF algorithms fail for sparse surveys — §2.1) and provided for
+//! downstream users of the tree.
+
+use crate::scalar::{distance_sq, Scalar};
+use crate::tree::KdTree;
+use galactos_math::Vec3;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Max-heap entry holding a candidate neighbor.
+struct HeapItem {
+    dist_sq: f64,
+    id: u32,
+}
+
+impl PartialEq for HeapItem {
+    fn eq(&self, other: &Self) -> bool {
+        self.dist_sq == other.dist_sq && self.id == other.id
+    }
+}
+impl Eq for HeapItem {}
+impl PartialOrd for HeapItem {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapItem {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.dist_sq
+            .partial_cmp(&other.dist_sq)
+            .unwrap_or(Ordering::Equal)
+            .then(self.id.cmp(&other.id))
+    }
+}
+
+impl<S: Scalar> KdTree<S> {
+    /// The `k` nearest neighbors of `center` as `(original index,
+    /// squared distance)`, sorted ascending by distance. Distances are
+    /// evaluated in `S` precision and reported as `f64`.
+    pub fn nearest_k(&self, center: Vec3, k: usize) -> Vec<(u32, f64)> {
+        if k == 0 || self.is_empty() {
+            return Vec::new();
+        }
+        let c = Self::convert_point(center);
+        let mut heap: BinaryHeap<HeapItem> = BinaryHeap::with_capacity(k + 1);
+        self.knn_rec(0, c, k, &mut heap);
+        let mut out: Vec<(u32, f64)> = heap.into_iter().map(|h| (h.id, h.dist_sq)).collect();
+        out.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(a.0.cmp(&b.0)));
+        out
+    }
+
+    fn knn_rec(&self, node: u32, c: [S; 3], k: usize, heap: &mut BinaryHeap<HeapItem>) {
+        let min_d = self.node_min_dist_sq(node, c).to_f64();
+        if heap.len() == k && min_d > heap.peek().unwrap().dist_sq {
+            return;
+        }
+        match self.node_children(node) {
+            None => {
+                let (start, end) = self.node_range(node);
+                for slot in start..end {
+                    let d = distance_sq(self.slot_coord(slot), c).to_f64();
+                    if heap.len() < k {
+                        heap.push(HeapItem { dist_sq: d, id: self.id_at(slot as usize) });
+                    } else if d < heap.peek().unwrap().dist_sq {
+                        heap.pop();
+                        heap.push(HeapItem { dist_sq: d, id: self.id_at(slot as usize) });
+                    }
+                }
+            }
+            Some((left, right)) => {
+                // Visit the nearer child first for earlier pruning.
+                let dl = self.node_min_dist_sq(left, c).to_f64();
+                let dr = self.node_min_dist_sq(right, c).to_f64();
+                let (first, second) = if dl <= dr { (left, right) } else { (right, left) };
+                self.knn_rec(first, c, k, heap);
+                self.knn_rec(second, c, k, heap);
+            }
+        }
+    }
+
+    /// Distance to the nearest neighbor *excluding* the query point
+    /// itself (identified by index). Returns `None` for trees with fewer
+    /// than 2 points.
+    pub fn nearest_neighbor_distance(&self, center: Vec3, self_id: u32) -> Option<f64> {
+        let nn = self.nearest_k(center, 2);
+        nn.into_iter()
+            .find(|&(id, _)| id != self_id)
+            .map(|(_, d2)| d2.sqrt())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brute::BruteForce;
+    use crate::tree::TreeConfig;
+    use rand::prelude::*;
+    use rand_chacha::ChaCha8Rng;
+
+    fn random_points(n: usize, seed: u64) -> Vec<Vec3> {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                Vec3::new(
+                    rng.random_range(0.0..50.0),
+                    rng.random_range(0.0..50.0),
+                    rng.random_range(0.0..50.0),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn knn_matches_brute_force() {
+        let pts = random_points(400, 99);
+        let tree = KdTree::<f64>::build(&pts, TreeConfig { leaf_size: 8 });
+        let brute = BruteForce::new(&pts);
+        for &c in pts.iter().step_by(41) {
+            for k in [1, 3, 10, 50] {
+                let got = tree.nearest_k(c, k);
+                let want = brute.nearest_k(c, k);
+                assert_eq!(got.len(), want.len());
+                for (g, w) in got.iter().zip(want.iter()) {
+                    // Ties may order differently; distances must agree.
+                    assert!((g.1 - w.1).abs() < 1e-12, "k={k}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn knn_k_larger_than_set() {
+        let pts = random_points(5, 1);
+        let tree = KdTree::<f64>::build(&pts, TreeConfig::default());
+        assert_eq!(tree.nearest_k(Vec3::ZERO, 100).len(), 5);
+        assert_eq!(tree.nearest_k(Vec3::ZERO, 0).len(), 0);
+    }
+
+    #[test]
+    fn nearest_neighbor_distance_excludes_self() {
+        let pts = vec![Vec3::ZERO, Vec3::new(3.0, 0.0, 0.0)];
+        let tree = KdTree::<f64>::build(&pts, TreeConfig::default());
+        let d = tree.nearest_neighbor_distance(pts[0], 0).unwrap();
+        assert!((d - 3.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,33 @@
+//! Balanced k-d tree for fixed-radius neighbor search over galaxy
+//! positions.
+//!
+//! The Galactos algorithm spends its outer loop gathering, for each
+//! *primary* galaxy, all *secondaries* within `Rmax` (200 Mpc/h in the
+//! paper). This crate provides the node-local spatial index used for that
+//! gather:
+//!
+//! * a **median-split balanced k-d tree** built over an arbitrary point
+//!   set, with points reordered into contiguous leaf storage for cache
+//!   locality;
+//! * **"marked" nodes** carrying cached point counts and bounding boxes —
+//!   the enhancement of Gray & Moore / March (paper §2.1) that lets whole
+//!   subtrees be accepted (no per-point distance tests) when their
+//!   bounding box lies inside the query sphere, and lets counting queries
+//!   run without touching points at all;
+//! * **generic precision**: the same tree code instantiates at `f32`
+//!   (the paper's mixed-precision mode — "the k-d tree search is
+//!   performed in single precision due to its insensitivity to the
+//!   precision of galaxy locations") or `f64`;
+//! * sphere **range queries** (visitor and collecting forms), **counting
+//!   queries**, **k-nearest-neighbor** queries and **periodic-box**
+//!   variants;
+//! * a brute-force reference searcher used by tests and benchmarks.
+
+pub mod brute;
+pub mod knn;
+pub mod scalar;
+pub mod tree;
+
+pub use brute::BruteForce;
+pub use scalar::Scalar;
+pub use tree::{KdTree, TreeConfig, TreeStats};

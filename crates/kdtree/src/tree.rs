@@ -1,0 +1,542 @@
+//! The balanced k-d tree: construction and sphere queries.
+
+use crate::scalar::{distance_sq, Scalar};
+use galactos_math::Vec3;
+
+/// Construction parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct TreeConfig {
+    /// Maximum number of points per leaf. Small leaves prune better;
+    /// large leaves scan better. 32 is a good default for the gather
+    /// workload (secondaries are consumed in buckets of 128 anyway).
+    pub leaf_size: usize,
+}
+
+impl Default for TreeConfig {
+    fn default() -> Self {
+        TreeConfig { leaf_size: 32 }
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+enum NodeKind<S> {
+    /// `axis`/`split` record the partition plane (kept for diagnostics
+    /// and future ordered traversals; pruning uses the cached bboxes).
+    #[allow(dead_code)]
+    Internal { axis: u8, split: S, left: u32, right: u32 },
+    Leaf,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Node<S> {
+    lo: [S; 3],
+    hi: [S; 3],
+    /// Contiguous range of reordered point slots covered by this subtree.
+    start: u32,
+    end: u32,
+    kind: NodeKind<S>,
+}
+
+impl<S: Scalar> Node<S> {
+    #[inline]
+    fn count(&self) -> u32 {
+        self.end - self.start
+    }
+
+    /// Squared distance from `p` to the nearest point of the bbox.
+    #[inline]
+    fn min_dist_sq(&self, p: [S; 3]) -> S {
+        let mut acc = S::ZERO;
+        for ax in 0..3 {
+            let v = p[ax];
+            let d = if v < self.lo[ax] {
+                self.lo[ax].sub(v)
+            } else if v > self.hi[ax] {
+                v.sub(self.hi[ax])
+            } else {
+                S::ZERO
+            };
+            acc = acc.add(d.mul(d));
+        }
+        acc
+    }
+
+    /// Squared distance from `p` to the farthest corner of the bbox.
+    #[inline]
+    fn max_dist_sq(&self, p: [S; 3]) -> S {
+        let mut acc = S::ZERO;
+        for ax in 0..3 {
+            let a = if p[ax] > self.lo[ax] { p[ax].sub(self.lo[ax]) } else { self.lo[ax].sub(p[ax]) };
+            let b = if p[ax] > self.hi[ax] { p[ax].sub(self.hi[ax]) } else { self.hi[ax].sub(p[ax]) };
+            let d = a.fmax(b);
+            acc = acc.add(d.mul(d));
+        }
+        acc
+    }
+}
+
+/// Summary statistics of a built tree (the "marked" metadata made
+/// visible; also used by the runtime-breakdown benchmark).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct TreeStats {
+    pub num_points: usize,
+    pub num_nodes: usize,
+    pub num_leaves: usize,
+    pub max_depth: usize,
+    pub mean_leaf_size: f64,
+}
+
+/// A balanced k-d tree over 3-D points with scalar type `S`.
+///
+/// Points are reordered into contiguous per-leaf storage at build time;
+/// every query reports *original* point indices (`u32`).
+#[derive(Clone, Debug)]
+pub struct KdTree<S: Scalar> {
+    nodes: Vec<Node<S>>,
+    coords: Vec<[S; 3]>,
+    ids: Vec<u32>,
+    leaf_size: usize,
+    max_depth: usize,
+}
+
+impl<S: Scalar> KdTree<S> {
+    /// Build a tree over `points` (converted from `f64` to `S`).
+    pub fn build(points: &[Vec3], config: TreeConfig) -> Self {
+        assert!(config.leaf_size >= 1, "leaf_size must be >= 1");
+        assert!(
+            points.len() < u32::MAX as usize,
+            "point count exceeds u32 index space"
+        );
+        let mut coords: Vec<[S; 3]> = points
+            .iter()
+            .map(|p| [S::from_f64(p.x), S::from_f64(p.y), S::from_f64(p.z)])
+            .collect();
+        let mut ids: Vec<u32> = (0..points.len() as u32).collect();
+        let mut tree = KdTree {
+            nodes: Vec::new(),
+            coords: Vec::new(),
+            ids: Vec::new(),
+            leaf_size: config.leaf_size,
+            max_depth: 0,
+        };
+        if !points.is_empty() {
+            tree.nodes.reserve(2 * points.len() / config.leaf_size + 2);
+            tree.build_node(&mut coords, &mut ids, 0, points.len(), 1);
+        }
+        tree.coords = coords;
+        tree.ids = ids;
+        tree
+    }
+
+    /// Recursively build the subtree over `coords[start..end]`, returning
+    /// its node index.
+    fn build_node(
+        &mut self,
+        coords: &mut [[S; 3]],
+        ids: &mut [u32],
+        start: usize,
+        end: usize,
+        depth: usize,
+    ) -> u32 {
+        self.max_depth = self.max_depth.max(depth);
+        let slice = &coords[start..end];
+        let mut lo = [S::MAX; 3];
+        let mut hi = [S::from_f64(f64::MIN); 3];
+        for p in slice {
+            for ax in 0..3 {
+                lo[ax] = lo[ax].fmin(p[ax]);
+                hi[ax] = hi[ax].fmax(p[ax]);
+            }
+        }
+        let idx = self.nodes.len() as u32;
+        self.nodes.push(Node {
+            lo,
+            hi,
+            start: start as u32,
+            end: end as u32,
+            kind: NodeKind::Leaf,
+        });
+        if end - start <= self.leaf_size {
+            return idx;
+        }
+
+        // Split along the longest axis of the *actual* point bounds at the
+        // median — this is what balances the tree regardless of clustering.
+        let mut axis = 0usize;
+        let mut best = hi[0].sub(lo[0]);
+        for ax in 1..3 {
+            let ext = hi[ax].sub(lo[ax]);
+            if ext > best {
+                best = ext;
+                axis = ax;
+            }
+        }
+        let mid = (end - start) / 2;
+        // Partition points and carry ids along by sorting index pairs.
+        {
+            let seg_coords = &mut coords[start..end];
+            let seg_ids = &mut ids[start..end];
+            // select_nth over a permutation to keep the two arrays in sync
+            let mut perm: Vec<u32> = (0..seg_coords.len() as u32).collect();
+            perm.select_nth_unstable_by(mid, |&a, &b| {
+                seg_coords[a as usize][axis]
+                    .partial_cmp(&seg_coords[b as usize][axis])
+                    .unwrap()
+            });
+            apply_permutation(seg_coords, seg_ids, &perm);
+        }
+        let split = coords[start + mid][axis];
+        let left = self.build_node(coords, ids, start, start + mid, depth + 1);
+        let right = self.build_node(coords, ids, start + mid, end, depth + 1);
+        self.nodes[idx as usize].kind = NodeKind::Internal {
+            axis: axis as u8,
+            split,
+            left,
+            right,
+        };
+        idx
+    }
+
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// The reordered coordinates (leaf-contiguous), for diagnostics.
+    #[inline]
+    pub fn coords(&self) -> &[[S; 3]] {
+        &self.coords
+    }
+
+    /// Original index of the point in reordered slot `slot`.
+    #[inline]
+    pub fn id_at(&self, slot: usize) -> u32 {
+        self.ids[slot]
+    }
+
+    pub fn stats(&self) -> TreeStats {
+        let num_leaves = self
+            .nodes
+            .iter()
+            .filter(|n| matches!(n.kind, NodeKind::Leaf))
+            .count();
+        TreeStats {
+            num_points: self.ids.len(),
+            num_nodes: self.nodes.len(),
+            num_leaves,
+            max_depth: self.max_depth,
+            mean_leaf_size: if num_leaves == 0 {
+                0.0
+            } else {
+                self.ids.len() as f64 / num_leaves as f64
+            },
+        }
+    }
+
+    #[inline]
+    fn to_s(p: Vec3) -> [S; 3] {
+        [S::from_f64(p.x), S::from_f64(p.y), S::from_f64(p.z)]
+    }
+
+    /// Visit the original index of every point within `radius` of
+    /// `center` (inclusive boundary, distances evaluated in `S`).
+    pub fn for_each_within<F: FnMut(u32)>(&self, center: Vec3, radius: f64, f: &mut F) {
+        if self.nodes.is_empty() {
+            return;
+        }
+        let c = Self::to_s(center);
+        let r = S::from_f64(radius);
+        let r2 = r.mul(r);
+        self.range_rec(0, c, r2, f);
+    }
+
+    fn range_rec<F: FnMut(u32)>(&self, node: u32, c: [S; 3], r2: S, f: &mut F) {
+        let n = &self.nodes[node as usize];
+        if n.min_dist_sq(c) > r2 {
+            return;
+        }
+        // Marked-tree fast path: the whole subtree is inside the sphere.
+        if n.max_dist_sq(c) <= r2 {
+            for slot in n.start..n.end {
+                f(self.ids[slot as usize]);
+            }
+            return;
+        }
+        match n.kind {
+            NodeKind::Leaf => {
+                for slot in n.start..n.end {
+                    if distance_sq(self.coords[slot as usize], c) <= r2 {
+                        f(self.ids[slot as usize]);
+                    }
+                }
+            }
+            NodeKind::Internal { left, right, .. } => {
+                self.range_rec(left, c, r2, f);
+                self.range_rec(right, c, r2, f);
+            }
+        }
+    }
+
+    /// Collect all original indices within `radius` of `center`.
+    pub fn within(&self, center: Vec3, radius: f64) -> Vec<u32> {
+        let mut out = Vec::new();
+        self.for_each_within(center, radius, &mut |id| out.push(id));
+        out
+    }
+
+    /// Count points within `radius` of `center` without reporting them —
+    /// uses cached subtree counts on fully-contained nodes, so the cost
+    /// is proportional to the sphere *surface*, not its volume.
+    pub fn count_within(&self, center: Vec3, radius: f64) -> usize {
+        if self.nodes.is_empty() {
+            return 0;
+        }
+        let c = Self::to_s(center);
+        let r = S::from_f64(radius);
+        self.count_rec(0, c, r.mul(r))
+    }
+
+    fn count_rec(&self, node: u32, c: [S; 3], r2: S) -> usize {
+        let n = &self.nodes[node as usize];
+        if n.min_dist_sq(c) > r2 {
+            return 0;
+        }
+        if n.max_dist_sq(c) <= r2 {
+            return n.count() as usize;
+        }
+        match n.kind {
+            NodeKind::Leaf => (n.start..n.end)
+                .filter(|&slot| distance_sq(self.coords[slot as usize], c) <= r2)
+                .count(),
+            NodeKind::Internal { left, right, .. } => {
+                self.count_rec(left, c, r2) + self.count_rec(right, c, r2)
+            }
+        }
+    }
+
+    /// Periodic-box range query: visits every point whose *minimum image*
+    /// distance to `center` is within `radius`. Requires
+    /// `radius <= box_len / 2` so each point matches at most one image.
+    pub fn for_each_within_periodic<F: FnMut(u32)>(
+        &self,
+        center: Vec3,
+        radius: f64,
+        box_len: f64,
+        f: &mut F,
+    ) {
+        assert!(
+            radius <= box_len * 0.5,
+            "periodic query requires radius <= box_len/2"
+        );
+        // Query the 27 images of the center whose sphere can reach [0, L)^3.
+        for ix in -1i32..=1 {
+            for iy in -1i32..=1 {
+                for iz in -1i32..=1 {
+                    let shifted = Vec3::new(
+                        center.x + ix as f64 * box_len,
+                        center.y + iy as f64 * box_len,
+                        center.z + iz as f64 * box_len,
+                    );
+                    // Skip images that cannot intersect the box.
+                    if shifted.x + radius < 0.0
+                        || shifted.x - radius > box_len
+                        || shifted.y + radius < 0.0
+                        || shifted.y - radius > box_len
+                        || shifted.z + radius < 0.0
+                        || shifted.z - radius > box_len
+                    {
+                        continue;
+                    }
+                    self.for_each_within(shifted, radius, f);
+                }
+            }
+        }
+    }
+
+    /// Internal accessors for the kNN module.
+    #[inline]
+    pub(crate) fn node_min_dist_sq(&self, node: u32, c: [S; 3]) -> S {
+        self.nodes[node as usize].min_dist_sq(c)
+    }
+
+    #[inline]
+    pub(crate) fn node_children(&self, node: u32) -> Option<(u32, u32)> {
+        match self.nodes[node as usize].kind {
+            NodeKind::Internal { left, right, .. } => Some((left, right)),
+            NodeKind::Leaf => None,
+        }
+    }
+
+    #[inline]
+    pub(crate) fn node_range(&self, node: u32) -> (u32, u32) {
+        let n = &self.nodes[node as usize];
+        (n.start, n.end)
+    }
+
+    #[inline]
+    pub(crate) fn slot_coord(&self, slot: u32) -> [S; 3] {
+        self.coords[slot as usize]
+    }
+
+    #[inline]
+    pub(crate) fn convert_point(p: Vec3) -> [S; 3] {
+        Self::to_s(p)
+    }
+}
+
+/// Apply permutation `perm` (values are indices into the segment) to both
+/// arrays simultaneously, using scratch buffers.
+fn apply_permutation<S: Copy>(coords: &mut [[S; 3]], ids: &mut [u32], perm: &[u32]) {
+    let tmp_coords: Vec<[S; 3]> = perm.iter().map(|&i| coords[i as usize]).collect();
+    let tmp_ids: Vec<u32> = perm.iter().map(|&i| ids[i as usize]).collect();
+    coords.copy_from_slice(&tmp_coords);
+    ids.copy_from_slice(&tmp_ids);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brute::BruteForce;
+    use rand::prelude::*;
+    use rand_chacha::ChaCha8Rng;
+
+    fn random_points(n: usize, box_len: f64, seed: u64) -> Vec<Vec3> {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                Vec3::new(
+                    rng.random_range(0.0..box_len),
+                    rng.random_range(0.0..box_len),
+                    rng.random_range(0.0..box_len),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn empty_tree() {
+        let tree = KdTree::<f64>::build(&[], TreeConfig::default());
+        assert!(tree.is_empty());
+        assert_eq!(tree.within(Vec3::ZERO, 10.0), Vec::<u32>::new());
+        assert_eq!(tree.count_within(Vec3::ZERO, 10.0), 0);
+    }
+
+    #[test]
+    fn single_point() {
+        let tree = KdTree::<f64>::build(&[Vec3::splat(1.0)], TreeConfig::default());
+        assert_eq!(tree.within(Vec3::ZERO, 2.0), vec![0]);
+        assert_eq!(tree.within(Vec3::ZERO, 1.0), Vec::<u32>::new());
+        // boundary is inclusive
+        assert_eq!(tree.within(Vec3::ZERO, 3f64.sqrt() + 1e-12), vec![0]);
+    }
+
+    #[test]
+    fn matches_brute_force_f64() {
+        let pts = random_points(500, 100.0, 7);
+        let tree = KdTree::<f64>::build(&pts, TreeConfig { leaf_size: 8 });
+        let brute = BruteForce::new(&pts);
+        for (i, &c) in pts.iter().enumerate().step_by(37) {
+            for radius in [0.0, 5.0, 20.0, 60.0, 200.0] {
+                let mut got = tree.within(c, radius);
+                let mut want = brute.within(c, radius);
+                got.sort_unstable();
+                want.sort_unstable();
+                assert_eq!(got, want, "center {i} radius {radius}");
+                assert_eq!(tree.count_within(c, radius), want.len());
+            }
+        }
+    }
+
+    #[test]
+    fn f32_tree_close_to_f64() {
+        // Mixed precision: results may differ only for pairs within a few
+        // ULPs of the boundary. With a well-separated radius they agree.
+        let pts = random_points(400, 50.0, 11);
+        let t64 = KdTree::<f64>::build(&pts, TreeConfig::default());
+        let t32 = KdTree::<f32>::build(&pts, TreeConfig::default());
+        let mut diff_total = 0usize;
+        for &c in pts.iter().step_by(17) {
+            let a = t64.within(c, 12.0);
+            let b = t32.within(c, 12.0);
+            let sa: std::collections::BTreeSet<_> = a.iter().collect();
+            let sb: std::collections::BTreeSet<_> = b.iter().collect();
+            diff_total += sa.symmetric_difference(&sb).count();
+        }
+        assert!(diff_total <= 2, "f32 tree diverged: {diff_total} boundary flips");
+    }
+
+    #[test]
+    fn clustered_points_stay_balanced() {
+        // A pathological distribution: two tight clusters far apart.
+        let mut pts = random_points(256, 1.0, 3);
+        pts.extend(random_points(256, 1.0, 4).iter().map(|p| *p + Vec3::splat(1000.0)));
+        let tree = KdTree::<f64>::build(&pts, TreeConfig { leaf_size: 4 });
+        let stats = tree.stats();
+        // Balanced median split: depth ≈ log2(512/4) + 1 = 8, allow slack.
+        assert!(stats.max_depth <= 10, "depth {}", stats.max_depth);
+        assert_eq!(stats.num_points, 512);
+    }
+
+    #[test]
+    fn duplicate_points_handled() {
+        let pts = vec![Vec3::splat(5.0); 100];
+        let tree = KdTree::<f64>::build(&pts, TreeConfig { leaf_size: 8 });
+        assert_eq!(tree.within(Vec3::splat(5.0), 0.1).len(), 100);
+        assert_eq!(tree.count_within(Vec3::splat(5.0), 0.1), 100);
+        assert!(tree.stats().max_depth < 30, "no infinite split on duplicates");
+    }
+
+    #[test]
+    fn periodic_query_finds_wrapped_neighbors() {
+        let box_len = 100.0;
+        let pts = vec![
+            Vec3::new(1.0, 50.0, 50.0),
+            Vec3::new(99.0, 50.0, 50.0),
+            Vec3::new(50.0, 50.0, 50.0),
+        ];
+        let tree = KdTree::<f64>::build(&pts, TreeConfig::default());
+        // Non-periodic: point 1 is 98 away from point 0.
+        assert_eq!(tree.within(pts[0], 10.0).len(), 1); // itself
+        // Periodic: minimum-image distance is 2.
+        let mut found = Vec::new();
+        tree.for_each_within_periodic(pts[0], 10.0, box_len, &mut |id| found.push(id));
+        found.sort_unstable();
+        assert_eq!(found, vec![0, 1]);
+    }
+
+    #[test]
+    fn periodic_matches_brute_minimum_image() {
+        let box_len = 20.0;
+        let pts = random_points(300, box_len, 23);
+        let tree = KdTree::<f64>::build(&pts, TreeConfig { leaf_size: 8 });
+        for &c in pts.iter().step_by(29) {
+            let radius = 6.0;
+            let mut got = Vec::new();
+            tree.for_each_within_periodic(c, radius, box_len, &mut |id| got.push(id));
+            got.sort_unstable();
+            let mut want: Vec<u32> = (0..pts.len() as u32)
+                .filter(|&i| {
+                    pts[i as usize].periodic_delta(c, box_len).norm() <= radius
+                })
+                .collect();
+            want.sort_unstable();
+            assert_eq!(got, want);
+        }
+    }
+
+    #[test]
+    fn stats_are_consistent() {
+        let pts = random_points(1000, 10.0, 5);
+        let tree = KdTree::<f64>::build(&pts, TreeConfig { leaf_size: 16 });
+        let s = tree.stats();
+        assert_eq!(s.num_points, 1000);
+        assert!(s.num_leaves >= 1000 / 16);
+        assert!(s.mean_leaf_size <= 16.0);
+        assert!(s.num_nodes >= 2 * s.num_leaves - 1);
+    }
+}

@@ -1,0 +1,85 @@
+//! Mathematical substrate for the Galactos anisotropic 3PCF pipeline.
+//!
+//! This crate implements, from scratch, every piece of mathematics the
+//! Galactos algorithm (Friesen et al., SC '17) depends on:
+//!
+//! * 3-vector / bounding-box geometry ([`vec3`]),
+//! * complex arithmetic ([`complex`]),
+//! * factorial / binomial tables ([`factorial`]),
+//! * Legendre polynomials and associated Legendre functions ([`legendre`]),
+//! * complex spherical harmonics evaluated directly ([`sphharm`]),
+//! * sparse trivariate polynomial algebra used to expand spherical
+//!   harmonics into Cartesian monomials ([`poly3`]),
+//! * the monomial basis `(Δx/r)^k (Δy/r)^p (Δz/r)^q`, `k+p+q ≤ ℓmax`,
+//!   together with the 2-FLOP/monomial update schedule that the Galactos
+//!   multipole kernel executes ([`monomial`]),
+//! * the `Y_ℓm → monomial` coefficient tables used to assemble spherical
+//!   harmonic coefficients `a_ℓm` from accumulated monomial sums ([`ylm`]),
+//! * Wigner 3-j symbols and Gaunt coefficients for edge-correction and
+//!   multipole coupling ([`wigner`]),
+//! * rotations taking a line-of-sight direction to the z-axis, the key
+//!   geometric step of the anisotropic algorithm ([`rotation`]).
+//!
+//! All tables are generated at runtime from exact recurrences; nothing is
+//! hard-coded beyond small literal test vectors.
+
+pub mod complex;
+pub mod factorial;
+pub mod legendre;
+pub mod linalg;
+pub mod monomial;
+pub mod poly3;
+pub mod rotation;
+pub mod sphharm;
+pub mod vec3;
+pub mod wigner;
+pub mod ylm;
+
+pub use complex::Complex64;
+pub use monomial::{Axis, MonomialBasis, UpdateStep};
+pub use rotation::{LineOfSight, Mat3};
+pub use vec3::{Aabb, Vec3};
+pub use ylm::YlmTable;
+
+/// Number of unique `(ℓ, m)` pairs with `0 ≤ m ≤ ℓ ≤ lmax`.
+#[inline]
+pub fn lm_count(lmax: usize) -> usize {
+    (lmax + 1) * (lmax + 2) / 2
+}
+
+/// Flat index of the `(ℓ, m)` pair (with `m ≥ 0`) in a triangular layout.
+///
+/// Ordering: `(0,0), (1,0), (1,1), (2,0), (2,1), (2,2), …`
+#[inline]
+pub fn lm_index(l: usize, m: usize) -> usize {
+    debug_assert!(m <= l);
+    l * (l + 1) / 2 + m
+}
+
+/// Inverse of [`lm_index`].
+#[inline]
+pub fn lm_from_index(idx: usize) -> (usize, usize) {
+    // Solve l(l+1)/2 <= idx: l = floor((sqrt(8 idx + 1) - 1)/2).
+    let l = (((8 * idx + 1) as f64).sqrt() as usize).saturating_sub(1) / 2;
+    // Guard against floating point at the boundary.
+    let l = if lm_index(l + 1, 0) <= idx { l + 1 } else { l };
+    (l, idx - lm_index(l, 0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lm_index_roundtrip() {
+        let mut idx = 0;
+        for l in 0..=24 {
+            for m in 0..=l {
+                assert_eq!(lm_index(l, m), idx);
+                assert_eq!(lm_from_index(idx), (l, m));
+                idx += 1;
+            }
+        }
+        assert_eq!(lm_count(24), idx);
+    }
+}

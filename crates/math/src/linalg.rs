@@ -1,0 +1,261 @@
+//! Small dense linear algebra: LU decomposition with partial pivoting.
+//!
+//! Used by the isotropic edge-correction step (inverting the multipole
+//! mixing matrix, Slepian & Eisenstein 2015 §4) and by covariance
+//! manipulation in `galactos-analysis`. Matrices here are tiny
+//! (`ℓmax+1` or a few dozen bins), so a straightforward O(n³) solver is
+//! the right tool.
+
+/// A dense row-major matrix.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    pub fn from_rows(rows: &[&[f64]]) -> Self {
+        let r = rows.len();
+        let c = rows.first().map_or(0, |row| row.len());
+        let mut m = Matrix::zeros(r, c);
+        for (i, row) in rows.iter().enumerate() {
+            assert_eq!(row.len(), c, "ragged rows");
+            m.data[i * c..(i + 1) * c].copy_from_slice(row);
+        }
+        m
+    }
+
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.cols);
+        (0..self.rows)
+            .map(|i| {
+                self.data[i * self.cols..(i + 1) * self.cols]
+                    .iter()
+                    .zip(x)
+                    .map(|(a, b)| a * b)
+                    .sum()
+            })
+            .collect()
+    }
+
+    pub fn matmul(&self, o: &Matrix) -> Matrix {
+        assert_eq!(self.cols, o.rows);
+        let mut out = Matrix::zeros(self.rows, o.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self[(i, k)];
+                if a == 0.0 {
+                    continue;
+                }
+                for j in 0..o.cols {
+                    out[(i, j)] += a * o[(k, j)];
+                }
+            }
+        }
+        out
+    }
+
+    pub fn transpose(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                out[(j, i)] = self[(i, j)];
+            }
+        }
+        out
+    }
+
+    /// Solve `A x = b` by LU with partial pivoting. Returns `None` for
+    /// (numerically) singular systems.
+    pub fn solve(&self, b: &[f64]) -> Option<Vec<f64>> {
+        assert_eq!(self.rows, self.cols, "solve requires a square matrix");
+        assert_eq!(b.len(), self.rows);
+        let n = self.rows;
+        let mut a = self.data.clone();
+        let mut x = b.to_vec();
+        let mut perm: Vec<usize> = (0..n).collect();
+
+        for col in 0..n {
+            // Pivot.
+            let mut pivot = col;
+            let mut best = a[perm[col] * n + col].abs();
+            for (r, &pr) in perm.iter().enumerate().skip(col + 1) {
+                let v = a[pr * n + col].abs();
+                if v > best {
+                    best = v;
+                    pivot = r;
+                }
+            }
+            if best < 1e-300 {
+                return None;
+            }
+            perm.swap(col, pivot);
+            let prow = perm[col];
+            let pval = a[prow * n + col];
+            for &r in perm.iter().skip(col + 1) {
+                let factor = a[r * n + col] / pval;
+                if factor == 0.0 {
+                    continue;
+                }
+                a[r * n + col] = 0.0;
+                for j in (col + 1)..n {
+                    a[r * n + j] -= factor * a[prow * n + j];
+                }
+                x[r] -= factor * x[prow];
+            }
+        }
+        // Back substitution.
+        let mut out = vec![0.0; n];
+        for col in (0..n).rev() {
+            let prow = perm[col];
+            let mut acc = x[prow];
+            for j in (col + 1)..n {
+                acc -= a[prow * n + j] * out[j];
+            }
+            out[col] = acc / a[prow * n + col];
+        }
+        Some(out)
+    }
+
+    /// Matrix inverse via column-by-column solves.
+    pub fn inverse(&self) -> Option<Matrix> {
+        assert_eq!(self.rows, self.cols);
+        let n = self.rows;
+        let mut out = Matrix::zeros(n, n);
+        for j in 0..n {
+            let mut e = vec![0.0; n];
+            e[j] = 1.0;
+            let col = self.solve(&e)?;
+            for i in 0..n {
+                out[(i, j)] = col[i];
+            }
+        }
+        Some(out)
+    }
+
+    /// Max-abs element of `A·B − I` (test helper).
+    pub fn inverse_error(&self, inv: &Matrix) -> f64 {
+        let p = self.matmul(inv);
+        let mut err = 0.0f64;
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                let want = if i == j { 1.0 } else { 0.0 };
+                err = err.max((p[(i, j)] - want).abs());
+            }
+        }
+        err
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for Matrix {
+    type Output = f64;
+    #[inline]
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for Matrix {
+    #[inline]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solve_known_system() {
+        // 2x + y = 5; x + 3y = 10 → x = 1, y = 3
+        let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 3.0]]);
+        let x = a.solve(&[5.0, 10.0]).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-12);
+        assert!((x[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solve_requires_pivoting() {
+        // Zero on the diagonal forces a row swap.
+        let a = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]);
+        let x = a.solve(&[2.0, 3.0]).unwrap();
+        assert!((x[0] - 3.0).abs() < 1e-12);
+        assert!((x[1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn singular_detected() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]);
+        assert!(a.solve(&[1.0, 2.0]).is_none());
+        assert!(a.inverse().is_none());
+    }
+
+    #[test]
+    fn inverse_roundtrip() {
+        let a = Matrix::from_rows(&[
+            &[4.0, -2.0, 1.0],
+            &[3.0, 6.0, -4.0],
+            &[2.0, 1.0, 8.0],
+        ]);
+        let inv = a.inverse().unwrap();
+        assert!(a.inverse_error(&inv) < 1e-12);
+    }
+
+    #[test]
+    fn matvec_and_matmul() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        assert_eq!(a.matvec(&[1.0, 1.0]), vec![3.0, 7.0]);
+        let b = Matrix::identity(2);
+        assert_eq!(a.matmul(&b), a);
+        let t = a.transpose();
+        assert_eq!(t[(0, 1)], 3.0);
+    }
+
+    #[test]
+    fn random_solve_residuals() {
+        // Deterministic pseudo-random matrix; check A·x ≈ b.
+        let n = 12;
+        let mut a = Matrix::zeros(n, n);
+        let mut state = 0x12345678u64;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        };
+        for i in 0..n {
+            for j in 0..n {
+                a[(i, j)] = next();
+            }
+            a[(i, i)] += 4.0; // diagonally dominant → well-conditioned
+        }
+        let b: Vec<f64> = (0..n).map(|_| next()).collect();
+        let x = a.solve(&b).unwrap();
+        let r = a.matvec(&x);
+        for (ri, bi) in r.iter().zip(b.iter()) {
+            assert!((ri - bi).abs() < 1e-10);
+        }
+    }
+}

@@ -1,0 +1,422 @@
+//! Spherical harmonics as linear combinations of Cartesian monomials.
+//!
+//! The Galactos kernel accumulates monomial sums
+//! `S_{kpq}(bin) = Σ_pairs (Δx/r)^k (Δy/r)^p (Δz/r)^q` and only afterwards
+//! assembles the spherical-harmonic shell coefficients
+//!
+//! ```text
+//! a_ℓm(bin) = Σ_i  Y_ℓm(r̂_i) = Σ_{k+p+q=ℓ} c^{ℓm}_{kpq} · S_{kpq}(bin).
+//! ```
+//!
+//! This module generates the exact coefficient table `c^{ℓm}_{kpq}` from
+//! the closed-form expansion (Condon–Shortley phase, physics
+//! normalization):
+//!
+//! ```text
+//! Y_ℓm · rˡ = N_ℓm (−1)^m (x+iy)^m Σ_j d_j z^j (x²+y²+z²)^{(ℓ−m−j)/2},
+//! ```
+//!
+//! where `d_j` are the coefficients of `d^m/du^m P_ℓ(u)` and
+//! `N_ℓm = √[(2ℓ+1)/(4π)·(ℓ−m)!/(ℓ+m)!]`. The parity of `ℓ−m−j`
+//! guarantees integer powers. Only `m ≥ 0` is tabulated; negative `m`
+//! follows from `Y_{ℓ,−m} = (−1)^m conj(Y_ℓm)` because the monomial sums
+//! are real.
+
+use crate::complex::Complex64;
+use crate::legendre::legendre_derivative_coefficients;
+use crate::monomial::MonomialBasis;
+use crate::poly3::{r_squared_pow, x_plus_iy_pow, Poly3};
+use crate::sphharm::ylm_norm;
+use crate::vec3::Vec3;
+use crate::{lm_count, lm_index};
+
+/// One `(monomial index, coefficient)` entry of a `Y_ℓm` expansion.
+#[derive(Clone, Copy, Debug)]
+pub struct YlmTerm {
+    pub monomial: u32,
+    pub coeff: Complex64,
+}
+
+/// Coefficient tables expressing every `Y_ℓm` (`0 ≤ m ≤ ℓ ≤ ℓmax`) in the
+/// monomial basis of [`MonomialBasis`].
+#[derive(Clone, Debug)]
+pub struct YlmTable {
+    lmax: usize,
+    /// Indexed by [`lm_index`]; each entry lists the monomials of total
+    /// degree exactly `ℓ` contributing to that harmonic.
+    entries: Vec<Vec<YlmTerm>>,
+}
+
+impl YlmTable {
+    /// Build the table for all `ℓ ≤ lmax` against `basis` (which must have
+    /// been constructed with the same or larger `lmax`).
+    pub fn new(lmax: usize, basis: &MonomialBasis) -> Self {
+        assert!(
+            basis.lmax() >= lmax,
+            "monomial basis lmax {} too small for YlmTable lmax {lmax}",
+            basis.lmax()
+        );
+        let mut entries = Vec::with_capacity(lm_count(lmax));
+        for l in 0..=lmax {
+            for m in 0..=l {
+                entries.push(Self::expand_ylm(l, m, basis));
+            }
+        }
+        YlmTable { lmax, entries }
+    }
+
+    fn expand_ylm(l: usize, m: usize, basis: &MonomialBasis) -> Vec<YlmTerm> {
+        // Polynomial part: Σ_j d_j z^j (x²+y²+z²)^{(l-m-j)/2}
+        let d = legendre_derivative_coefficients(l, m);
+        let mut poly = Poly3::zero();
+        for (j, &dj) in d.iter().enumerate() {
+            if dj == 0.0 {
+                continue;
+            }
+            let rem = l - m - j;
+            debug_assert!(rem % 2 == 0, "parity violation in Ylm expansion");
+            let term = Poly3::monomial((0, 0, j as u32), Complex64::real(dj))
+                .mul(&r_squared_pow((rem / 2) as u32));
+            poly = poly.add(&term);
+        }
+        // (x+iy)^m and prefactor N_lm (-1)^m.
+        let sign = if m % 2 == 0 { 1.0 } else { -1.0 };
+        let prefactor = Complex64::real(sign * ylm_norm(l, m));
+        let full = x_plus_iy_pow(m as u32).mul(&poly).scale(prefactor);
+        debug_assert!(full.is_homogeneous(l as u32));
+
+        full.terms()
+            .map(|((k, p, q), c)| YlmTerm {
+                monomial: basis.index_of(k, p, q) as u32,
+                coeff: c,
+            })
+            .collect()
+    }
+
+    #[inline]
+    pub fn lmax(&self) -> usize {
+        self.lmax
+    }
+
+    /// Expansion terms for `(ℓ, m)` with `m ≥ 0`.
+    #[inline]
+    pub fn terms(&self, l: usize, m: usize) -> &[YlmTerm] {
+        &self.entries[lm_index(l, m)]
+    }
+
+    /// Assemble all `a_ℓm` (`m ≥ 0`, layout [`lm_index`]) from a slice of
+    /// monomial sums produced by the multipole kernel.
+    pub fn assemble_alm(&self, monomial_sums: &[f64], out: &mut [Complex64]) {
+        assert_eq!(out.len(), lm_count(self.lmax));
+        for (o, terms) in out.iter_mut().zip(self.entries.iter()) {
+            let mut acc = Complex64::ZERO;
+            for t in terms {
+                acc += t.coeff * monomial_sums[t.monomial as usize];
+            }
+            *o = acc;
+        }
+    }
+
+    /// Convenience: assemble into a fresh vector.
+    pub fn alm_from_sums(&self, monomial_sums: &[f64]) -> Vec<Complex64> {
+        let mut out = vec![Complex64::ZERO; lm_count(self.lmax)];
+        self.assemble_alm(monomial_sums, &mut out);
+        out
+    }
+
+    /// Evaluate `Y_ℓm(dir)` through the monomial expansion — a slow path
+    /// used for testing the table against the direct evaluator.
+    pub fn eval_via_monomials(&self, l: usize, m: usize, dir: Vec3, basis: &MonomialBasis) -> Complex64 {
+        let u = dir.normalized().expect("direction must be non-zero");
+        let mut vals = vec![0.0; basis.len()];
+        basis.eval_into(u.x, u.y, u.z, &mut vals);
+        let mut acc = Complex64::ZERO;
+        for t in self.terms(l, m) {
+            acc += t.coeff * vals[t.monomial as usize];
+        }
+        acc
+    }
+}
+
+/// Expansion of the *products* `Y_ℓm(û) · conj(Y_ℓ'm(û))` in the
+/// monomial basis (each product is a homogeneous polynomial of degree
+/// `ℓ+ℓ'` on the unit sphere, so the basis must extend to `2·ℓmax`).
+///
+/// Used for the degenerate-triangle (self-pair) correction: the product
+/// `a_ℓm(b)·a*_ℓ'm(b)` on a diagonal radial bin contains the `j = k`
+/// terms `Σ_j w_j² Y_ℓm(û_j) conj(Y_ℓ'm(û_j))`, which the engine removes
+/// by accumulating one extra monomial table (degree ≤ 2ℓmax) with
+/// weights `w²` and assembling it through this table.
+#[derive(Clone, Debug)]
+pub struct YlmPairProductTable {
+    lmax: usize,
+    /// Indexed by `pair_index(l, lp, m)`.
+    entries: Vec<Vec<YlmTerm>>,
+}
+
+impl YlmPairProductTable {
+    /// Flat index for `(ℓ, ℓ', m)` with `0 ≤ m ≤ min(ℓ, ℓ')`.
+    /// Layout: ℓ major, ℓ' next, m last.
+    pub fn pair_index(lmax: usize, l: usize, lp: usize, m: usize) -> usize {
+        debug_assert!(l <= lmax && lp <= lmax && m <= l.min(lp));
+        // offset of (l, lp) block: sum over previous (a, b) of min(a,b)+1
+        let mut off = 0usize;
+        for a in 0..=lmax {
+            for b in 0..=lmax {
+                if (a, b) == (l, lp) {
+                    return off + m;
+                }
+                off += a.min(b) + 1;
+            }
+        }
+        unreachable!("pair_index out of range");
+    }
+
+    /// Total number of `(ℓ, ℓ', m≥0)` combinations for `lmax`.
+    pub fn pair_count(lmax: usize) -> usize {
+        let mut n = 0;
+        for a in 0..=lmax {
+            for b in 0..=lmax {
+                n += a.min(b) + 1;
+            }
+        }
+        n
+    }
+
+    /// Build the product table. `basis` must span degree `2·lmax`.
+    pub fn new(lmax: usize, basis: &MonomialBasis) -> Self {
+        assert!(
+            basis.lmax() >= 2 * lmax,
+            "basis must span degree 2·lmax = {}",
+            2 * lmax
+        );
+        let mut entries = Vec::with_capacity(Self::pair_count(lmax));
+        for l in 0..=lmax {
+            for lp in 0..=lmax {
+                for m in 0..=l.min(lp) {
+                    entries.push(Self::expand_product(l, lp, m, basis));
+                }
+            }
+        }
+        YlmPairProductTable { lmax, entries }
+    }
+
+    fn expand_product(l: usize, lp: usize, m: usize, basis: &MonomialBasis) -> Vec<YlmTerm> {
+        let a = Self::ylm_poly(l, m);
+        let b = Self::ylm_poly(lp, m);
+        // conj in monomial space: conjugate the coefficients (the
+        // monomials themselves are real).
+        let mut b_conj = Poly3::zero();
+        for (e, c) in b.terms() {
+            b_conj.add_term(e, c.conj());
+        }
+        a.mul(&b_conj)
+            .terms()
+            .map(|((k, p, q), c)| YlmTerm {
+                monomial: basis.index_of(k, p, q) as u32,
+                coeff: c,
+            })
+            .collect()
+    }
+
+    /// The homogeneous polynomial for one `Y_ℓm` (same construction as
+    /// `YlmTable::expand_ylm`, kept in raw `Poly3` form).
+    fn ylm_poly(l: usize, m: usize) -> Poly3 {
+        let d = legendre_derivative_coefficients(l, m);
+        let mut poly = Poly3::zero();
+        for (j, &dj) in d.iter().enumerate() {
+            if dj == 0.0 {
+                continue;
+            }
+            let rem = l - m - j;
+            let term = Poly3::monomial((0, 0, j as u32), Complex64::real(dj))
+                .mul(&r_squared_pow((rem / 2) as u32));
+            poly = poly.add(&term);
+        }
+        let sign = if m % 2 == 0 { 1.0 } else { -1.0 };
+        let prefactor = Complex64::real(sign * ylm_norm(l, m));
+        x_plus_iy_pow(m as u32).mul(&poly).scale(prefactor)
+    }
+
+    #[inline]
+    pub fn lmax(&self) -> usize {
+        self.lmax
+    }
+
+    /// Terms of the `(ℓ, ℓ', m)` product.
+    #[inline]
+    pub fn terms(&self, l: usize, lp: usize, m: usize) -> &[YlmTerm] {
+        &self.entries[Self::pair_index(self.lmax, l, lp, m)]
+    }
+
+    /// Assemble `Σ_j w_j Y_ℓm(û_j) conj(Y_ℓ'm(û_j))` from the weighted
+    /// monomial sums (degree ≤ 2ℓmax) over those points.
+    pub fn assemble(&self, l: usize, lp: usize, m: usize, monomial_sums: &[f64]) -> Complex64 {
+        let mut acc = Complex64::ZERO;
+        for t in self.terms(l, lp, m) {
+            acc += t.coeff * monomial_sums[t.monomial as usize];
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sphharm::ylm_cartesian;
+
+    #[test]
+    fn matches_direct_evaluation_on_fixed_directions() {
+        let lmax = 10;
+        let basis = MonomialBasis::new(lmax);
+        let table = YlmTable::new(lmax, &basis);
+        let dirs = [
+            Vec3::new(0.3, -0.5, 0.8),
+            Vec3::new(1.0, 0.0, 0.0),
+            Vec3::new(0.0, 1.0, 0.0),
+            Vec3::new(0.0, 0.0, 1.0),
+            Vec3::new(-0.4, -0.4, -0.82),
+            Vec3::new(2.0, 3.0, -1.0),
+        ];
+        for dir in dirs {
+            for l in 0..=lmax {
+                for m in 0..=l {
+                    let via_table = table.eval_via_monomials(l, m, dir, &basis);
+                    let direct = ylm_cartesian(l, m as i64, dir);
+                    assert!(
+                        via_table.dist_inf(direct) < 1e-10,
+                        "l={l} m={m} dir={dir:?}: {via_table} vs {direct}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn table_terms_have_degree_l() {
+        let lmax = 8;
+        let basis = MonomialBasis::new(lmax);
+        let table = YlmTable::new(lmax, &basis);
+        for l in 0..=lmax {
+            for m in 0..=l {
+                for t in table.terms(l, m) {
+                    let (k, p, q) = basis.exponents(t.monomial as usize);
+                    assert_eq!((k + p + q) as usize, l, "l={l} m={m}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn assemble_alm_of_single_point_equals_ylm() {
+        // For a "shell" holding one unit vector, S_kpq = monomials(u), so
+        // a_lm must equal Y_lm(u).
+        let lmax = 6;
+        let basis = MonomialBasis::new(lmax);
+        let table = YlmTable::new(lmax, &basis);
+        let u = Vec3::new(0.6, 0.48, 0.64).normalized().unwrap();
+        let mut sums = vec![0.0; basis.len()];
+        basis.eval_into(u.x, u.y, u.z, &mut sums);
+        let alm = table.alm_from_sums(&sums);
+        for l in 0..=lmax {
+            for m in 0..=l {
+                let direct = ylm_cartesian(l, m as i64, u);
+                assert!(
+                    alm[lm_index(l, m)].dist_inf(direct) < 1e-11,
+                    "l={l} m={m}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn assemble_alm_is_linear() {
+        // a_lm of a sum of points = sum of Y_lm — linearity through the
+        // monomial accumulation, the heart of the O(N^2) factorization.
+        let lmax = 5;
+        let basis = MonomialBasis::new(lmax);
+        let table = YlmTable::new(lmax, &basis);
+        let us = [
+            Vec3::new(0.1, 0.9, -0.42).normalized().unwrap(),
+            Vec3::new(-0.7, 0.1, 0.7).normalized().unwrap(),
+            Vec3::new(0.5, -0.5, 0.70710678).normalized().unwrap(),
+        ];
+        let mut sums = vec![0.0; basis.len()];
+        let mut scratch = vec![0.0; basis.len()];
+        for u in us {
+            basis.accumulate_into(u.x, u.y, u.z, 1.0, &mut scratch, &mut sums);
+        }
+        let alm = table.alm_from_sums(&sums);
+        for l in 0..=lmax {
+            for m in 0..=l {
+                let mut direct = Complex64::ZERO;
+                for u in us {
+                    direct += ylm_cartesian(l, m as i64, u);
+                }
+                assert!(
+                    alm[lm_index(l, m)].dist_inf(direct) < 1e-11,
+                    "l={l} m={m}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn product_table_matches_direct_products() {
+        let lmax = 4;
+        let basis = MonomialBasis::new(2 * lmax);
+        let table = YlmPairProductTable::new(lmax, &basis);
+        let dirs = [
+            Vec3::new(0.3, -0.5, 0.8).normalized().unwrap(),
+            Vec3::new(-0.7, 0.2, 0.3).normalized().unwrap(),
+        ];
+        let mut sums = vec![0.0; basis.len()];
+        let mut scratch = vec![0.0; basis.len()];
+        for u in dirs {
+            basis.accumulate_into(u.x, u.y, u.z, 1.0, &mut scratch, &mut sums);
+        }
+        for l in 0..=lmax {
+            for lp in 0..=lmax {
+                for m in 0..=l.min(lp) {
+                    let via_table = table.assemble(l, lp, m, &sums);
+                    let mut direct = Complex64::ZERO;
+                    for u in dirs {
+                        direct += ylm_cartesian(l, m as i64, u)
+                            * ylm_cartesian(lp, m as i64, u).conj();
+                    }
+                    assert!(
+                        via_table.dist_inf(direct) < 1e-10,
+                        "l={l} lp={lp} m={m}: {via_table} vs {direct}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pair_index_is_dense_and_ordered() {
+        let lmax = 5;
+        let mut next = 0usize;
+        for l in 0..=lmax {
+            for lp in 0..=lmax {
+                for m in 0..=l.min(lp) {
+                    assert_eq!(YlmPairProductTable::pair_index(lmax, l, lp, m), next);
+                    next += 1;
+                }
+            }
+        }
+        assert_eq!(YlmPairProductTable::pair_count(lmax), next);
+    }
+
+    #[test]
+    fn y00_entry_is_constant() {
+        let basis = MonomialBasis::new(2);
+        let table = YlmTable::new(2, &basis);
+        let terms = table.terms(0, 0);
+        assert_eq!(terms.len(), 1);
+        assert_eq!(terms[0].monomial, 0);
+        let want = 0.5 / std::f64::consts::PI.sqrt();
+        assert!((terms[0].coeff.re - want).abs() < 1e-15);
+        assert!(terms[0].coeff.im.abs() < 1e-15);
+    }
+}

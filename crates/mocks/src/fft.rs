@@ -1,0 +1,394 @@
+//! In-house complex FFT: iterative radix-2 Cooley–Tukey, 1-D and 3-D.
+//!
+//! Built from scratch (no external FFT crate) for the Gaussian random
+//! field generator. Sizes must be powers of two. The 3-D transform is
+//! applied axis by axis with rayon parallelism over independent lines.
+//!
+//! Conventions: `forward` computes `X_k = Σ_j x_j e^{-2πijk/N}` (no
+//! normalization); `inverse` includes the `1/N` factor so that
+//! `inverse(forward(x)) == x`.
+
+use galactos_math::Complex64;
+use rayon::prelude::*;
+
+/// Direction of a transform.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Direction {
+    Forward,
+    Inverse,
+}
+
+/// In-place 1-D FFT of a power-of-two-length buffer.
+pub fn fft_inplace(data: &mut [Complex64], dir: Direction) {
+    let n = data.len();
+    assert!(n.is_power_of_two(), "FFT length must be a power of two, got {n}");
+    if n <= 1 {
+        return;
+    }
+    // Bit-reversal permutation.
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = (i as u32).reverse_bits() >> (32 - bits);
+        let j = j as usize;
+        if i < j {
+            data.swap(i, j);
+        }
+    }
+    // Butterflies.
+    let sign = match dir {
+        Direction::Forward => -1.0,
+        Direction::Inverse => 1.0,
+    };
+    let mut len = 2;
+    while len <= n {
+        let ang = sign * 2.0 * std::f64::consts::PI / len as f64;
+        let wlen = Complex64::cis(ang);
+        let half = len / 2;
+        let mut start = 0;
+        while start < n {
+            let mut w = Complex64::ONE;
+            for off in 0..half {
+                let a = data[start + off];
+                let b = data[start + off + half] * w;
+                data[start + off] = a + b;
+                data[start + off + half] = a - b;
+                w *= wlen;
+            }
+            start += len;
+        }
+        len <<= 1;
+    }
+    if dir == Direction::Inverse {
+        let inv_n = 1.0 / n as f64;
+        for v in data.iter_mut() {
+            *v = *v * inv_n;
+        }
+    }
+}
+
+/// A cubic complex mesh of side `n` (so `n³` cells), row-major
+/// `(i, j, k) → (i·n + j)·n + k`.
+#[derive(Clone, Debug)]
+pub struct Mesh3 {
+    n: usize,
+    data: Vec<Complex64>,
+}
+
+impl Mesh3 {
+    pub fn zeros(n: usize) -> Self {
+        assert!(n.is_power_of_two(), "mesh side must be a power of two");
+        Mesh3 { n, data: vec![Complex64::ZERO; n * n * n] }
+    }
+
+    pub fn from_real(n: usize, values: &[f64]) -> Self {
+        assert_eq!(values.len(), n * n * n);
+        assert!(n.is_power_of_two());
+        Mesh3 {
+            n,
+            data: values.iter().map(|&v| Complex64::real(v)).collect(),
+        }
+    }
+
+    #[inline]
+    pub fn side(&self) -> usize {
+        self.n
+    }
+
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    #[inline]
+    pub fn index(&self, i: usize, j: usize, k: usize) -> usize {
+        debug_assert!(i < self.n && j < self.n && k < self.n);
+        (i * self.n + j) * self.n + k
+    }
+
+    #[inline]
+    pub fn get(&self, i: usize, j: usize, k: usize) -> Complex64 {
+        self.data[self.index(i, j, k)]
+    }
+
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, k: usize, v: Complex64) {
+        let idx = self.index(i, j, k);
+        self.data[idx] = v;
+    }
+
+    #[inline]
+    pub fn data(&self) -> &[Complex64] {
+        &self.data
+    }
+
+    #[inline]
+    pub fn data_mut(&mut self) -> &mut [Complex64] {
+        &mut self.data
+    }
+
+    /// Real parts of all cells.
+    pub fn to_real(&self) -> Vec<f64> {
+        self.data.iter().map(|c| c.re).collect()
+    }
+
+    /// Largest |imaginary part| — should be ~0 after an inverse
+    /// transform of a Hermitian spectrum.
+    pub fn max_imag(&self) -> f64 {
+        self.data.iter().map(|c| c.im.abs()).fold(0.0, f64::max)
+    }
+
+    /// In-place 3-D FFT: 1-D transforms along z, then y, then x, with
+    /// rayon parallelism across independent lines.
+    pub fn fft3(&mut self, dir: Direction) {
+        let n = self.n;
+        // Axis z: lines are contiguous.
+        self.data
+            .par_chunks_mut(n)
+            .for_each(|line| fft_inplace(line, dir));
+        // Axis y: stride n within each i-plane.
+        {
+            let data = &mut self.data;
+            data.par_chunks_mut(n * n).for_each(|plane| {
+                let mut line = vec![Complex64::ZERO; n];
+                for k in 0..n {
+                    for j in 0..n {
+                        line[j] = plane[j * n + k];
+                    }
+                    fft_inplace(&mut line, dir);
+                    for j in 0..n {
+                        plane[j * n + k] = line[j];
+                    }
+                }
+            });
+        }
+        // Axis x: stride n² — process (j, k) columns in parallel chunks.
+        {
+            let n2 = n * n;
+            let data = std::mem::take(&mut self.data);
+            let data = std::sync::Arc::new(data);
+            let mut out = vec![Complex64::ZERO; n2 * n];
+            out.par_chunks_mut(n)
+                .enumerate()
+                .for_each(|(col, out_line)| {
+                    // col enumerates (j, k) pairs: col = j*n + k
+                    let mut line = vec![Complex64::ZERO; n];
+                    for i in 0..n {
+                        line[i] = data[i * n2 + col];
+                    }
+                    fft_inplace(&mut line, dir);
+                    out_line.copy_from_slice(&line);
+                });
+            // Scatter back: out is organized as [(j,k) major][i]
+            let mut new_data = vec![Complex64::ZERO; n2 * n];
+            new_data
+                .par_chunks_mut(n2)
+                .enumerate()
+                .for_each(|(i, plane)| {
+                    for col in 0..n2 {
+                        plane[col] = out[col * n + i];
+                    }
+                });
+            self.data = new_data;
+        }
+    }
+}
+
+/// Naive O(N²) DFT used as the test oracle.
+pub fn dft_reference(input: &[Complex64], dir: Direction) -> Vec<Complex64> {
+    let n = input.len();
+    let sign = match dir {
+        Direction::Forward => -1.0,
+        Direction::Inverse => 1.0,
+    };
+    let mut out = vec![Complex64::ZERO; n];
+    for (k, o) in out.iter_mut().enumerate() {
+        let mut acc = Complex64::ZERO;
+        for (j, &x) in input.iter().enumerate() {
+            let ang = sign * 2.0 * std::f64::consts::PI * (j * k) as f64 / n as f64;
+            acc += x * Complex64::cis(ang);
+        }
+        *o = if dir == Direction::Inverse {
+            acc / n as f64
+        } else {
+            acc
+        };
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::prelude::*;
+    use rand_chacha::ChaCha8Rng;
+
+    fn random_signal(n: usize, seed: u64) -> Vec<Complex64> {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| Complex64::new(rng.random_range(-1.0..1.0), rng.random_range(-1.0..1.0)))
+            .collect()
+    }
+
+    #[test]
+    fn matches_reference_dft() {
+        for n in [1usize, 2, 4, 8, 32, 128] {
+            let signal = random_signal(n, n as u64);
+            let mut fast = signal.clone();
+            fft_inplace(&mut fast, Direction::Forward);
+            let slow = dft_reference(&signal, Direction::Forward);
+            for (a, b) in fast.iter().zip(slow.iter()) {
+                assert!(a.dist_inf(*b) < 1e-9 * (n as f64), "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn roundtrip_identity() {
+        let signal = random_signal(256, 3);
+        let mut buf = signal.clone();
+        fft_inplace(&mut buf, Direction::Forward);
+        fft_inplace(&mut buf, Direction::Inverse);
+        for (a, b) in buf.iter().zip(signal.iter()) {
+            assert!(a.dist_inf(*b) < 1e-11);
+        }
+    }
+
+    #[test]
+    fn parseval_theorem() {
+        let signal = random_signal(512, 5);
+        let time_energy: f64 = signal.iter().map(|c| c.norm_sq()).sum();
+        let mut freq = signal.clone();
+        fft_inplace(&mut freq, Direction::Forward);
+        let freq_energy: f64 = freq.iter().map(|c| c.norm_sq()).sum::<f64>() / 512.0;
+        assert!((time_energy - freq_energy).abs() < 1e-9 * time_energy);
+    }
+
+    #[test]
+    fn impulse_becomes_flat() {
+        let mut buf = vec![Complex64::ZERO; 64];
+        buf[0] = Complex64::ONE;
+        fft_inplace(&mut buf, Direction::Forward);
+        for v in &buf {
+            assert!(v.dist_inf(Complex64::ONE) < 1e-12);
+        }
+    }
+
+    #[test]
+    fn pure_tone_is_a_spike() {
+        let n = 128;
+        let freq = 5;
+        let mut buf: Vec<Complex64> = (0..n)
+            .map(|j| Complex64::cis(2.0 * std::f64::consts::PI * (freq * j) as f64 / n as f64))
+            .collect();
+        fft_inplace(&mut buf, Direction::Forward);
+        for (k, v) in buf.iter().enumerate() {
+            let want = if k == freq { n as f64 } else { 0.0 };
+            assert!((v.abs() - want).abs() < 1e-9, "bin {k}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_power_of_two() {
+        let mut buf = vec![Complex64::ZERO; 12];
+        fft_inplace(&mut buf, Direction::Forward);
+    }
+
+    #[test]
+    fn mesh_roundtrip_3d() {
+        let n = 16;
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let values: Vec<f64> = (0..n * n * n).map(|_| rng.random_range(-1.0..1.0)).collect();
+        let mut mesh = Mesh3::from_real(n, &values);
+        mesh.fft3(Direction::Forward);
+        mesh.fft3(Direction::Inverse);
+        let back = mesh.to_real();
+        for (a, b) in back.iter().zip(values.iter()) {
+            assert!((a - b).abs() < 1e-10);
+        }
+        assert!(mesh.max_imag() < 1e-10);
+    }
+
+    #[test]
+    fn mesh_plane_wave_single_mode() {
+        // δ(x) = cos(2π m·x / n) has power only at modes ±m.
+        let n = 16usize;
+        let m = (2usize, 1usize, 3usize);
+        let mut mesh = Mesh3::zeros(n);
+        for i in 0..n {
+            for j in 0..n {
+                for k in 0..n {
+                    let phase = 2.0 * std::f64::consts::PI
+                        * (m.0 * i + m.1 * j + m.2 * k) as f64
+                        / n as f64;
+                    mesh.set(i, j, k, Complex64::real(phase.cos()));
+                }
+            }
+        }
+        mesh.fft3(Direction::Forward);
+        let total: f64 = mesh.data().iter().map(|c| c.abs()).sum();
+        let peak = mesh.get(m.0, m.1, m.2).abs();
+        let mirror = mesh.get(n - m.0, n - m.1, n - m.2).abs();
+        // The two conjugate modes hold all the signal.
+        assert!((peak + mirror) / total > 0.999, "{peak} {mirror} {total}");
+        let want = (n * n * n) as f64 / 2.0;
+        assert!((peak - want).abs() < 1e-6 * want);
+    }
+
+    #[test]
+    fn mesh_3d_equals_three_passes_of_reference() {
+        // Small mesh cross-check against composing 1-D reference DFTs.
+        let n = 4usize;
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        let vals: Vec<Complex64> = (0..n * n * n)
+            .map(|_| Complex64::new(rng.random_range(-1.0..1.0), rng.random_range(-1.0..1.0)))
+            .collect();
+        let mut mesh = Mesh3::zeros(n);
+        mesh.data_mut().copy_from_slice(&vals);
+        mesh.fft3(Direction::Forward);
+
+        // Reference: transform along z, y, x with the naive DFT.
+        let mut ref_data = vals.clone();
+        // z
+        for i in 0..n {
+            for j in 0..n {
+                let line: Vec<Complex64> =
+                    (0..n).map(|k| ref_data[(i * n + j) * n + k]).collect();
+                let out = dft_reference(&line, Direction::Forward);
+                for k in 0..n {
+                    ref_data[(i * n + j) * n + k] = out[k];
+                }
+            }
+        }
+        // y
+        for i in 0..n {
+            for k in 0..n {
+                let line: Vec<Complex64> =
+                    (0..n).map(|j| ref_data[(i * n + j) * n + k]).collect();
+                let out = dft_reference(&line, Direction::Forward);
+                for j in 0..n {
+                    ref_data[(i * n + j) * n + k] = out[j];
+                }
+            }
+        }
+        // x
+        for j in 0..n {
+            for k in 0..n {
+                let line: Vec<Complex64> =
+                    (0..n).map(|i| ref_data[(i * n + j) * n + k]).collect();
+                let out = dft_reference(&line, Direction::Forward);
+                for i in 0..n {
+                    ref_data[(i * n + j) * n + k] = out[i];
+                }
+            }
+        }
+        for (a, b) in mesh.data().iter().zip(ref_data.iter()) {
+            assert!(a.dist_inf(*b) < 1e-9);
+        }
+    }
+}

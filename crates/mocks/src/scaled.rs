@@ -1,0 +1,167 @@
+//! Density-matched scaled datasets (the paper's Table 1).
+//!
+//! "In order to capture the 'true' performance behavior of the algorithm
+//! on smaller problem sets for weak scaling measurements, we constructed
+//! problem sets with the same number density as the full Outer Rim
+//! dataset (roughly 0.071 galaxies [Mpc/h]⁻³)" — §5.2. This module
+//! reproduces that construction: given a node count and per-node galaxy
+//! budget, it computes the box length that holds the galaxies at the
+//! fiducial density, and generates the catalog.
+
+use crate::cluster_process::NeymanScott;
+use galactos_catalog::random::poisson_box;
+use galactos_catalog::Catalog;
+
+/// The Outer Rim number density in galaxies per (Mpc/h)³. The paper
+/// quotes "roughly 0.071"; the Table 1 row geometry (225,000 galaxies
+/// per node at the listed box lengths) implies 0.0726, which we use so
+/// the regenerated table matches the printed one.
+pub const OUTER_RIM_DENSITY: f64 = 0.0726;
+
+/// Galaxies assigned per node in the paper's full-system run.
+pub const GALAXIES_PER_NODE: f64 = 225_000.0;
+
+/// One row of a weak-scaling dataset table.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ScaledDataset {
+    pub nodes: usize,
+    pub galaxies: f64,
+    pub box_len: f64,
+}
+
+/// Construct the dataset for `nodes` ranks at `galaxies_per_node` each,
+/// holding `density` fixed: `L = (N / n̄)^{1/3}`.
+pub fn scaled_dataset(nodes: usize, galaxies_per_node: f64, density: f64) -> ScaledDataset {
+    let galaxies = nodes as f64 * galaxies_per_node;
+    let box_len = (galaxies / density).cbrt();
+    ScaledDataset { nodes, galaxies, box_len }
+}
+
+/// The paper's Table 1, regenerated from the construction rule (rather
+/// than hard-coded): node counts 128…8192 plus the full 9636-node row.
+pub fn paper_table1() -> Vec<ScaledDataset> {
+    let mut rows: Vec<ScaledDataset> = [128usize, 256, 512, 1024, 2048, 4096, 8192]
+        .iter()
+        .map(|&nodes| scaled_dataset(nodes, GALAXIES_PER_NODE, OUTER_RIM_DENSITY))
+        .collect();
+    // The full-system row: 1.951e9 galaxies in the 3000 Mpc/h Outer Rim box.
+    rows.push(ScaledDataset { nodes: 9636, galaxies: 1.951e9, box_len: 3000.0 });
+    rows
+}
+
+/// What point process to use when realizing a scaled dataset.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MockKind {
+    /// Uniform Poisson (pure performance testing).
+    Poisson,
+    /// Neyman–Scott clusters (realistic density inhomogeneity, which is
+    /// what produces the paper's pair-count load imbalance).
+    Clustered,
+}
+
+/// Realize a laptop-scale version of a dataset row: same number density,
+/// geometry shrunk by `scale_divisor` in galaxy count.
+pub fn generate_scaled_catalog(
+    ds: &ScaledDataset,
+    scale_divisor: f64,
+    kind: MockKind,
+    seed: u64,
+) -> Catalog {
+    assert!(scale_divisor >= 1.0);
+    let n = (ds.galaxies / scale_divisor).max(1.0);
+    let density = ds.galaxies / ds.box_len.powi(3);
+    let box_len = (n / density).cbrt();
+    match kind {
+        MockKind::Poisson => poisson_box(density, box_len, seed),
+        MockKind::Clustered => {
+            // ~15 galaxies per cluster, cluster scale 3 Mpc/h.
+            let mean_children = 15.0;
+            NeymanScott {
+                parent_density: density / mean_children,
+                mean_children,
+                sigma: 3.0,
+            }
+            .generate(box_len, seed)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_matches_paper_rows() {
+        // Paper Table 1 box lengths, Mpc/h.
+        let expected = [
+            (128, 2.880e7, 734.5),
+            (256, 5.760e7, 925.8),
+            (512, 1.152e8, 1166.9),
+            (1024, 2.304e8, 1470.9),
+            (2048, 4.608e8, 1853.3),
+            (4096, 9.216e8, 2334.7),
+            (8192, 1.843e9, 2934.4),
+        ];
+        let rows = paper_table1();
+        for (row, &(nodes, galaxies, box_len)) in rows.iter().zip(expected.iter()) {
+            assert_eq!(row.nodes, nodes);
+            assert!(
+                (row.galaxies / galaxies - 1.0).abs() < 2e-3,
+                "nodes {nodes}: {} vs {galaxies}",
+                row.galaxies
+            );
+            assert!(
+                (row.box_len / box_len - 1.0).abs() < 2e-3,
+                "nodes {nodes}: {} vs {box_len}",
+                row.box_len
+            );
+        }
+        // Full-system row.
+        assert_eq!(rows[7].nodes, 9636);
+        assert_eq!(rows[7].box_len, 3000.0);
+    }
+
+    #[test]
+    fn density_is_constant_across_rows() {
+        for row in paper_table1().iter().take(7) {
+            let density = row.galaxies / row.box_len.powi(3);
+            assert!(
+                (density / OUTER_RIM_DENSITY - 1.0).abs() < 5e-3,
+                "density {density}"
+            );
+        }
+    }
+
+    #[test]
+    fn generated_catalog_matches_density() {
+        let ds = scaled_dataset(4, 500.0, OUTER_RIM_DENSITY);
+        let cat = generate_scaled_catalog(&ds, 1.0, MockKind::Poisson, 5);
+        let volume = cat.periodic.unwrap().powi(3);
+        let density = cat.len() as f64 / volume;
+        assert!(
+            (density / OUTER_RIM_DENSITY - 1.0).abs() < 0.15,
+            "density {density}"
+        );
+    }
+
+    #[test]
+    fn clustered_catalog_has_same_mean_density() {
+        let ds = scaled_dataset(2, 2000.0, OUTER_RIM_DENSITY);
+        let cat = generate_scaled_catalog(&ds, 1.0, MockKind::Clustered, 7);
+        let volume = cat.periodic.unwrap().powi(3);
+        let density = cat.len() as f64 / volume;
+        assert!(
+            (density / OUTER_RIM_DENSITY - 1.0).abs() < 0.25,
+            "density {density}"
+        );
+    }
+
+    #[test]
+    fn scale_divisor_shrinks_box_not_density() {
+        let ds = scaled_dataset(8, 10_000.0, 0.05);
+        let full = generate_scaled_catalog(&ds, 20.0, MockKind::Poisson, 1);
+        let density = full.len() as f64 / full.periodic.unwrap().powi(3);
+        assert!((density / 0.05 - 1.0).abs() < 0.2, "density {density}");
+        assert!(full.len() < 5000);
+    }
+}

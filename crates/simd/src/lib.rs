@@ -1,0 +1,433 @@
+//! Portable wide vector types for the Galactos multipole kernel.
+//!
+//! The paper's kernel (§3.3.2) is built around 512-bit vector lanes: 8
+//! double-precision values per operation, a per-multipole 8-element
+//! accumulator array that defers horizontal reductions, and 4 independent
+//! accumulator *batches* to expose instruction-level parallelism. This
+//! crate provides those building blocks in portable Rust: fixed-size
+//! arrays with `#[inline(always)]` element-wise loops that LLVM
+//! autovectorizes on any SIMD-capable target (AVX2/AVX-512/NEON), so the
+//! kernel keeps the paper's exact arithmetic schedule without
+//! architecture-specific intrinsics.
+//!
+//! ```
+//! use galactos_simd::F64x8;
+//! let a = F64x8::splat(2.0);
+//! let b = F64x8::from_array([0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0]);
+//! let c = a * b + F64x8::splat(1.0);
+//! assert_eq!(c.horizontal_sum(), 2.0 * 28.0 + 8.0);
+//! ```
+
+use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub};
+
+/// Number of `f64` lanes per vector — matches one 512-bit register, the
+/// granularity the paper's FLOP/byte analysis (§3.3.2) is written in.
+pub const F64_LANES: usize = 8;
+
+/// Number of independent accumulator batches used to break the
+/// multiply-accumulate dependency chain. The paper found 4 to be the
+/// sweet spot: "register pressure ... decreases performance if the number
+/// of independent vectors is increased beyond 4".
+pub const ILP_BATCHES: usize = 4;
+
+/// An 8-lane double-precision vector.
+#[derive(Clone, Copy, Debug, PartialEq)]
+#[repr(align(64))]
+pub struct F64x8(pub [f64; F64_LANES]);
+
+impl F64x8 {
+    pub const ZERO: F64x8 = F64x8([0.0; F64_LANES]);
+
+    #[inline(always)]
+    pub fn splat(v: f64) -> Self {
+        F64x8([v; F64_LANES])
+    }
+
+    #[inline(always)]
+    pub fn from_array(a: [f64; F64_LANES]) -> Self {
+        F64x8(a)
+    }
+
+    /// Load 8 consecutive values from a slice (panics if too short).
+    #[inline(always)]
+    pub fn from_slice(s: &[f64]) -> Self {
+        let mut a = [0.0; F64_LANES];
+        a.copy_from_slice(&s[..F64_LANES]);
+        F64x8(a)
+    }
+
+    /// Load up to 8 values, zero-padding the tail — used when flushing a
+    /// partially filled pair bucket.
+    #[inline(always)]
+    pub fn from_slice_padded(s: &[f64]) -> Self {
+        let mut a = [0.0; F64_LANES];
+        let n = s.len().min(F64_LANES);
+        a[..n].copy_from_slice(&s[..n]);
+        F64x8(a)
+    }
+
+    #[inline(always)]
+    pub fn to_array(self) -> [f64; F64_LANES] {
+        self.0
+    }
+
+    #[inline(always)]
+    pub fn write_to(self, out: &mut [f64]) {
+        out[..F64_LANES].copy_from_slice(&self.0);
+    }
+
+    /// Fused multiply-add shape `self * b + c`. (Compiles to FMA where the
+    /// target supports it; the arithmetic is what the paper's FLOP count
+    /// assumes: one multiply + one add per lane.)
+    #[inline(always)]
+    pub fn mul_add(self, b: F64x8, c: F64x8) -> F64x8 {
+        let mut out = [0.0; F64_LANES];
+        for i in 0..F64_LANES {
+            out[i] = self.0[i] * b.0[i] + c.0[i];
+        }
+        F64x8(out)
+    }
+
+    /// Sum of all lanes — the deferred reduction performed once per
+    /// multipole at the end of a primary's accumulation.
+    #[inline(always)]
+    pub fn horizontal_sum(self) -> f64 {
+        // Pairwise tree reduction: better instruction parallelism and
+        // better rounding behaviour than a serial fold.
+        let a = &self.0;
+        let s01 = a[0] + a[1];
+        let s23 = a[2] + a[3];
+        let s45 = a[4] + a[5];
+        let s67 = a[6] + a[7];
+        (s01 + s23) + (s45 + s67)
+    }
+
+    #[inline(always)]
+    pub fn horizontal_max(self) -> f64 {
+        self.0.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    #[inline(always)]
+    pub fn sqrt(self) -> F64x8 {
+        let mut out = [0.0; F64_LANES];
+        for i in 0..F64_LANES {
+            out[i] = self.0[i].sqrt();
+        }
+        F64x8(out)
+    }
+
+    /// Lane-wise reciprocal.
+    #[inline(always)]
+    pub fn recip(self) -> F64x8 {
+        let mut out = [0.0; F64_LANES];
+        for i in 0..F64_LANES {
+            out[i] = 1.0 / self.0[i];
+        }
+        F64x8(out)
+    }
+}
+
+impl Add for F64x8 {
+    type Output = F64x8;
+    #[inline(always)]
+    fn add(self, o: F64x8) -> F64x8 {
+        let mut out = [0.0; F64_LANES];
+        for i in 0..F64_LANES {
+            out[i] = self.0[i] + o.0[i];
+        }
+        F64x8(out)
+    }
+}
+
+impl AddAssign for F64x8 {
+    #[inline(always)]
+    fn add_assign(&mut self, o: F64x8) {
+        for i in 0..F64_LANES {
+            self.0[i] += o.0[i];
+        }
+    }
+}
+
+impl Sub for F64x8 {
+    type Output = F64x8;
+    #[inline(always)]
+    fn sub(self, o: F64x8) -> F64x8 {
+        let mut out = [0.0; F64_LANES];
+        for i in 0..F64_LANES {
+            out[i] = self.0[i] - o.0[i];
+        }
+        F64x8(out)
+    }
+}
+
+impl Mul for F64x8 {
+    type Output = F64x8;
+    #[inline(always)]
+    fn mul(self, o: F64x8) -> F64x8 {
+        let mut out = [0.0; F64_LANES];
+        for i in 0..F64_LANES {
+            out[i] = self.0[i] * o.0[i];
+        }
+        F64x8(out)
+    }
+}
+
+impl MulAssign for F64x8 {
+    #[inline(always)]
+    fn mul_assign(&mut self, o: F64x8) {
+        for i in 0..F64_LANES {
+            self.0[i] *= o.0[i];
+        }
+    }
+}
+
+impl Mul<f64> for F64x8 {
+    type Output = F64x8;
+    #[inline(always)]
+    fn mul(self, s: f64) -> F64x8 {
+        let mut out = [0.0; F64_LANES];
+        for i in 0..F64_LANES {
+            out[i] = self.0[i] * s;
+        }
+        F64x8(out)
+    }
+}
+
+impl Div for F64x8 {
+    type Output = F64x8;
+    #[inline(always)]
+    fn div(self, o: F64x8) -> F64x8 {
+        let mut out = [0.0; F64_LANES];
+        for i in 0..F64_LANES {
+            out[i] = self.0[i] / o.0[i];
+        }
+        F64x8(out)
+    }
+}
+
+impl Neg for F64x8 {
+    type Output = F64x8;
+    #[inline(always)]
+    fn neg(self) -> F64x8 {
+        let mut out = [0.0; F64_LANES];
+        for i in 0..F64_LANES {
+            out[i] = -self.0[i];
+        }
+        F64x8(out)
+    }
+}
+
+impl Default for F64x8 {
+    #[inline(always)]
+    fn default() -> Self {
+        F64x8::ZERO
+    }
+}
+
+/// Four independent [`F64x8`] accumulators — the paper's ILP strategy of
+/// "computations on 4 independent vectors at once" to keep the FMA
+/// pipeline full despite the serial dependency inside each monomial
+/// chain.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Batch4 {
+    pub v: [F64x8; ILP_BATCHES],
+}
+
+impl Batch4 {
+    #[inline(always)]
+    pub fn zero() -> Self {
+        Batch4 { v: [F64x8::ZERO; ILP_BATCHES] }
+    }
+
+    /// Accumulate four independent products: `v[i] += a[i] * b[i]`.
+    #[inline(always)]
+    pub fn fma_accumulate(&mut self, a: &[F64x8; ILP_BATCHES], b: &[F64x8; ILP_BATCHES]) {
+        for i in 0..ILP_BATCHES {
+            self.v[i] = a[i].mul_add(b[i], self.v[i]);
+        }
+    }
+
+    /// Collapse the four batches into one vector.
+    #[inline(always)]
+    pub fn combine(self) -> F64x8 {
+        (self.v[0] + self.v[1]) + (self.v[2] + self.v[3])
+    }
+
+    /// Full horizontal reduction to a scalar.
+    #[inline(always)]
+    pub fn horizontal_sum(self) -> f64 {
+        self.combine().horizontal_sum()
+    }
+}
+
+/// A 16-lane single-precision vector (one 512-bit register of `f32`),
+/// used by the mixed-precision k-d tree distance computations.
+#[derive(Clone, Copy, Debug, PartialEq)]
+#[repr(align(64))]
+pub struct F32x16(pub [f32; 16]);
+
+impl F32x16 {
+    pub const LANES: usize = 16;
+    pub const ZERO: F32x16 = F32x16([0.0; 16]);
+
+    #[inline(always)]
+    pub fn splat(v: f32) -> Self {
+        F32x16([v; 16])
+    }
+
+    #[inline(always)]
+    pub fn from_slice_padded(s: &[f32]) -> Self {
+        let mut a = [0.0; 16];
+        let n = s.len().min(16);
+        a[..n].copy_from_slice(&s[..n]);
+        F32x16(a)
+    }
+
+    #[inline(always)]
+    pub fn mul_add(self, b: F32x16, c: F32x16) -> F32x16 {
+        let mut out = [0.0; 16];
+        for i in 0..16 {
+            out[i] = self.0[i] * b.0[i] + c.0[i];
+        }
+        F32x16(out)
+    }
+
+    #[inline(always)]
+    pub fn horizontal_sum(self) -> f32 {
+        self.0.iter().sum()
+    }
+
+    /// Count lanes with value ≤ `threshold` (range-query predicate).
+    #[inline(always)]
+    pub fn count_le(self, threshold: f32) -> usize {
+        self.0.iter().filter(|&&v| v <= threshold).count()
+    }
+}
+
+impl Add for F32x16 {
+    type Output = F32x16;
+    #[inline(always)]
+    fn add(self, o: F32x16) -> F32x16 {
+        let mut out = [0.0; 16];
+        for i in 0..16 {
+            out[i] = self.0[i] + o.0[i];
+        }
+        F32x16(out)
+    }
+}
+
+impl Sub for F32x16 {
+    type Output = F32x16;
+    #[inline(always)]
+    fn sub(self, o: F32x16) -> F32x16 {
+        let mut out = [0.0; 16];
+        for i in 0..16 {
+            out[i] = self.0[i] - o.0[i];
+        }
+        F32x16(out)
+    }
+}
+
+impl Mul for F32x16 {
+    type Output = F32x16;
+    #[inline(always)]
+    fn mul(self, o: F32x16) -> F32x16 {
+        let mut out = [0.0; 16];
+        for i in 0..16 {
+            out[i] = self.0[i] * o.0[i];
+        }
+        F32x16(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_is_lanewise() {
+        let a = F64x8::from_array([1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0]);
+        let b = F64x8::splat(2.0);
+        assert_eq!((a + b).0[0], 3.0);
+        assert_eq!((a * b).0[7], 16.0);
+        assert_eq!((a - b).0[1], 0.0);
+        assert_eq!((a / b).0[3], 2.0);
+        assert_eq!((-a).0[4], -5.0);
+        assert_eq!((a * 0.5).0[5], 3.0);
+    }
+
+    #[test]
+    fn mul_add_matches_separate_ops() {
+        let a = F64x8::from_array([0.5, -1.5, 2.0, 0.0, 3.0, -2.5, 1.0, 4.0]);
+        let b = F64x8::splat(3.0);
+        let c = F64x8::splat(-1.0);
+        let fused = a.mul_add(b, c);
+        let separate = a * b + c;
+        for i in 0..F64_LANES {
+            assert!((fused.0[i] - separate.0[i]).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn horizontal_reductions() {
+        let a = F64x8::from_array([1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0]);
+        assert_eq!(a.horizontal_sum(), 36.0);
+        assert_eq!(a.horizontal_max(), 8.0);
+        assert_eq!(F64x8::ZERO.horizontal_sum(), 0.0);
+    }
+
+    #[test]
+    fn padded_load_zero_fills() {
+        let v = F64x8::from_slice_padded(&[1.0, 2.0, 3.0]);
+        assert_eq!(v.horizontal_sum(), 6.0);
+        assert_eq!(v.0[3], 0.0);
+        assert_eq!(v.0[7], 0.0);
+    }
+
+    #[test]
+    fn sqrt_and_recip() {
+        let v = F64x8::from_array([1.0, 4.0, 9.0, 16.0, 25.0, 36.0, 49.0, 64.0]);
+        let r = v.sqrt();
+        for i in 0..F64_LANES {
+            assert!((r.0[i] - (i as f64 + 1.0)).abs() < 1e-14);
+        }
+        let inv = F64x8::splat(2.0).recip();
+        assert_eq!(inv.0[0], 0.5);
+    }
+
+    #[test]
+    fn batch4_accumulation_equals_scalar() {
+        let mut batch = Batch4::zero();
+        let a = [
+            F64x8::splat(1.0),
+            F64x8::splat(2.0),
+            F64x8::splat(3.0),
+            F64x8::splat(4.0),
+        ];
+        let b = [F64x8::splat(10.0); ILP_BATCHES];
+        batch.fma_accumulate(&a, &b);
+        batch.fma_accumulate(&a, &b);
+        // 2 * (1+2+3+4)*10 per lane * 8 lanes
+        assert_eq!(batch.horizontal_sum(), 2.0 * 100.0 * 8.0);
+    }
+
+    #[test]
+    fn f32x16_basics() {
+        let a = F32x16::from_slice_padded(&[1.0; 10]);
+        assert_eq!(a.horizontal_sum(), 10.0);
+        let d = a - F32x16::splat(0.5);
+        assert_eq!(d.count_le(0.4), 6); // 6 zero-padded lanes at -0.5
+        let sq = d * d;
+        assert!((sq.horizontal_sum() - (10.0 * 0.25 + 6.0 * 0.25)).abs() < 1e-6);
+        let fma = a.mul_add(F32x16::splat(2.0), F32x16::splat(1.0));
+        assert_eq!(fma.0[0], 3.0);
+        assert_eq!(fma.0[15], 1.0);
+    }
+
+    #[test]
+    fn alignment_for_vector_loads() {
+        assert_eq!(std::mem::align_of::<F64x8>(), 64);
+        assert_eq!(std::mem::align_of::<F32x16>(), 64);
+        assert_eq!(std::mem::size_of::<F64x8>(), 64);
+    }
+}

@@ -1,0 +1,91 @@
+//! BAO in the 3PCF: compare lognormal mocks generated with and without
+//! baryon acoustic oscillation wiggles in the input power spectrum, and
+//! show the excess correlation near the acoustic scale — a laptop-scale
+//! rendition of the physics behind the paper's Figure 1 heat map.
+//!
+//! ```text
+//! cargo run --release --example bao_detection
+//! ```
+
+use galactos::mocks::lognormal;
+use galactos::prelude::*;
+
+fn main() {
+    // Scaled-down acoustic scale so it fits a tractable box: put the
+    // BAO bump at 22 Mpc/h inside a 128 Mpc/h box (the real Universe's
+    // 105 Mpc/h in a 3000 Mpc/h box is the same geometry, 25x larger).
+    let bao = BaoSpectrum {
+        amplitude: 8.0e3,
+        ns: 0.96,
+        k_eq: 0.07,
+        r_bao: 22.0,
+        a_bao: 0.35,
+        k_silk: 0.5,
+    };
+    let smooth = bao.no_wiggle();
+    let mesh = 64;
+    let box_len = 128.0;
+    let n_gal = 6_000;
+
+    let mut config = EngineConfig::test_default(30.0, 2, 10);
+    config.subtract_self_pairs = true;
+    let engine = Engine::new(config);
+    let bins = engine.config().bins.clone();
+
+    // Average the isotropic 2PCF-like moment over several realizations
+    // to beat sample variance (the paper's "hundreds of mocks" story,
+    // §6.1, at toy scale).
+    let n_mocks = 4;
+    let mut with_bao = vec![0.0f64; bins.nbins()];
+    let mut without = vec![0.0f64; bins.nbins()];
+    for seed in 0..n_mocks {
+        let a = lognormal::generate(&bao, mesh, box_len, n_gal, 100 + seed, None);
+        let b = lognormal::generate(&smooth, mesh, box_len, n_gal, 100 + seed, None);
+        println!(
+            "mock {seed}: {} galaxies (BAO), {} galaxies (no BAO)",
+            a.catalog.len(),
+            b.catalog.len()
+        );
+        let za = engine.compute(&a.catalog).normalized().compress_isotropic();
+        let zb = engine.compute(&b.catalog).normalized().compress_isotropic();
+        // Density normalization: divide the pair moment by shell volume
+        // and mean density to approximate 1 + ξ.
+        let da = a.catalog.len() as f64 / box_len.powi(3);
+        let db = b.catalog.len() as f64 / box_len.powi(3);
+        for bin in 0..bins.nbins() {
+            let va = za.get(0, bin, bin) / (bins.shell_volume(bin) * da)
+                * (4.0 * std::f64::consts::PI);
+            let vb = zb.get(0, bin, bin) / (bins.shell_volume(bin) * db)
+                * (4.0 * std::f64::consts::PI);
+            with_bao[bin] += va / n_mocks as f64;
+            without[bin] += vb / n_mocks as f64;
+        }
+    }
+
+    println!("\nshell-normalized pair moment (∝ (1+ξ)² per shell):");
+    println!(
+        "{:>7} {:>12} {:>12} {:>10}",
+        "r", "with BAO", "no BAO", "ratio"
+    );
+    let mut peak_r = 0.0;
+    let mut peak_ratio = 0.0f64;
+    for b in 0..bins.nbins() {
+        let ratio = with_bao[b] / without[b];
+        let r = bins.center(b);
+        // Track the strongest excess beyond half the acoustic scale.
+        if r > 12.0 && ratio > peak_ratio {
+            peak_ratio = ratio;
+            peak_r = r;
+        }
+        println!(
+            "{:>7.1} {:>12.5} {:>12.5} {:>10.4}",
+            r, with_bao[b], without[b], ratio
+        );
+    }
+    println!(
+        "\nstrongest large-scale excess at r = {peak_r:.1} Mpc/h (input acoustic scale: {:.1})",
+        bao.r_bao
+    );
+    println!("the wiggle catalog shows excess clustering near the acoustic scale —");
+    println!("the same physics as the BAO features in the paper's Figure 1.");
+}

@@ -1,0 +1,70 @@
+//! Quickstart: compute the anisotropic 3PCF of a clustered mock and
+//! print the leading multipoles.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use galactos::prelude::*;
+use galactos::mocks::cluster_process::NeymanScott;
+
+fn main() {
+    // 1. A clustered galaxy catalog (Neyman–Scott process: Poisson
+    //    cluster centers dressed with Gaussian satellites), standing in
+    //    for a simulation snapshot.
+    let box_len = 100.0;
+    let catalog = NeymanScott {
+        parent_density: 4e-4,
+        mean_children: 12.0,
+        sigma: 2.5,
+    }
+    .generate(box_len, 7);
+    println!(
+        "catalog: {} galaxies in a periodic {box_len} Mpc/h box",
+        catalog.len()
+    );
+
+    // 2. Engine configuration: multipoles to lmax=4, 8 radial bins out
+    //    to 30 Mpc/h, plane-parallel line of sight along z (the paper's
+    //    setup for simulation boxes), mixed precision, SIMD kernel.
+    let mut config = EngineConfig::test_default(30.0, 4, 8);
+    config.precision = TreePrecision::Mixed;
+    config.subtract_self_pairs = true;
+
+    // 3. Compute.
+    let engine = Engine::new(config);
+    let t0 = std::time::Instant::now();
+    let zeta = engine.compute(&catalog).normalized();
+    println!(
+        "computed {} binned pairs in {:.2?}",
+        zeta.binned_pairs,
+        t0.elapsed()
+    );
+
+    // 4. Inspect: the isotropic compression ζ_l(r1, r2) on the diagonal.
+    let iso = zeta.compress_isotropic();
+    println!("\nisotropic multipoles K_l(r, r) per primary (diagonal bins):");
+    println!("{:>6} {:>12} {:>12} {:>12}", "r", "l=0", "l=1", "l=2");
+    let bins = &engine.config().bins;
+    for b in 0..bins.nbins() {
+        println!(
+            "{:>6.1} {:>12.4e} {:>12.4e} {:>12.4e}",
+            bins.center(b),
+            iso.get(0, b, b),
+            iso.get(1, b, b),
+            iso.get(2, b, b),
+        );
+    }
+
+    // 5. Anisotropic coefficients: for this isotropic mock the m > 0
+    //    spins carry only noise — compare their size to the m = 0 signal.
+    let b = bins.nbins() / 2;
+    println!("\nanisotropic spin spectrum at (l, l') = (2, 2), bin ({b}, {b}):");
+    for m in 0..=2 {
+        let v = zeta.get(2, 2, m, b, b);
+        println!("  m={m}: |zeta| = {:.4e}", v.abs());
+    }
+    println!("\n(l=0 pair moment should dominate; this catalog has no RSD,");
+    println!(" so spins m>0 are consistent with noise — see the rsd_anisotropy");
+    println!(" example for a catalog where they are not.)");
+}

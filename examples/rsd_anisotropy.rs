@@ -1,0 +1,81 @@
+//! Redshift-space distortions light up the anisotropic multipoles.
+//!
+//! The entire point of the *anisotropic* 3PCF (paper §1.1–1.2): galaxy
+//! peculiar velocities distort the line-of-sight positions, breaking
+//! the isotropy of clustering; the growth rate of structure — a test of
+//! General Relativity — is encoded in the anisotropic multipoles. This
+//! example measures ζ^m on the same lognormal mock in real space and in
+//! redshift space and shows the m-spectrum change.
+//!
+//! ```text
+//! cargo run --release --example rsd_anisotropy
+//! ```
+
+use galactos::mocks::lognormal;
+use galactos::mocks::rsd::RsdParams;
+use galactos::prelude::*;
+
+fn main() {
+    // Amplitude chosen for a Gaussian-field sigma of order unity: much
+    // larger values make exp(G) collapse all mass into a few cells
+    // (a degenerate lognormal mock).
+    let spectrum = PowerLawSpectrum { amplitude: 8.0, index: -1.2 };
+    let mesh = 64;
+    let box_len = 100.0;
+    let n_gal = 5_000;
+
+    // Real-space mock and its redshift-space twin (same seed → same
+    // underlying density field; only the z coordinates differ).
+    let real = lognormal::generate(&spectrum, mesh, box_len, n_gal, 11, None);
+    let kaiser = RsdParams::kaiser(1.2);
+    let redshift = lognormal::generate(&spectrum, mesh, box_len, n_gal, 11, Some(kaiser));
+    println!(
+        "real-space: {} galaxies; redshift-space: {} galaxies",
+        real.catalog.len(),
+        redshift.catalog.len()
+    );
+
+    let mut config = EngineConfig::test_default(25.0, 4, 5);
+    config.subtract_self_pairs = true;
+    let engine = Engine::new(config);
+
+    let z_real = engine.compute(&real.catalog).normalized();
+    let z_red = engine.compute(&redshift.catalog).normalized();
+
+    // Quadrupole-like statistic: the (l, l') = (2, 0) coefficient
+    // measures the correlation between an l=2 shell pattern (aligned
+    // with the line of sight after the frame rotation) and the
+    // monopole. It vanishes in expectation for isotropic clustering.
+    println!("\n(l,l',m) = (2,0,0) coefficient over diagonal bins:");
+    println!("{:>7} {:>14} {:>14}", "r", "real space", "redshift space");
+    let bins = &engine.config().bins;
+    let mut real_sum = 0.0f64;
+    let mut red_sum = 0.0f64;
+    for b in 0..bins.nbins() {
+        let vr = z_real.get(2, 0, 0, b, b).re;
+        let vs = z_red.get(2, 0, 0, b, b).re;
+        real_sum += vr.abs();
+        red_sum += vs.abs();
+        println!("{:>7.1} {:>14.5e} {:>14.5e}", bins.center(b), vr, vs);
+    }
+    println!(
+        "\nsummed |quadrupole-monopole coupling|: real {real_sum:.4e} vs redshift {red_sum:.4e}"
+    );
+    if red_sum > real_sum {
+        println!("RSD enhanced the anisotropic coupling, as the Kaiser effect predicts.");
+    } else {
+        println!("warning: no enhancement detected — try a larger catalog or stronger growth rate.");
+    }
+
+    // The isotropic part barely changes by comparison (it only picks up
+    // the monopole boost).
+    let k_real = z_real.compress_isotropic();
+    let k_red = z_red.compress_isotropic();
+    let b_mid = bins.nbins() / 2;
+    println!(
+        "\nisotropic K_0 at r = {:.1}: real {:.4e}, redshift {:.4e}",
+        bins.center(b_mid),
+        k_real.get(0, b_mid, b_mid),
+        k_red.get(0, b_mid, b_mid)
+    );
+}

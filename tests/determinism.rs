@@ -1,0 +1,93 @@
+//! Determinism and numerical-stability guarantees.
+
+use galactos::mocks::cluster_process::NeymanScott;
+use galactos::prelude::*;
+
+#[test]
+fn repeated_runs_are_bitwise_identical() {
+    let cat = uniform_box(500, 20.0, 3);
+    let config = EngineConfig::test_default(6.0, 3, 3);
+    let engine = Engine::new(config);
+    // Single-threaded: reduction order is fixed, results bitwise equal.
+    let pool = rayon::ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+    let a = pool.install(|| engine.compute(&cat));
+    let b = pool.install(|| engine.compute(&cat));
+    assert_eq!(a.max_difference(&b), 0.0);
+}
+
+#[test]
+fn thread_count_does_not_change_results_beyond_roundoff() {
+    let mut cat = NeymanScott {
+        parent_density: 1e-3,
+        mean_children: 8.0,
+        sigma: 1.5,
+    }
+    .generate(30.0, 5);
+    cat.periodic = None;
+    let config = EngineConfig::test_default(8.0, 3, 3);
+    let engine = Engine::new(config);
+    let pool1 = rayon::ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+    let pool4 = rayon::ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+    let a = pool1.install(|| engine.compute(&cat));
+    let b = pool4.install(|| engine.compute(&cat));
+    let scale = a.max_abs().max(1.0);
+    assert!(
+        a.max_difference(&b) < 1e-10 * scale,
+        "thread-count dependence: {}",
+        a.max_difference(&b)
+    );
+    assert_eq!(a.binned_pairs, b.binned_pairs);
+    assert_eq!(a.num_primaries, b.num_primaries);
+}
+
+#[test]
+fn mock_generators_are_seed_deterministic() {
+    let a = NeymanScott { parent_density: 1e-3, mean_children: 5.0, sigma: 1.0 }
+        .generate(25.0, 42);
+    let b = NeymanScott { parent_density: 1e-3, mean_children: 5.0, sigma: 1.0 }
+        .generate(25.0, 42);
+    assert_eq!(a.len(), b.len());
+    for (x, y) in a.galaxies.iter().zip(b.galaxies.iter()) {
+        assert_eq!(x.pos, y.pos);
+    }
+}
+
+#[test]
+fn distributed_run_is_deterministic_across_invocations() {
+    let mut cat = uniform_box(200, 15.0, 7);
+    cat.periodic = None;
+    let config = EngineConfig::test_default(5.0, 2, 2);
+    let a = compute_distributed(&cat, &config, 4);
+    let b = compute_distributed(&cat, &config, 4);
+    // Partition, exchange and per-rank pair sets are exactly
+    // deterministic; only intra-rank thread reduction order may vary.
+    let scale = a.zeta.max_abs().max(1.0);
+    assert!(a.zeta.max_difference(&b.zeta) < 1e-12 * scale);
+    for (ra, rb) in a.ranks.iter().zip(b.ranks.iter()) {
+        assert_eq!(ra.owned, rb.owned);
+        assert_eq!(ra.ghosts, rb.ghosts);
+        assert_eq!(ra.binned_pairs, rb.binned_pairs);
+    }
+}
+
+#[test]
+fn weights_propagate_linearly_through_the_pipeline() {
+    let mut cat = uniform_box(150, 12.0, 9);
+    cat.periodic = None;
+    let config = EngineConfig::test_default(4.0, 2, 2);
+    let engine = Engine::new(config);
+    let base = engine.compute(&cat);
+    let mut scaled = cat.clone();
+    for g in &mut scaled.galaxies {
+        g.weight *= 3.0;
+    }
+    let tripled = engine.compute(&scaled);
+    // Every ζ term carries w_i w_j w_k → factor 27.
+    for (a, b) in base.data().iter().zip(tripled.data().iter()) {
+        assert!(
+            (*a * 27.0).dist_inf(*b) < 1e-9 * (1.0 + a.abs() * 27.0),
+            "{a} vs {b}"
+        );
+    }
+    assert!((tripled.total_primary_weight - 3.0 * base.total_primary_weight).abs() < 1e-9);
+}

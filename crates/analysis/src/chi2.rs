@@ -46,7 +46,11 @@ pub fn project_components(cov: &Covariance, indices: &[usize]) -> Covariance {
             matrix[(a, b)] = cov.matrix[(i, j)];
         }
     }
-    Covariance { mean, matrix, n_samples: cov.n_samples }
+    Covariance {
+        mean,
+        matrix,
+        n_samples: cov.n_samples,
+    }
 }
 
 #[cfg(test)]
@@ -59,7 +63,11 @@ mod tests {
         for i in 0..d {
             m[(i, i)] = vars[i];
         }
-        Covariance { mean: vec![0.0; d], matrix: m, n_samples: n }
+        Covariance {
+            mean: vec![0.0; d],
+            matrix: m,
+            n_samples: n,
+        }
     }
 
     #[test]
@@ -92,7 +100,11 @@ mod tests {
     fn singular_covariance_returns_none() {
         let mut m = Matrix::zeros(2, 2);
         m[(0, 0)] = 1.0; // second component has zero variance
-        let cov = Covariance { mean: vec![0.0, 0.0], matrix: m, n_samples: 50 };
+        let cov = Covariance {
+            mean: vec![0.0, 0.0],
+            matrix: m,
+            n_samples: 50,
+        };
         assert!(chi_squared(&[1.0, 1.0], &[0.0, 0.0], &cov).is_none());
     }
 
@@ -104,7 +116,11 @@ mod tests {
         }
         m[(0, 2)] = 0.5;
         m[(2, 0)] = 0.5;
-        let cov = Covariance { mean: vec![1.0, 2.0, 3.0], matrix: m, n_samples: 10 };
+        let cov = Covariance {
+            mean: vec![1.0, 2.0, 3.0],
+            matrix: m,
+            n_samples: 10,
+        };
         let sub = project_components(&cov, &[0, 2]);
         assert_eq!(sub.mean, vec![1.0, 3.0]);
         assert_eq!(sub.matrix[(0, 1)], 0.5);

@@ -28,7 +28,11 @@ impl Covariance {
         for i in 0..n {
             for j in 0..n {
                 let d = s[i] * s[j];
-                out[(i, j)] = if d > 0.0 { self.matrix[(i, j)] / d } else { 0.0 };
+                out[(i, j)] = if d > 0.0 {
+                    self.matrix[(i, j)] / d
+                } else {
+                    0.0
+                };
             }
         }
         out
@@ -65,7 +69,11 @@ pub fn sample_covariance(samples: &[Vec<f64>]) -> Covariance {
             matrix[(i, j)] *= norm;
         }
     }
-    Covariance { mean, matrix, n_samples: n }
+    Covariance {
+        mean,
+        matrix,
+        n_samples: n,
+    }
 }
 
 /// Delete-one jackknife covariance over `n` resampled vectors
@@ -100,7 +108,11 @@ pub fn jackknife_covariance(delete_one: &[Vec<f64>]) -> Covariance {
             matrix[(i, j)] *= norm;
         }
     }
-    Covariance { mean, matrix, n_samples: n }
+    Covariance {
+        mean,
+        matrix,
+        n_samples: n,
+    }
 }
 
 /// Spatial jackknife from per-rank (per-region) ζ partials, exactly as

@@ -59,8 +59,7 @@ fn jackknife_and_ensemble_agree_in_order_of_magnitude() {
     let plan = galactos_domain::DomainPlan::build(&positions, cat.bounds, 8);
     let partials: Vec<_> = (0..8)
         .map(|r| {
-            let idx: Vec<usize> =
-                plan.owned_indices(r).iter().map(|&i| i as usize).collect();
+            let idx: Vec<usize> = plan.owned_indices(r).iter().map(|&i| i as usize).collect();
             engine.compute(&cat.subset(&idx))
         })
         .collect();

@@ -169,11 +169,7 @@ fn bench_alm_strategies(c: &mut Criterion) {
         b.iter(|| {
             alm.iter_mut().for_each(|v| *v = Complex64::ZERO);
             for i in 0..128 {
-                ylm_all_cartesian(
-                    lmax,
-                    Vec3::new(dx[i], dy[i], dz[i]),
-                    &mut ybuf,
-                );
+                ylm_all_cartesian(lmax, Vec3::new(dx[i], dy[i], dz[i]), &mut ybuf);
                 for (a, y) in alm.iter_mut().zip(ybuf.iter()) {
                     *a += *y * w[i];
                 }
@@ -239,7 +235,9 @@ fn bench_fft3(c: &mut Criterion) {
     use galactos_mocks::fft::{Direction, Mesh3};
     let mut rng = ChaCha8Rng::seed_from_u64(4);
     let n = 32;
-    let values: Vec<f64> = (0..n * n * n).map(|_| rng.random_range(-1.0..1.0)).collect();
+    let values: Vec<f64> = (0..n * n * n)
+        .map(|_| rng.random_range(-1.0..1.0))
+        .collect();
     c.bench_function("fft3_32cubed", |b| {
         b.iter(|| {
             let mut mesh = Mesh3::from_real(n, black_box(&values));

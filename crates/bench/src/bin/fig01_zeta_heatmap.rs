@@ -47,27 +47,30 @@ fn main() {
         let zb = engine.compute(&b.catalog).normalized().compress_isotropic();
         let da = a.catalog.len() as f64 / box_len.powi(3);
         let db = b.catalog.len() as f64 / box_len.powi(3);
-        for b1 in 0..nbins {
-            for b2 in 0..nbins {
+        for (b1, row) in diff.iter_mut().enumerate() {
+            for (b2, cell) in row.iter_mut().enumerate() {
                 let norm_a = bins.shell_volume(b1) * bins.shell_volume(b2) * da * da;
                 let norm_b = bins.shell_volume(b1) * bins.shell_volume(b2) * db * db;
-                diff[b1][b2] +=
-                    (za.get(0, b1, b2) / norm_a - zb.get(0, b1, b2) / norm_b) / n_mocks as f64;
+                *cell += (za.get(0, b1, b2) / norm_a - zb.get(0, b1, b2) / norm_b) / n_mocks as f64;
             }
         }
     }
 
     println!("\nzeta_0(r1, r2) difference, BAO minus no-BAO (acoustic scale 22 Mpc/h):");
-    println!("rows: r1 from {:.0} (bottom) to {:.0} (top); cols: r2\n", bins.center(0), bins.center(nbins - 1));
+    println!(
+        "rows: r1 from {:.0} (bottom) to {:.0} (top); cols: r2\n",
+        bins.center(0),
+        bins.center(nbins - 1)
+    );
     print!("{}", ascii_heatmap(&diff));
 
     // CSV for external plotting.
     let path = std::env::temp_dir().join("galactos_fig01.csv");
     let mut f = std::fs::File::create(&path).expect("csv");
     writeln!(f, "r1,r2,delta_zeta0").unwrap();
-    for b1 in 0..nbins {
-        for b2 in 0..nbins {
-            writeln!(f, "{},{},{}", bins.center(b1), bins.center(b2), diff[b1][b2]).unwrap();
+    for (b1, row) in diff.iter().enumerate() {
+        for (b2, &cell) in row.iter().enumerate() {
+            writeln!(f, "{},{},{}", bins.center(b1), bins.center(b2), cell).unwrap();
         }
     }
     println!("\nCSV written to {}", path.display());

@@ -8,7 +8,7 @@
 use galactos_bench::datasets::{node_dataset, scaled_rmax};
 use galactos_bench::tables::{fmt_secs, print_table};
 use galactos_bench::BENCH_SEED;
-use galactos_core::config::EngineConfig;
+use galactos_core::config::{EngineConfig, Scheduling};
 use galactos_core::engine::Engine;
 use std::time::Instant;
 
@@ -19,7 +19,10 @@ fn time_with_threads(engine: &Engine, catalog: &galactos_catalog::Catalog, threa
         .expect("pool");
     pool.install(|| {
         let t0 = Instant::now();
-        let z = engine.compute(catalog);
+        // Dynamic scheduling through the shared schedule driver — the
+        // paper's configuration for this figure ("OpenMP dynamic
+        // scheduling to allocate primaries to threads").
+        let z = engine.compute_with_scheduling(catalog, Scheduling::Dynamic);
         std::hint::black_box(z.binned_pairs);
         t0.elapsed().as_secs_f64()
     })
@@ -35,7 +38,9 @@ fn main() {
     let mut config = EngineConfig::paper_default(rmax);
     config.subtract_self_pairs = false;
     let engine = Engine::new(config);
-    let cores = std::thread::available_parallelism().map(|c| c.get()).unwrap_or(4);
+    let cores = std::thread::available_parallelism()
+        .map(|c| c.get())
+        .unwrap_or(4);
     println!(
         "dataset: {} galaxies, Rmax = {rmax:.1}, lmax = 10, host cores: {cores}\n",
         catalog.len()
@@ -54,7 +59,11 @@ fn main() {
     let mut rows = Vec::new();
     let mut t_full_core = t1;
     for &c in &core_counts {
-        let t = if c == 1 { t1 } else { time_with_threads(&engine, &catalog, c) };
+        let t = if c == 1 {
+            t1
+        } else {
+            time_with_threads(&engine, &catalog, c)
+        };
         if c == cores {
             t_full_core = t;
         }

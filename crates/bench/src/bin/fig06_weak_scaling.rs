@@ -13,7 +13,9 @@ use galactos_bench::tables::{fmt_count, fmt_secs, print_table};
 use galactos_bench::BENCH_SEED;
 use galactos_core::config::EngineConfig;
 use galactos_core::engine::Engine;
-use galactos_mocks::scaled::{generate_scaled_catalog, scaled_dataset, MockKind, OUTER_RIM_DENSITY};
+use galactos_mocks::scaled::{
+    generate_scaled_catalog, scaled_dataset, MockKind, OUTER_RIM_DENSITY,
+};
 use std::time::Instant;
 
 fn main() {
@@ -55,12 +57,16 @@ fn main() {
         fmt_count(z.binned_pairs),
     );
 
-    println!("== weak scaling (model; {} galaxies per rank at fixed density) ==\n", per_rank);
+    println!(
+        "== weak scaling (model; {} galaxies per rank at fixed density) ==\n",
+        per_rank
+    );
     let mut rows = Vec::new();
     let mut base_time = None;
     for &ranks in &rank_counts {
         let ds = scaled_dataset(ranks, per_rank, OUTER_RIM_DENSITY);
-        let mut cat = generate_scaled_catalog(&ds, 1.0, MockKind::Clustered, BENCH_SEED + ranks as u64);
+        let mut cat =
+            generate_scaled_catalog(&ds, 1.0, MockKind::Clustered, BENCH_SEED + ranks as u64);
         cat.periodic = None;
         let sim = simulate_run(&cat, rmax, ranks, cal.pairs_per_sec);
         let t = sim.time_to_solution;
@@ -75,7 +81,14 @@ fn main() {
         ]);
     }
     print_table(
-        &["ranks", "galaxies", "time-to-solution", "vs smallest", "pair variation", "total pairs"],
+        &[
+            "ranks",
+            "galaxies",
+            "time-to-solution",
+            "vs smallest",
+            "pair variation",
+            "total pairs",
+        ],
         &rows,
     );
     println!("\npaper (Fig. 6): 128->8192 nodes, time +9%; <10% pair-count variation per rank.");

@@ -11,7 +11,9 @@ use galactos_bench::costmodel::{calibrate_throughput, simulate_run};
 use galactos_bench::tables::{fmt_count, fmt_secs, print_table};
 use galactos_bench::BENCH_SEED;
 use galactos_core::config::EngineConfig;
-use galactos_mocks::scaled::{generate_scaled_catalog, scaled_dataset, MockKind, OUTER_RIM_DENSITY};
+use galactos_mocks::scaled::{
+    generate_scaled_catalog, scaled_dataset, MockKind, OUTER_RIM_DENSITY,
+};
 
 fn main() {
     let n: f64 = std::env::args()
@@ -59,7 +61,15 @@ fn main() {
         ]);
     }
     print_table(
-        &["ranks", "time", "speedup", "ideal", "efficiency", "pair variation", "pairs/rank"],
+        &[
+            "ranks",
+            "time",
+            "speedup",
+            "ideal",
+            "efficiency",
+            "pair variation",
+            "pairs/rank",
+        ],
         &rows,
     );
     println!("\npaper (Fig. 7): 64x more nodes -> 27x speedup (42% efficiency at the far end),");

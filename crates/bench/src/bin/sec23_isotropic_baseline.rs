@@ -41,7 +41,9 @@ fn main() {
     // Anisotropic engine with the radial line of sight (survey mode).
     let mut config = EngineConfig::paper_default(rmax);
     config.subtract_self_pairs = false;
-    config.line_of_sight = LineOfSight::Radial { observer: Vec3::ZERO };
+    config.line_of_sight = LineOfSight::Radial {
+        observer: Vec3::ZERO,
+    };
     let engine = Engine::new(config);
     let t1 = Instant::now();
     let zeta = engine.compute(&catalog);
@@ -57,7 +59,10 @@ fn main() {
         vec![
             "anisotropic (Galactos)".into(),
             fmt_secs(t_aniso),
-            format!("{}", zeta.layout().n_lm_combos() * bins.nbins() * bins.nbins()),
+            format!(
+                "{}",
+                zeta.layout().n_lm_combos() * bins.nbins() * bins.nbins()
+            ),
             fmt_count(zeta.num_primaries),
         ],
     ];

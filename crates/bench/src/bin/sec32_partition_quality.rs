@@ -42,7 +42,13 @@ fn main() {
         ]);
     }
     print_table(
-        &["ranks", "tree depth", "primary imbalance", "ghosts/galaxy", "total ghosts"],
+        &[
+            "ranks",
+            "tree depth",
+            "primary imbalance",
+            "ghosts/galaxy",
+            "total ghosts",
+        ],
         &rows,
     );
     println!("\n(9636-rank analogue: 963 ranks on the scaled box — non-power-of-two,");
@@ -52,11 +58,25 @@ fn main() {
     let plan = DomainPlan::build(&positions, catalog.bounds, 16);
     let lb = LoadBalance::from_counts(pair_counts(&plan, &positions, rmax));
     let rows = vec![
-        vec!["pairs min / max".into(), format!("{} / {}", fmt_count(lb.min), fmt_count(lb.max))],
-        vec!["imbalance (max-mean)/mean".into(), format!("{:.1}%", 100.0 * lb.imbalance())],
-        vec!["peak-to-peak variation".into(), format!("{:.1}%", 100.0 * lb.variation())],
-        vec!["implied efficiency".into(), format!("{:.0}%", 100.0 * lb.efficiency())],
+        vec![
+            "pairs min / max".into(),
+            format!("{} / {}", fmt_count(lb.min), fmt_count(lb.max)),
+        ],
+        vec![
+            "imbalance (max-mean)/mean".into(),
+            format!("{:.1}%", 100.0 * lb.imbalance()),
+        ],
+        vec![
+            "peak-to-peak variation".into(),
+            format!("{:.1}%", 100.0 * lb.variation()),
+        ],
+        vec![
+            "implied efficiency".into(),
+            format!("{:.0}%", 100.0 * lb.efficiency()),
+        ],
     ];
     print_table(&["work balance", "value"], &rows);
-    println!("\npaper: ~25% pair imbalance in weak scaling; up to 60% variation in strong scaling.");
+    println!(
+        "\npaper: ~25% pair imbalance in weak scaling; up to 60% variation in strong scaling."
+    );
 }

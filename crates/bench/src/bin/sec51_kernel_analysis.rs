@@ -23,7 +23,10 @@ use galactos_math::monomial::monomial_count;
 fn main() {
     println!("== static kernel arithmetic (lmax = 10) ==\n");
     let rows = vec![
-        vec!["monomials (paper: 286)".into(), format!("{}", monomial_count(10))],
+        vec![
+            "monomials (paper: 286)".into(),
+            format!("{}", monomial_count(10)),
+        ],
         vec![
             "kernel FLOPs/pair (paper: 576)".into(),
             format!("{}", kernel_flops_per_pair(10)),
@@ -66,9 +69,11 @@ fn main() {
     let engine = Engine::new(config);
     let timer = StageTimer::new();
     let flops = FlopCounter::new();
-    let pool = rayon::ThreadPoolBuilder::new().num_threads(1).build().unwrap();
-    let zeta =
-        pool.install(|| engine.compute_instrumented(&catalog, Some(&timer), Some(&flops)));
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(1)
+        .build()
+        .unwrap();
+    let zeta = pool.install(|| engine.compute_instrumented(&catalog, Some(&timer), Some(&flops)));
     let kernel_secs = timer.get(Stage::Multipole) as f64 / 1e9;
     let kernel_gf = flops.kernel_flops(10) as f64 / kernel_secs / 1e9;
     println!(

@@ -36,13 +36,16 @@ fn main() {
 
     // --- jackknife from the spatial partition of one catalog ---
     let catalog = make_catalog(BENCH_SEED);
-    println!("catalog: {} galaxies; {} jackknife regions\n", catalog.len(), num_regions);
+    println!(
+        "catalog: {} galaxies; {} jackknife regions\n",
+        catalog.len(),
+        num_regions
+    );
     let positions = catalog.positions();
     let plan = DomainPlan::build(&positions, catalog.bounds, num_regions);
     let partials: Vec<_> = (0..num_regions)
         .map(|r| {
-            let idx: Vec<usize> =
-                plan.owned_indices(r).iter().map(|&i| i as usize).collect();
+            let idx: Vec<usize> = plan.owned_indices(r).iter().map(|&i| i as usize).collect();
             engine.compute(&catalog.subset(&idx))
         })
         .collect();
@@ -92,9 +95,17 @@ fn main() {
         })
         .collect();
     print_table(
-        &["component", "mean", "jackknife sigma", "ensemble sigma", "ratio"],
+        &[
+            "component",
+            "mean",
+            "jackknife sigma",
+            "ensemble sigma",
+            "ratio",
+        ],
         &rows,
     );
     println!("\nThe spatial jackknife tracks the mock-ensemble errors at the factor-of-a-few");
-    println!("level expected for {num_regions} regions — the free covariance the paper highlights.");
+    println!(
+        "level expected for {num_regions} regions — the free covariance the paper highlights."
+    );
 }

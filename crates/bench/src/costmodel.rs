@@ -116,7 +116,11 @@ pub fn simulate_run(
         time_to_solution: max,
         mean_rank_time: mean,
         total_pairs,
-        pair_variation: if pmean > 0.0 { (pmax - pmin) / pmean } else { 0.0 },
+        pair_variation: if pmean > 0.0 {
+            (pmax - pmin) / pmean
+        } else {
+            0.0
+        },
     }
 }
 

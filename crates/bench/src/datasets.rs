@@ -1,7 +1,9 @@
 //! Catalog generation wrappers at paper-scaled sizes.
 
 use galactos_catalog::Catalog;
-use galactos_mocks::scaled::{generate_scaled_catalog, scaled_dataset, MockKind, OUTER_RIM_DENSITY};
+use galactos_mocks::scaled::{
+    generate_scaled_catalog, scaled_dataset, MockKind, OUTER_RIM_DENSITY,
+};
 
 /// Laptop-scale analogue of the paper's single-node dataset: `n`
 /// galaxies at the Outer Rim number density (the paper's node held
@@ -9,7 +11,11 @@ use galactos_mocks::scaled::{generate_scaled_catalog, scaled_dataset, MockKind, 
 /// the same density so Rmax-scaled physics carries over).
 pub fn node_dataset(n: usize, clustered: bool, seed: u64) -> Catalog {
     let ds = scaled_dataset(1, n as f64, OUTER_RIM_DENSITY);
-    let kind = if clustered { MockKind::Clustered } else { MockKind::Poisson };
+    let kind = if clustered {
+        MockKind::Clustered
+    } else {
+        MockKind::Poisson
+    };
     let mut cat = generate_scaled_catalog(&ds, 1.0, kind, seed);
     cat.periodic = None; // open box, like the paper's per-node domain
     cat
@@ -34,7 +40,10 @@ mod tests {
         let cat = node_dataset(3000, false, 1);
         let v = cat.bounds.volume();
         let density = cat.len() as f64 / v;
-        assert!((density / OUTER_RIM_DENSITY - 1.0).abs() < 0.3, "density {density}");
+        assert!(
+            (density / OUTER_RIM_DENSITY - 1.0).abs() < 0.3,
+            "density {density}"
+        );
         assert!(scaled_rmax(&cat) > 0.0);
     }
 }

@@ -47,7 +47,11 @@ impl Catalog {
         for g in &galaxies {
             bounds.expand(g.pos);
         }
-        Catalog { galaxies, bounds, periodic: None }
+        Catalog {
+            galaxies,
+            bounds,
+            periodic: None,
+        }
     }
 
     /// Catalog declared to live in the periodic cube `[0, box_len)³`.

@@ -163,7 +163,11 @@ pub fn read_csv(path: impl AsRef<Path>) -> Result<Catalog, CatalogIoError> {
                         .map_err(|e| CatalogIoError::Parse(format!("{s}: {e}")))
                 };
                 let pos = Vec3::new(parse(fields[0])?, parse(fields[1])?, parse(fields[2])?);
-                let weight = if fields.len() > 3 { parse(fields[3])? } else { 1.0 };
+                let weight = if fields.len() > 3 {
+                    parse(fields[3])?
+                } else {
+                    1.0
+                };
                 galaxies.push(Galaxy::new(pos, weight));
             }
         }
@@ -221,7 +225,10 @@ mod tests {
             from_bytes(&bytes[..bytes.len() - 8]),
             Err(CatalogIoError::Truncated)
         ));
-        assert!(matches!(from_bytes(&bytes[..4]), Err(CatalogIoError::Truncated)));
+        assert!(matches!(
+            from_bytes(&bytes[..4]),
+            Err(CatalogIoError::Truncated)
+        ));
     }
 
     #[test]

@@ -129,11 +129,7 @@ mod tests {
             assert_eq!(g.weight, 1.0);
         }
         // Mean position should be near the box center.
-        let mean = c
-            .galaxies
-            .iter()
-            .fold(Vec3::ZERO, |acc, g| acc + g.pos)
-            / c.len() as f64;
+        let mean = c.galaxies.iter().fold(Vec3::ZERO, |acc, g| acc + g.pos) / c.len() as f64;
         assert!((mean - Vec3::splat(25.0)).norm() < 3.0, "mean {mean:?}");
     }
 
@@ -151,10 +147,15 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(3);
         for mean in [0.5, 5.0, 30.0, 200.0] {
             let n = 4000;
-            let samples: Vec<f64> = (0..n).map(|_| sample_poisson(mean, &mut rng) as f64).collect();
+            let samples: Vec<f64> = (0..n)
+                .map(|_| sample_poisson(mean, &mut rng) as f64)
+                .collect();
             let m: f64 = samples.iter().sum::<f64>() / n as f64;
             let v: f64 = samples.iter().map(|s| (s - m) * (s - m)).sum::<f64>() / n as f64;
-            assert!((m - mean).abs() < 5.0 * (mean / n as f64).sqrt() + 0.6, "mean {mean}: {m}");
+            assert!(
+                (m - mean).abs() < 5.0 * (mean / n as f64).sqrt() + 0.6,
+                "mean {mean}: {m}"
+            );
             assert!((v / mean - 1.0).abs() < 0.25, "var at mean {mean}: {v}");
         }
     }

@@ -32,7 +32,11 @@ impl CatalogStats {
             Some(l) => l * l * l,
             None => catalog.bounds.volume(),
         };
-        let density = if volume > 0.0 { count as f64 / volume } else { f64::NAN };
+        let density = if volume > 0.0 {
+            count as f64 / volume
+        } else {
+            f64::NAN
+        };
         let mean_separation = if count > 0 && volume > 0.0 {
             (volume / count as f64).cbrt()
         } else {

@@ -261,8 +261,16 @@ mod tests {
         s.radial_completeness = vec![(10.0, 1.0), (30.0, 0.1)];
         let randoms = s.sample_randoms(3000, 23);
         // Expected suppressed outer counts relative to uniform geometry.
-        let inner = randoms.galaxies.iter().filter(|g| g.pos.norm() < 20.0).count() as f64;
-        let outer = randoms.galaxies.iter().filter(|g| g.pos.norm() >= 20.0).count() as f64;
+        let inner = randoms
+            .galaxies
+            .iter()
+            .filter(|g| g.pos.norm() < 20.0)
+            .count() as f64;
+        let outer = randoms
+            .galaxies
+            .iter()
+            .filter(|g| g.pos.norm() >= 20.0)
+            .count() as f64;
         // Without completeness, outer/inner ≈ (27000-8000)/(8000-1000) = 2.71;
         // with the ramp the outer bin is strongly suppressed.
         assert!(outer / inner < 1.5, "outer/inner = {}", outer / inner);

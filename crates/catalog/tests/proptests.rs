@@ -1,7 +1,7 @@
 //! Property-based tests for catalog containers, I/O and geometry.
 
 use galactos_catalog::io::{from_bytes, to_bytes};
-use galactos_catalog::{Catalog, Cap, Galaxy, SurveyGeometry};
+use galactos_catalog::{Cap, Catalog, Galaxy, SurveyGeometry};
 use galactos_math::Vec3;
 use proptest::prelude::*;
 

@@ -32,8 +32,11 @@ struct Envelope {
 /// messages that arrived before they were asked for.
 struct Mailbox {
     rx: Receiver<Envelope>,
-    pending: Mutex<HashMap<MsgKey, VecDeque<(usize, Box<dyn Any + Send>)>>>,
+    pending: Mutex<HashMap<MsgKey, VecDeque<Parcel>>>,
 }
+
+/// A buffered message: its wire size plus the boxed payload.
+type Parcel = (usize, Box<dyn Any + Send>);
 
 struct Fabric {
     senders: Vec<Sender<Envelope>>,
@@ -86,12 +89,19 @@ impl Comm {
 
     /// Asynchronously send `value` to local rank `dest` under `tag`.
     pub fn send<T: Payload>(&self, dest: usize, tag: u64, value: T) {
-        assert!(tag & INTERNAL_TAG == 0, "user tags must not set the top bit");
+        assert!(
+            tag & INTERNAL_TAG == 0,
+            "user tags must not set the top bit"
+        );
         self.send_raw(dest, tag, value);
     }
 
     fn send_raw<T: Payload>(&self, dest: usize, tag: u64, value: T) {
-        assert!(dest < self.size(), "dest {dest} out of range 0..{}", self.size());
+        assert!(
+            dest < self.size(),
+            "dest {dest} out of range 0..{}",
+            self.size()
+        );
         let bytes = value.wire_bytes();
         let src_world = self.group[self.my_local];
         let dest_world = self.group[dest];
@@ -108,12 +118,19 @@ impl Comm {
     /// Block until a message from local rank `src` with `tag` arrives;
     /// panics if the payload type does not match `T`.
     pub fn recv<T: Payload>(&self, src: usize, tag: u64) -> T {
-        assert!(tag & INTERNAL_TAG == 0, "user tags must not set the top bit");
+        assert!(
+            tag & INTERNAL_TAG == 0,
+            "user tags must not set the top bit"
+        );
         self.recv_raw(src, tag)
     }
 
     fn recv_raw<T: Payload>(&self, src: usize, tag: u64) -> T {
-        assert!(src < self.size(), "src {src} out of range 0..{}", self.size());
+        assert!(
+            src < self.size(),
+            "src {src} out of range 0..{}",
+            self.size()
+        );
         let src_world = self.group[src];
         let my_world = self.group[self.my_local];
         let want: MsgKey = (self.comm_id, tag, src_world);
@@ -255,9 +272,9 @@ impl Comm {
         if self.my_local == root {
             let mut out: Vec<Option<T>> = (0..self.size()).map(|_| None).collect();
             out[root] = Some(value);
-            for r in 0..self.size() {
+            for (r, slot) in out.iter_mut().enumerate() {
                 if r != root {
-                    out[r] = Some(self.recv_internal(r, GATHER_TAG));
+                    *slot = Some(self.recv_internal(r, GATHER_TAG));
                 }
             }
             Some(out.into_iter().map(|v| v.unwrap()).collect())
@@ -336,7 +353,10 @@ where
     for _ in 0..num_ranks {
         let (tx, rx) = unbounded();
         senders.push(tx);
-        mailboxes.push(Arc::new(Mailbox { rx, pending: Mutex::new(HashMap::new()) }));
+        mailboxes.push(Arc::new(Mailbox {
+            rx,
+            pending: Mutex::new(HashMap::new()),
+        }));
     }
     let fabric = Arc::new(Fabric {
         senders,

@@ -20,7 +20,8 @@ impl TrafficStats {
 
     pub fn record_recv(&self, bytes: usize) {
         self.messages_received.fetch_add(1, Ordering::Relaxed);
-        self.bytes_received.fetch_add(bytes as u64, Ordering::Relaxed);
+        self.bytes_received
+            .fetch_add(bytes as u64, Ordering::Relaxed);
     }
 
     pub fn snapshot(&self) -> TrafficSnapshot {
@@ -51,7 +52,9 @@ pub struct ClusterStats {
 impl ClusterStats {
     pub fn new(num_ranks: usize) -> Self {
         ClusterStats {
-            per_rank: (0..num_ranks).map(|_| Arc::new(TrafficStats::default())).collect(),
+            per_rank: (0..num_ranks)
+                .map(|_| Arc::new(TrafficStats::default()))
+                .collect(),
         }
     }
 

@@ -31,7 +31,11 @@ impl RadialBins {
         let mut edges: Vec<f64> = (0..=nbins).map(|i| rmin + i as f64 * width).collect();
         edges[0] = rmin;
         edges[nbins] = rmax; // exact outer edge despite rounding
-        RadialBins { edges, spacing: BinSpacing::Linear, inv_width: 1.0 / width }
+        RadialBins {
+            edges,
+            spacing: BinSpacing::Linear,
+            inv_width: 1.0 / width,
+        }
     }
 
     /// `nbins` logarithmically spaced shells covering `[rmin, rmax)`
@@ -40,11 +44,16 @@ impl RadialBins {
         assert!(nbins > 0);
         assert!(rmin > 0.0 && rmax > rmin, "log bins need 0 < rmin < rmax");
         let ratio = (rmax / rmin).ln() / nbins as f64;
-        let mut edges: Vec<f64> =
-            (0..=nbins).map(|i| rmin * (ratio * i as f64).exp()).collect();
+        let mut edges: Vec<f64> = (0..=nbins)
+            .map(|i| rmin * (ratio * i as f64).exp())
+            .collect();
         edges[0] = rmin;
         edges[nbins] = rmax;
-        RadialBins { edges, spacing: BinSpacing::Logarithmic, inv_width: 0.0 }
+        RadialBins {
+            edges,
+            spacing: BinSpacing::Logarithmic,
+            inv_width: 0.0,
+        }
     }
 
     #[inline]
@@ -75,8 +84,7 @@ impl RadialBins {
 
     /// Shell volume `4π/3 (r_hi³ − r_lo³)` of bin `i`.
     pub fn shell_volume(&self, i: usize) -> f64 {
-        4.0 / 3.0 * std::f64::consts::PI
-            * (self.edges[i + 1].powi(3) - self.edges[i].powi(3))
+        4.0 / 3.0 * std::f64::consts::PI * (self.edges[i + 1].powi(3) - self.edges[i].powi(3))
     }
 
     /// Bin index of radius `r`, or `None` outside `[rmin, rmax)`.

@@ -130,8 +130,16 @@ mod tests {
             let mut proj = 0.0;
             for i in 0..n {
                 let x = -1.0 + (i as f64 + 0.5) * h;
-                let zeta_x: f64 = z.iter().enumerate().map(|(a, &c)| c * legendre_p(a, x)).sum();
-                let w_x: f64 = f.iter().enumerate().map(|(a, &c)| c * legendre_p(a, x)).sum();
+                let zeta_x: f64 = z
+                    .iter()
+                    .enumerate()
+                    .map(|(a, &c)| c * legendre_p(a, x))
+                    .sum();
+                let w_x: f64 = f
+                    .iter()
+                    .enumerate()
+                    .map(|(a, &c)| c * legendre_p(a, x))
+                    .sum();
                 proj += zeta_x * w_x * legendre_p(l, x) * h;
             }
             proj *= (2 * l + 1) as f64 / 2.0;

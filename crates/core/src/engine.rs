@@ -1,56 +1,39 @@
 //! The anisotropic 3PCF engine: Algorithm 1 with the §3.3 optimizations.
 //!
-//! Per primary galaxy: gather secondaries within Rmax from the k-d tree,
-//! rotate separations into the line-of-sight frame, bin them into radial
-//! shells, bucket-accumulate the 286 monomials, assemble the shell
-//! coefficients `a_ℓm`, and accumulate
-//! `ζ^m_{ℓℓ'}(r₁, r₂) += w_i · a_ℓm(r₁) · conj(a_ℓ'm(r₂))`.
-//! Primaries are distributed over threads with dynamic scheduling
-//! (work stealing), each thread owning private accumulators that are
-//! merged once at the end — "this approach ensures maximum independent
-//! work for each thread".
+//! The per-primary work is a pipeline of four named stages, matching
+//! the independent gather → bin → a_ℓm → accumulate structure that
+//! Slepian & Eisenstein (2017) formalize for the anisotropic redshift-
+//! space 3PCF:
+//!
+//! 1. [`gather`](Engine::gather) — collect secondaries within Rmax from
+//!    the precision-erased k-d tree ([`crate::traversal`]);
+//! 2. [`bin_and_bucket`](Engine::bin_and_bucket) — rotate separations
+//!    into the line-of-sight frame, bin them into radial shells, and
+//!    bucket-accumulate the monomials (§3.3.1/§3.3.2);
+//! 3. [`assemble_alm`](Engine::assemble_alm) — reduce the monomial sums
+//!    and assemble the shell coefficients `a_ℓm`;
+//! 4. [`accumulate_zeta`](Engine::accumulate_zeta) — accumulate
+//!    `ζ^m_{ℓℓ'}(r₁, r₂) += w_i · a_ℓm(r₁) · conj(a_ℓ'm(r₂))` (minus
+//!    the degenerate self-pair terms when enabled).
+//!
+//! Primaries are distributed over threads by the shared
+//! [`crate::schedule`] driver — dynamic (work stealing) or static
+//! chunking — with each worker owning a private [`ComputeScratch`]
+//! that is merged once at the end: "this approach ensures maximum
+//! independent work for each thread".
 
-use crate::config::{EngineConfig, Scheduling, TreePrecision};
+use crate::config::{EngineConfig, Scheduling};
 use crate::flops::FlopCounter;
-use crate::kernel::{KernelAccumulator, PairBuckets};
 use crate::result::AnisotropicZeta;
+use crate::schedule::{self, Merge};
+use crate::scratch::ComputeScratch;
 use crate::timing::{Stage, StageTimer};
+use crate::traversal::Tree;
 use galactos_catalog::{Catalog, Galaxy};
-use galactos_kdtree::{KdTree, TreeConfig};
 use galactos_math::monomial::MonomialBasis;
 use galactos_math::ylm::{YlmPairProductTable, YlmTable};
-use galactos_math::{lm_count, lm_index, Complex64, Vec3};
-use rayon::prelude::*;
+use galactos_math::{lm_count, lm_index, Complex64, Mat3, Vec3};
 use std::time::Instant;
-
-/// Precision-erased k-d tree.
-enum Tree {
-    F32(KdTree<f32>),
-    F64(KdTree<f64>),
-}
-
-impl Tree {
-    fn build(positions: &[Vec3], precision: TreePrecision) -> Self {
-        match precision {
-            TreePrecision::Mixed => Tree::F32(KdTree::build(positions, TreeConfig::default())),
-            TreePrecision::Double => Tree::F64(KdTree::build(positions, TreeConfig::default())),
-        }
-    }
-
-    fn for_each_within<F: FnMut(u32)>(&self, c: Vec3, r: f64, f: &mut F) {
-        match self {
-            Tree::F32(t) => t.for_each_within(c, r, f),
-            Tree::F64(t) => t.for_each_within(c, r, f),
-        }
-    }
-
-    fn for_each_within_periodic<F: FnMut(u32)>(&self, c: Vec3, r: f64, box_len: f64, f: &mut F) {
-        match self {
-            Tree::F32(t) => t.for_each_within_periodic(c, r, box_len, f),
-            Tree::F64(t) => t.for_each_within_periodic(c, r, box_len, f),
-        }
-    }
-}
 
 /// The anisotropic 3PCF engine. Construct once (tables are built at
 /// construction), then [`Engine::compute`] any number of catalogs.
@@ -64,25 +47,15 @@ pub struct Engine {
     self_table: Option<YlmPairProductTable>,
 }
 
-/// Per-thread working state: buckets, accumulators, result partials.
-struct ThreadState {
-    neighbors: Vec<u32>,
-    buckets: PairBuckets,
-    acc: KernelAccumulator,
-    /// Reduced monomial sums, `nbins × nmono`.
-    sums: Vec<f64>,
-    /// Shell coefficients, `nbins × lm_count`.
-    alm: Vec<Complex64>,
-    self_scratch: Vec<f64>,
-    /// Self-pair monomial sums (degree ≤ 2ℓmax), `nbins × nmono2`.
-    self_sums: Vec<f64>,
-    zeta: AnisotropicZeta,
-    binned_pairs: u64,
-    candidate_pairs: u64,
-    t_search: u64,
-    t_bin: u64,
-    t_kernel: u64,
-    t_assembly: u64,
+/// Per-primary context produced by the gather stage and consumed by the
+/// later stages.
+struct PrimaryContext {
+    index: usize,
+    pos: Vec3,
+    weight: f64,
+    rotation: Mat3,
+    /// Identity-rotation fast path for the plane-parallel ẑ case.
+    rotate: bool,
 }
 
 impl Engine {
@@ -97,7 +70,13 @@ impl Engine {
         } else {
             (None, None)
         };
-        Engine { config, basis, ylm, self_basis, self_table }
+        Engine {
+            config,
+            basis,
+            ylm,
+            self_basis,
+            self_table,
+        }
     }
 
     #[inline]
@@ -111,6 +90,25 @@ impl Engine {
         self.compute_instrumented(catalog, None, None)
     }
 
+    /// [`Engine::compute`] with an explicit scheduling policy, ignoring
+    /// the configured one. Lets ablations compare schedules on one
+    /// engine instead of rebuilding the (ℓmax-sized) tables per run.
+    pub fn compute_with_scheduling(
+        &self,
+        catalog: &Catalog,
+        scheduling: Scheduling,
+    ) -> AnisotropicZeta {
+        self.check_periodic(catalog);
+        self.run(
+            &catalog.galaxies,
+            catalog.len(),
+            catalog.periodic,
+            scheduling,
+            None,
+            None,
+        )
+    }
+
     /// [`Engine::compute`] with stage timing and FLOP counting.
     pub fn compute_instrumented(
         &self,
@@ -118,17 +116,28 @@ impl Engine {
         timer: Option<&StageTimer>,
         flops: Option<&FlopCounter>,
     ) -> AnisotropicZeta {
-        if catalog.periodic.is_some() {
+        self.check_periodic(catalog);
+        self.run(
+            &catalog.galaxies,
+            catalog.len(),
+            catalog.periodic,
+            self.config.scheduling,
+            timer,
+            flops,
+        )
+    }
+
+    fn check_periodic(&self, catalog: &Catalog) {
+        if let Some(box_len) = catalog.periodic {
             assert!(
                 self.config.line_of_sight.is_uniform(),
                 "periodic catalogs require a fixed line of sight"
             );
             assert!(
-                self.config.bins.rmax() <= catalog.periodic.unwrap() * 0.5,
+                self.config.bins.rmax() <= box_len * 0.5,
                 "rmax must be <= box/2 for periodic queries"
             );
         }
-        self.run(&catalog.galaxies, catalog.len(), catalog.periodic, timer, flops)
     }
 
     /// Compute the *isotropic* multipoles of a catalog through the full
@@ -149,7 +158,14 @@ impl Engine {
     /// exchange").
     pub fn compute_subset(&self, galaxies: &[Galaxy], n_primaries: usize) -> AnisotropicZeta {
         assert!(n_primaries <= galaxies.len());
-        self.run(galaxies, n_primaries, None, None, None)
+        self.run(
+            galaxies,
+            n_primaries,
+            None,
+            self.config.scheduling,
+            None,
+            None,
+        )
     }
 
     fn run(
@@ -157,6 +173,7 @@ impl Engine {
         galaxies: &[Galaxy],
         n_primaries: usize,
         periodic: Option<f64>,
+        scheduling: Scheduling,
         timer: Option<&StageTimer>,
         flops: Option<&FlopCounter>,
     ) -> AnisotropicZeta {
@@ -167,133 +184,130 @@ impl Engine {
             t.add(Stage::TreeBuild, t0.elapsed().as_nanos() as u64);
         }
 
-        let process_range = |state: &mut ThreadState, range: &[usize]| {
-            for &i in range {
-                self.process_primary(state, galaxies, &tree, i, periodic);
-            }
-        };
-
-        let make_state = || self.new_thread_state();
-        let finish = |mut state: ThreadState| -> AnisotropicZeta {
-            if let Some(t) = timer {
-                t.add(Stage::TreeSearch, state.t_search);
-                t.add(Stage::Binning, state.t_bin);
-                t.add(Stage::Multipole, state.t_kernel);
-                t.add(Stage::Assembly, state.t_assembly);
-            }
-            if let Some(f) = flops {
-                f.record(state.binned_pairs, state.candidate_pairs);
-            }
-            state.zeta.binned_pairs = state.binned_pairs;
-            state.zeta
-        };
-
-        let indices: Vec<usize> = (0..n_primaries).collect();
-        let zero = || AnisotropicZeta::zeros(self.config.lmax, self.config.bins.nbins());
-        match self.config.scheduling {
-            Scheduling::Dynamic => indices
-                .par_chunks(16)
-                .map(|chunk| {
-                    let mut state = make_state();
-                    process_range(&mut state, chunk);
-                    finish(state)
-                })
-                .reduce(zero, |mut a, b| {
+        schedule::run_partitioned(
+            scheduling,
+            n_primaries,
+            || self.new_scratch(),
+            |scratch, range| {
+                for i in range {
+                    self.process_primary(scratch, galaxies, &tree, i, periodic);
+                }
+            },
+            |scratch| Self::finish_scratch(scratch, timer, flops),
+            Merge {
+                zero: || AnisotropicZeta::zeros(self.config.lmax, self.config.bins.nbins()),
+                merge: |mut a: AnisotropicZeta, b| {
                     a.merge(&b);
                     a
-                }),
-            Scheduling::Static => {
-                let nthreads = rayon::current_num_threads().max(1);
-                let chunk = n_primaries.div_ceil(nthreads).max(1);
-                indices
-                    .par_chunks(chunk)
-                    .map(|big_chunk| {
-                        let mut state = make_state();
-                        process_range(&mut state, big_chunk);
-                        finish(state)
-                    })
-                    .reduce(zero, |mut a, b| {
-                        a.merge(&b);
-                        a
-                    })
-            }
-        }
+                },
+            },
+        )
     }
 
-    fn new_thread_state(&self) -> ThreadState {
-        let nbins = self.config.bins.nbins();
-        let nmono = self.basis.len();
-        let acc = if self.config.simd_kernel {
-            KernelAccumulator::new_simd(nbins, nmono)
-        } else {
-            KernelAccumulator::new_scalar(nbins, nmono)
-        };
+    /// Allocate worker scratch sized for this engine's configuration.
+    pub fn new_scratch(&self) -> ComputeScratch {
         let nmono2 = self.self_basis.as_ref().map_or(0, |b| b.len());
-        ThreadState {
-            neighbors: Vec::with_capacity(1024),
-            buckets: PairBuckets::new(nbins, self.config.bucket_size),
-            acc,
-            sums: vec![0.0; nbins * nmono],
-            alm: vec![Complex64::ZERO; nbins * lm_count(self.config.lmax)],
-            self_scratch: vec![0.0; nmono2],
-            self_sums: vec![0.0; nbins * nmono2],
-            zeta: AnisotropicZeta::zeros(self.config.lmax, nbins),
-            binned_pairs: 0,
-            candidate_pairs: 0,
-            t_search: 0,
-            t_bin: 0,
-            t_kernel: 0,
-            t_assembly: 0,
-        }
+        ComputeScratch::new(&self.config, &self.basis, nmono2)
     }
 
+    /// Drain a finished worker's instrumentation into the shared
+    /// collectors and return its ζ partial.
+    fn finish_scratch(
+        mut scratch: ComputeScratch,
+        timer: Option<&StageTimer>,
+        flops: Option<&FlopCounter>,
+    ) -> AnisotropicZeta {
+        if let Some(t) = timer {
+            t.add(Stage::TreeSearch, scratch.t_search);
+            t.add(Stage::Binning, scratch.t_bin);
+            t.add(Stage::Multipole, scratch.t_kernel);
+            t.add(Stage::Assembly, scratch.t_assembly);
+        }
+        if let Some(f) = flops {
+            f.record(scratch.binned_pairs, scratch.candidate_pairs);
+        }
+        scratch.zeta.binned_pairs = scratch.binned_pairs;
+        scratch.zeta
+    }
+
+    /// Run all four stages for primary `i`.
     fn process_primary(
         &self,
-        state: &mut ThreadState,
+        scratch: &mut ComputeScratch,
         galaxies: &[Galaxy],
         tree: &Tree,
         i: usize,
         periodic: Option<f64>,
     ) {
-        let primary = galaxies[i];
-        let Some(rotation) = self.config.line_of_sight.rotation_for(primary.pos) else {
+        let Some(ctx) = self.gather(scratch, galaxies, tree, i, periodic) else {
             return; // degenerate line of sight (primary at the observer)
         };
-        // Identity-rotation fast path for the plane-parallel ẑ case.
-        let rotate = rotation != galactos_math::Mat3::IDENTITY;
-        let rmax = self.config.bins.rmax();
-        let nbins = self.config.bins.nbins();
-        let nmono = self.basis.len();
+        self.bin_and_bucket(scratch, galaxies, &ctx, periodic);
+        self.assemble_alm(scratch);
+        self.accumulate_zeta(scratch, &ctx);
+    }
 
-        // --- gather secondaries ---
+    /// Stage 1 — resolve the primary's line-of-sight rotation and
+    /// gather candidate secondaries within Rmax into the scratch's
+    /// neighbor buffer. Returns `None` for a degenerate line of sight
+    /// (primary at the observer), which skips the primary entirely.
+    fn gather(
+        &self,
+        scratch: &mut ComputeScratch,
+        galaxies: &[Galaxy],
+        tree: &Tree,
+        i: usize,
+        periodic: Option<f64>,
+    ) -> Option<PrimaryContext> {
+        let primary = galaxies[i];
+        let rotation = self.config.line_of_sight.rotation_for(primary.pos)?;
         let t0 = Instant::now();
-        state.neighbors.clear();
-        let neighbors = &mut state.neighbors;
-        match periodic {
-            Some(l) => tree.for_each_within_periodic(primary.pos, rmax, l, &mut |id| {
-                neighbors.push(id)
-            }),
-            None => tree.for_each_within(primary.pos, rmax, &mut |id| neighbors.push(id)),
-        }
-        state.t_search += t0.elapsed().as_nanos() as u64;
-        state.candidate_pairs += state.neighbors.len() as u64;
+        let gathered = tree.gather_neighbors(
+            primary.pos,
+            self.config.bins.rmax(),
+            periodic,
+            &mut scratch.neighbors,
+        );
+        scratch.t_search += t0.elapsed().as_nanos() as u64;
+        scratch.candidate_pairs += gathered as u64;
+        Some(PrimaryContext {
+            index: i,
+            pos: primary.pos,
+            weight: primary.weight,
+            rotation,
+            rotate: rotation != Mat3::IDENTITY,
+        })
+    }
 
-        // --- rotate, bin, bucket, accumulate ---
+    /// Stage 2 — rotate each gathered separation into the line-of-sight
+    /// frame, bin it into a radial shell, push it through the pair
+    /// buckets, and flush full buckets through the multipole kernel
+    /// (plus the degree-2ℓmax self-pair sums when enabled).
+    fn bin_and_bucket(
+        &self,
+        scratch: &mut ComputeScratch,
+        galaxies: &[Galaxy],
+        ctx: &PrimaryContext,
+        periodic: Option<f64>,
+    ) {
+        let nbins = self.config.bins.nbins();
         let t1 = Instant::now();
-        state.acc.reset();
+        scratch.acc.reset();
         if let Some(b2) = &self.self_basis {
-            state.self_sums[..nbins * b2.len()].iter_mut().for_each(|v| *v = 0.0);
+            scratch.self_sums[..nbins * b2.len()]
+                .iter_mut()
+                .for_each(|v| *v = 0.0);
         }
         let mut kernel_nanos = 0u64;
         let mut binned = 0u64;
-        for idx in 0..state.neighbors.len() {
-            let j = state.neighbors[idx] as usize;
-            if j == i {
+        for idx in 0..scratch.neighbors.len() {
+            let j = scratch.neighbors[idx] as usize;
+            if j == ctx.index {
                 continue;
             }
             let delta = match periodic {
-                Some(l) => galaxies[j].pos.periodic_delta(primary.pos, l),
-                None => galaxies[j].pos - primary.pos,
+                Some(l) => galaxies[j].pos.periodic_delta(ctx.pos, l),
+                None => galaxies[j].pos - ctx.pos,
             };
             let r2 = delta.norm_sq();
             if r2 == 0.0 {
@@ -303,16 +317,22 @@ impl Engine {
             let Some(bin) = self.config.bins.bin_of(r) else {
                 continue;
             };
-            let d = if rotate { rotation.mul_vec(delta) } else { delta };
+            let d = if ctx.rotate {
+                ctx.rotation.mul_vec(delta)
+            } else {
+                delta
+            };
             let inv_r = 1.0 / r;
             let (ux, uy, uz) = (d.x * inv_r, d.y * inv_r, d.z * inv_r);
             let wj = galaxies[j].weight;
             binned += 1;
-            if state.buckets.push(bin, ux, uy, uz, wj) {
+            if scratch.buckets.push(bin, ux, uy, uz, wj) {
                 let tk = Instant::now();
-                let (dx, dy, dz, w) = state.buckets.slices(bin);
-                state.acc.flush_bucket(self.basis.schedule(), bin, dx, dy, dz, w);
-                state.buckets.clear_bin(bin);
+                let (dx, dy, dz, w) = scratch.buckets.slices(bin);
+                scratch
+                    .acc
+                    .flush_bucket(self.basis.schedule(), bin, dx, dy, dz, w);
+                scratch.buckets.clear_bin(bin);
                 kernel_nanos += tk.elapsed().as_nanos() as u64;
             }
             if let Some(b2) = &self.self_basis {
@@ -323,35 +343,55 @@ impl Engine {
                     uy,
                     uz,
                     wj * wj,
-                    &mut state.self_scratch,
-                    &mut state.self_sums[bin * n2..(bin + 1) * n2],
+                    &mut scratch.self_scratch,
+                    &mut scratch.self_sums[bin * n2..(bin + 1) * n2],
                 );
             }
         }
         // Final sweep of partially filled buckets.
         let tk = Instant::now();
-        let filled: Vec<usize> = state.buckets.non_empty_bins().collect();
+        let filled: Vec<usize> = scratch.buckets.non_empty_bins().collect();
         for bin in filled {
-            let (dx, dy, dz, w) = state.buckets.slices(bin);
-            state.acc.flush_bucket(self.basis.schedule(), bin, dx, dy, dz, w);
-            state.buckets.clear_bin(bin);
+            let (dx, dy, dz, w) = scratch.buckets.slices(bin);
+            scratch
+                .acc
+                .flush_bucket(self.basis.schedule(), bin, dx, dy, dz, w);
+            scratch.buckets.clear_bin(bin);
         }
         kernel_nanos += tk.elapsed().as_nanos() as u64;
-        state.binned_pairs += binned;
-        state.t_kernel += kernel_nanos;
-        state.t_bin += (t1.elapsed().as_nanos() as u64).saturating_sub(kernel_nanos);
+        scratch.binned_pairs += binned;
+        scratch.zeta.binned_pairs = scratch.binned_pairs;
+        scratch.t_kernel += kernel_nanos;
+        scratch.t_bin += (t1.elapsed().as_nanos() as u64).saturating_sub(kernel_nanos);
+    }
 
-        // --- assemble a_lm and accumulate zeta ---
+    /// Stage 3 — reduce the per-bin monomial sums out of the kernel
+    /// accumulator and assemble the shell coefficients `a_ℓm`.
+    fn assemble_alm(&self, scratch: &mut ComputeScratch) {
         let t2 = Instant::now();
+        let nbins = self.config.bins.nbins();
+        let nmono = self.basis.len();
         let nlm = lm_count(self.config.lmax);
         for bin in 0..nbins {
-            state.acc.reduce_bin(bin, &mut state.sums[bin * nmono..(bin + 1) * nmono]);
+            scratch
+                .acc
+                .reduce_bin(bin, &mut scratch.sums[bin * nmono..(bin + 1) * nmono]);
             self.ylm.assemble_alm(
-                &state.sums[bin * nmono..(bin + 1) * nmono],
-                &mut state.alm[bin * nlm..(bin + 1) * nlm],
+                &scratch.sums[bin * nmono..(bin + 1) * nmono],
+                &mut scratch.alm[bin * nlm..(bin + 1) * nlm],
             );
         }
-        let wi = primary.weight;
+        scratch.t_assembly += t2.elapsed().as_nanos() as u64;
+    }
+
+    /// Stage 4 — accumulate the primary's ζ contribution from the shell
+    /// coefficients, subtract the degenerate self-pair terms from
+    /// diagonal bins when enabled, and fold in the primary's weight.
+    fn accumulate_zeta(&self, scratch: &mut ComputeScratch, ctx: &PrimaryContext) {
+        let t3 = Instant::now();
+        let nbins = self.config.bins.nbins();
+        let nlm = lm_count(self.config.lmax);
+        let wi = ctx.weight;
         let lmax = self.config.lmax;
         for l in 0..=lmax {
             for lp in 0..=lmax {
@@ -359,14 +399,14 @@ impl Engine {
                     let i1 = lm_index(l, m);
                     let i2 = lm_index(lp, m);
                     for b1 in 0..nbins {
-                        let a1 = state.alm[b1 * nlm + i1];
+                        let a1 = scratch.alm[b1 * nlm + i1];
                         if a1 == Complex64::ZERO {
                             continue;
                         }
                         for b2 in 0..nbins {
-                            let a2 = state.alm[b2 * nlm + i2];
+                            let a2 = scratch.alm[b2 * nlm + i2];
                             let v = a1 * a2.conj() * wi;
-                            state.zeta.add_to(l, lp, m, b1, b2, v);
+                            scratch.zeta.add_to(l, lp, m, b1, b2, v);
                         }
                     }
                 }
@@ -376,27 +416,27 @@ impl Engine {
         if let (Some(b2), Some(t2b)) = (&self.self_basis, &self.self_table) {
             let n2 = b2.len();
             for bin in 0..nbins {
-                let sums = &state.self_sums[bin * n2..(bin + 1) * n2];
+                let sums = &scratch.self_sums[bin * n2..(bin + 1) * n2];
                 for l in 0..=lmax {
                     for lp in 0..=lmax {
                         for m in 0..=l.min(lp) {
                             let v = t2b.assemble(l, lp, m, sums) * wi;
-                            state.zeta.add_to(l, lp, m, bin, bin, -v);
+                            scratch.zeta.add_to(l, lp, m, bin, bin, -v);
                         }
                     }
                 }
             }
         }
-        state.zeta.total_primary_weight += wi;
-        state.zeta.num_primaries += 1;
-        state.t_assembly += t2.elapsed().as_nanos() as u64;
+        scratch.zeta.total_primary_weight += wi;
+        scratch.zeta.num_primaries += 1;
+        scratch.t_assembly += t3.elapsed().as_nanos() as u64;
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::config::EngineConfig;
+    use crate::config::{EngineConfig, TreePrecision};
     use galactos_catalog::uniform_box;
     use galactos_math::LineOfSight;
 
@@ -497,6 +537,19 @@ mod tests {
     }
 
     #[test]
+    fn scheduling_override_matches_configured_scheduling() {
+        let cat = small_catalog(80, 10.0, 29);
+        let mut config = EngineConfig::test_default(5.0, 2, 3);
+        config.scheduling = Scheduling::Dynamic;
+        let engine = Engine::new(config.clone());
+        let via_override = engine.compute_with_scheduling(&cat, Scheduling::Static);
+        config.scheduling = Scheduling::Static;
+        let via_config = Engine::new(config).compute(&cat);
+        assert_eq!(via_override.max_difference(&via_config), 0.0);
+        assert_eq!(via_override.binned_pairs, via_config.binned_pairs);
+    }
+
+    #[test]
     fn subset_restricts_primaries() {
         let cat = small_catalog(60, 10.0, 13);
         let config = EngineConfig::test_default(5.0, 2, 2);
@@ -530,7 +583,9 @@ mod tests {
         // Place one galaxy exactly at the observer.
         cat.galaxies[0].pos = Vec3::ZERO;
         let mut config = EngineConfig::test_default(4.0, 2, 2);
-        config.line_of_sight = LineOfSight::Radial { observer: Vec3::ZERO };
+        config.line_of_sight = LineOfSight::Radial {
+            observer: Vec3::ZERO,
+        };
         let engine = Engine::new(config);
         let z = engine.compute(&cat);
         // 29 usable primaries (the one at the observer is skipped).
@@ -548,7 +603,9 @@ mod tests {
         assert!(timer.get(Stage::TreeBuild) > 0);
         assert!(timer.get(Stage::Multipole) > 0);
         assert_eq!(
-            flops.binned_pairs.load(std::sync::atomic::Ordering::Relaxed),
+            flops
+                .binned_pairs
+                .load(std::sync::atomic::Ordering::Relaxed),
             z.binned_pairs
         );
         assert!(flops.kernel_flops(3) > 0);
@@ -564,5 +621,39 @@ mod tests {
         let large = Engine::new(config).compute(&cat);
         let scale = small.max_abs().max(1.0);
         assert!(small.max_difference(&large) < 1e-9 * scale);
+    }
+
+    #[test]
+    fn stages_compose_to_full_primary_processing() {
+        // Drive the four stage methods by hand for one primary and
+        // check the scratch partial matches a one-primary subset run.
+        let cat = small_catalog(50, 10.0, 31);
+        let config = EngineConfig::test_default(5.0, 2, 3);
+        let engine = Engine::new(config);
+        let want = engine.compute_subset(&cat.galaxies, 1);
+
+        let positions: Vec<Vec3> = cat.galaxies.iter().map(|g| g.pos).collect();
+        let tree = Tree::build(&positions, engine.config().precision);
+        let mut scratch = engine.new_scratch();
+        let ctx = engine
+            .gather(&mut scratch, &cat.galaxies, &tree, 0, None)
+            .expect("fixed line of sight is never degenerate");
+        engine.bin_and_bucket(&mut scratch, &cat.galaxies, &ctx, None);
+        engine.assemble_alm(&mut scratch);
+        engine.accumulate_zeta(&mut scratch, &ctx);
+        assert_eq!(scratch.partial().max_difference(&want), 0.0);
+        assert_eq!(scratch.partial().num_primaries, 1);
+        assert_eq!(scratch.partial().binned_pairs, want.binned_pairs);
+
+        // The scratch is reusable: reset and process the same primary
+        // again; the partial must be identical, not doubled.
+        scratch.reset();
+        let ctx = engine
+            .gather(&mut scratch, &cat.galaxies, &tree, 0, None)
+            .unwrap();
+        engine.bin_and_bucket(&mut scratch, &cat.galaxies, &ctx, None);
+        engine.assemble_alm(&mut scratch);
+        engine.accumulate_zeta(&mut scratch, &ctx);
+        assert_eq!(scratch.partial().max_difference(&want), 0.0);
     }
 }

@@ -60,7 +60,8 @@ impl FlopCounter {
 
     pub fn record(&self, binned: u64, candidates: u64) {
         self.binned_pairs.fetch_add(binned, Ordering::Relaxed);
-        self.candidate_pairs.fetch_add(candidates, Ordering::Relaxed);
+        self.candidate_pairs
+            .fetch_add(candidates, Ordering::Relaxed);
     }
 
     /// Total kernel FLOPs implied by the recorded pair counts.
@@ -70,8 +71,7 @@ impl FlopCounter {
 
     /// Total FLOPs including the tree-search estimate.
     pub fn total_flops(&self, lmax: usize) -> u64 {
-        self.kernel_flops(lmax)
-            + self.candidate_pairs.load(Ordering::Relaxed) * TREE_FLOPS_PER_PAIR
+        self.kernel_flops(lmax) + self.candidate_pairs.load(Ordering::Relaxed) * TREE_FLOPS_PER_PAIR
     }
 }
 

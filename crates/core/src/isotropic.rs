@@ -51,15 +51,10 @@ pub fn isotropic_multipoles(
             |mut acc, i| {
                 let mut neighbors: Vec<u32> = Vec::new();
                 match periodic {
-                    Some(l) => tree.for_each_within_periodic(
-                        positions[i],
-                        rmax,
-                        l,
-                        &mut |id| neighbors.push(id),
-                    ),
-                    None => {
-                        tree.for_each_within(positions[i], rmax, &mut |id| neighbors.push(id))
-                    }
+                    Some(l) => tree.for_each_within_periodic(positions[i], rmax, l, &mut |id| {
+                        neighbors.push(id)
+                    }),
+                    None => tree.for_each_within(positions[i], rmax, &mut |id| neighbors.push(id)),
                 }
                 // Shell coefficients by direct Y evaluation (unrotated).
                 let mut alm = vec![Complex64::ZERO; nbins * nlm];

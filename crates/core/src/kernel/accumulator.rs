@@ -76,11 +76,21 @@ impl KernelAccumulator {
         w: &[f64],
     ) {
         match self {
-            KernelAccumulator::Simd { nmono, lanes, scratch, .. } => {
+            KernelAccumulator::Simd {
+                nmono,
+                lanes,
+                scratch,
+                ..
+            } => {
                 let acc = &mut lanes[bin * *nmono..(bin + 1) * *nmono];
                 accumulate_bucket_simd(schedule, dx, dy, dz, w, scratch, acc);
             }
-            KernelAccumulator::Scalar { nmono, sums, scratch, .. } => {
+            KernelAccumulator::Scalar {
+                nmono,
+                sums,
+                scratch,
+                ..
+            } => {
                 let acc = &mut sums[bin * *nmono..(bin + 1) * *nmono];
                 accumulate_bucket_scalar(schedule, dx, dy, dz, w, scratch, acc);
             }
@@ -131,7 +141,10 @@ mod tests {
             simd.reduce_bin(bin, &mut a);
             scalar.reduce_bin(bin, &mut b);
             for i in 0..nmono {
-                assert!((a[i] - b[i]).abs() < 1e-12 * (1.0 + b[i].abs()), "bin {bin} mono {i}");
+                assert!(
+                    (a[i] - b[i]).abs() < 1e-12 * (1.0 + b[i].abs()),
+                    "bin {bin} mono {i}"
+                );
             }
         }
     }

@@ -52,9 +52,7 @@ mod tests {
         for i in 0..basis.len() {
             let (k, p, q) = basis.exponents(i);
             let want: f64 = (0..3)
-                .map(|j| {
-                    w[j] * dx[j].powi(k as i32) * dy[j].powi(p as i32) * dz[j].powi(q as i32)
-                })
+                .map(|j| w[j] * dx[j].powi(k as i32) * dy[j].powi(p as i32) * dz[j].powi(q as i32))
                 .sum();
             assert!(
                 (sums[i] - want).abs() < 1e-12 * (1.0 + want.abs()),
@@ -74,8 +72,24 @@ mod tests {
         let mut twice = vec![0.0; basis.len()];
         let (dx, dy, dz, w) = ([0.6], [0.0], [0.8], [1.5]);
         accumulate_bucket_scalar(basis.schedule(), &dx, &dy, &dz, &w, &mut scratch, &mut once);
-        accumulate_bucket_scalar(basis.schedule(), &dx, &dy, &dz, &w, &mut scratch, &mut twice);
-        accumulate_bucket_scalar(basis.schedule(), &dx, &dy, &dz, &w, &mut scratch, &mut twice);
+        accumulate_bucket_scalar(
+            basis.schedule(),
+            &dx,
+            &dy,
+            &dz,
+            &w,
+            &mut scratch,
+            &mut twice,
+        );
+        accumulate_bucket_scalar(
+            basis.schedule(),
+            &dx,
+            &dy,
+            &dz,
+            &w,
+            &mut scratch,
+            &mut twice,
+        );
         for i in 0..basis.len() {
             assert!((twice[i] - 2.0 * once[i]).abs() < 1e-14);
         }

@@ -178,7 +178,15 @@ mod tests {
         // One shot.
         let mut scratch = vec![F64x8::ZERO; ILP_BATCHES * nmono];
         let mut acc_once = vec![F64x8::ZERO; nmono];
-        accumulate_bucket_simd(basis.schedule(), &dx, &dy, &dz, &w, &mut scratch, &mut acc_once);
+        accumulate_bucket_simd(
+            basis.schedule(),
+            &dx,
+            &dy,
+            &dz,
+            &w,
+            &mut scratch,
+            &mut acc_once,
+        );
         // Two halves accumulated into the same accumulator.
         let mut acc_twice = vec![F64x8::ZERO; nmono];
         accumulate_bucket_simd(

@@ -12,9 +12,16 @@
 //! * [`kernel`] — the bucketed multipole accumulation kernel: per-bin
 //!   pair buckets (pre-binning, §3.3.1), 8-lane deferred-reduction
 //!   accumulators with 4-way ILP (§3.3.2), and a scalar reference path;
-//! * [`engine`] — the per-primary gather → rotate → bin → accumulate →
-//!   assemble pipeline, thread-parallel over primaries with dynamic or
-//!   static scheduling (§3.3);
+//! * [`engine`] — the staged per-primary pipeline (gather →
+//!   bin/bucket → a_ℓm assembly → ζ accumulation), thread-parallel
+//!   over primaries (§3.3);
+//! * [`traversal`] — the precision-erased k-d tree and the neighbor
+//!   gather stage (mixed-precision search, §5.4);
+//! * [`scratch`] — reusable per-worker compute state (buckets,
+//!   accumulators, ζ partials, instrumentation counters);
+//! * [`schedule`] — the shared chunk/map/reduce driver implementing
+//!   dynamic (work-stealing) and static primary scheduling for the
+//!   engine and the distributed pipeline's rank reduction;
 //! * [`naive`] — O(N³) triplet-counting and O(N²·lm) direct-Yₗₘ
 //!   baselines used as correctness oracles and benchmark comparators;
 //! * [`isotropic`] — the Slepian–Eisenstein (2015) isotropic Legendre
@@ -41,10 +48,15 @@ pub mod naive;
 pub mod paircount;
 pub mod pipeline;
 pub mod result;
+pub mod schedule;
+pub mod scratch;
 pub mod timing;
+pub mod traversal;
 pub mod xismu;
 
 pub use bins::RadialBins;
 pub use config::{EngineConfig, Scheduling, TreePrecision};
 pub use engine::Engine;
 pub use result::{AnisotropicZeta, IsotropicZeta};
+pub use schedule::run_partitioned;
+pub use scratch::ComputeScratch;

@@ -57,7 +57,11 @@ fn gather_secondaries(
         let rotated = rotation.mul_vec(delta);
         let mut ylm = vec![Complex64::ZERO; lm_count(config.lmax)];
         ylm_all_cartesian(config.lmax, rotated, &mut ylm);
-        out.push(BinnedSecondary { bin, weight: g.weight, ylm });
+        out.push(BinnedSecondary {
+            bin,
+            weight: g.weight,
+            ylm,
+        });
     }
     out
 }
@@ -90,9 +94,7 @@ pub fn naive_anisotropic(
                 for l in 0..=lmax {
                     for lp in 0..=lmax {
                         for m in 0..=l.min(lp) {
-                            let v = sj.ylm[lm_index(l, m)]
-                                * sk.ylm[lm_index(lp, m)].conj()
-                                * w;
+                            let v = sj.ylm[lm_index(l, m)] * sk.ylm[lm_index(lp, m)].conj() * w;
                             zeta.add_to(l, lp, m, sj.bin, sk.bin, v);
                         }
                     }
@@ -172,7 +174,11 @@ mod tests {
         let a = naive_anisotropic(&g, &config, None, true);
         let b = seminaive_anisotropic(&g, &config, None);
         let scale = a.max_abs().max(1.0);
-        assert!(a.max_difference(&b) < 1e-10 * scale, "diff {}", a.max_difference(&b));
+        assert!(
+            a.max_difference(&b) < 1e-10 * scale,
+            "diff {}",
+            a.max_difference(&b)
+        );
     }
 
     #[test]
@@ -201,8 +207,11 @@ mod tests {
         // And the diagonal must actually differ somewhere.
         let mut diag_diff = 0.0f64;
         for b in 0..3 {
-            diag_diff = diag_diff
-                .max(with_self.get(0, 0, 0, b, b).dist_inf(without.get(0, 0, 0, b, b)));
+            diag_diff = diag_diff.max(
+                with_self
+                    .get(0, 0, 0, b, b)
+                    .dist_inf(without.get(0, 0, 0, b, b)),
+            );
         }
         assert!(diag_diff > 1e-6, "self terms missing from diagonal");
     }

@@ -289,7 +289,12 @@ mod tests {
             }
         }
         for b in 0..5 {
-            assert!((got[b] - want[b]).abs() < 1e-9, "bin {b}: {} vs {}", got[b], want[b]);
+            assert!(
+                (got[b] - want[b]).abs() < 1e-9,
+                "bin {b}: {} vs {}",
+                got[b],
+                want[b]
+            );
         }
     }
 

@@ -10,9 +10,10 @@
 //! match the single-process engine to floating-point accuracy for any
 //! rank count.
 
-use crate::config::EngineConfig;
+use crate::config::{EngineConfig, Scheduling};
 use crate::engine::Engine;
 use crate::result::AnisotropicZeta;
+use crate::schedule::{self, Merge};
 use galactos_catalog::{Catalog, Galaxy};
 use galactos_cluster::run_cluster_with_stacks;
 use galactos_domain::exchange::{distribute, tagged_from_catalog};
@@ -73,12 +74,7 @@ pub fn compute_distributed(
         // Local galaxy array: owned first (primaries), ghosts after.
         let mut local: Vec<Galaxy> =
             Vec::with_capacity(rank_data.owned.len() + rank_data.ghosts.len());
-        local.extend(
-            rank_data
-                .owned
-                .iter()
-                .map(|t| Galaxy::new(t.pos, t.weight)),
-        );
+        local.extend(rank_data.owned.iter().map(|t| Galaxy::new(t.pos, t.weight)));
         local.extend(
             rank_data
                 .ghosts
@@ -105,19 +101,39 @@ pub fn compute_distributed(
         (zeta.to_f64_vec(), report)
     });
 
-    // Reduce partials (root-sum, as Comm::allreduce would).
+    // Reduce partials (root-sum, as Comm::allreduce would) through the
+    // same schedule driver the engine uses: each chunk of ranks is
+    // deserialized and merged by a worker, and the per-chunk partials
+    // are merged once at the end.
     let lmax = config.lmax;
     let nbins = config.bins.nbins();
-    let mut zeta = AnisotropicZeta::zeros(lmax, nbins);
-    let mut ranks = Vec::with_capacity(num_ranks);
-    for (wire, report) in &results {
-        let partial = AnisotropicZeta::from_f64_vec(lmax, nbins, wire);
-        zeta.merge(&partial);
-        ranks.push(report.clone());
-    }
+    let zeta = schedule::run_partitioned(
+        Scheduling::Dynamic,
+        results.len(),
+        || AnisotropicZeta::zeros(lmax, nbins),
+        |acc: &mut AnisotropicZeta, range| {
+            for i in range {
+                acc.merge(&AnisotropicZeta::from_f64_vec(lmax, nbins, &results[i].0));
+            }
+        },
+        |acc| acc,
+        Merge {
+            zero: || AnisotropicZeta::zeros(lmax, nbins),
+            merge: |mut a: AnisotropicZeta, b| {
+                a.merge(&b);
+                a
+            },
+        },
+    );
+    let ranks: Vec<RankReport> = results.iter().map(|(_, report)| report.clone()).collect();
     let total_bytes_sent = ranks.iter().map(|r| r.bytes_sent).sum();
     let total_messages = ranks.iter().map(|r| r.messages_sent).sum();
-    DistributedRun { zeta, ranks, total_bytes_sent, total_messages }
+    DistributedRun {
+        zeta,
+        ranks,
+        total_bytes_sent,
+        total_messages,
+    }
 }
 
 #[cfg(test)]

@@ -37,7 +37,12 @@ impl ZetaLayout {
                 off += l.min(lp) + 1;
             }
         }
-        ZetaLayout { lmax, nbins, lm_offsets, n_lm: off }
+        ZetaLayout {
+            lmax,
+            nbins,
+            lm_offsets,
+            n_lm: off,
+        }
     }
 
     #[inline]
@@ -229,7 +234,13 @@ impl AnisotropicZeta {
     /// Directions are in the *rotated* frame where ẑ is the line of
     /// sight, so `dir.z` is the cosine of a side's angle to the line of
     /// sight — the μ variables of RSD analyses.
-    pub fn evaluate(&self, dir1: galactos_math::Vec3, dir2: galactos_math::Vec3, b1: usize, b2: usize) -> f64 {
+    pub fn evaluate(
+        &self,
+        dir1: galactos_math::Vec3,
+        dir2: galactos_math::Vec3,
+        b1: usize,
+        b2: usize,
+    ) -> f64 {
         use galactos_math::sphharm::ylm_all_cartesian;
         let lmax = self.lmax();
         let nlm = crate::result::lm_table_len(lmax);

@@ -96,7 +96,11 @@ impl StageTimer {
             .iter()
             .zip(values)
             .map(|(&s, v)| {
-                let frac = if total > 0 { v as f64 / total as f64 } else { 0.0 };
+                let frac = if total > 0 {
+                    v as f64 / total as f64
+                } else {
+                    0.0
+                };
                 (s, v, frac)
             })
             .collect()

@@ -1,0 +1,108 @@
+//! Tree traversal: the precision-erased k-d tree and neighbor
+//! gathering (stage 1 of the per-primary pipeline).
+//!
+//! The paper's mixed-precision mode (§5.4) runs the neighbor search in
+//! `f32` "due to its insensitivity to the precision of galaxy
+//! locations" while keeping all multipole arithmetic in `f64`. [`Tree`]
+//! erases that choice behind one type so every caller downstream of
+//! [`crate::config::TreePrecision`] is precision-agnostic.
+
+use crate::config::TreePrecision;
+use galactos_kdtree::{KdTree, TreeConfig};
+use galactos_math::Vec3;
+
+/// Precision-erased k-d tree.
+pub enum Tree {
+    F32(KdTree<f32>),
+    F64(KdTree<f64>),
+}
+
+impl Tree {
+    /// Build a tree over `positions` at the requested search precision.
+    pub fn build(positions: &[Vec3], precision: TreePrecision) -> Self {
+        match precision {
+            TreePrecision::Mixed => Tree::F32(KdTree::build(positions, TreeConfig::default())),
+            TreePrecision::Double => Tree::F64(KdTree::build(positions, TreeConfig::default())),
+        }
+    }
+
+    /// Visit every point within `r` of `c` (open boundaries).
+    pub fn for_each_within<F: FnMut(u32)>(&self, c: Vec3, r: f64, f: &mut F) {
+        match self {
+            Tree::F32(t) => t.for_each_within(c, r, f),
+            Tree::F64(t) => t.for_each_within(c, r, f),
+        }
+    }
+
+    /// Visit every point within `r` of `c` under minimum-image wrapping
+    /// in a periodic box of side `box_len`.
+    pub fn for_each_within_periodic<F: FnMut(u32)>(
+        &self,
+        c: Vec3,
+        r: f64,
+        box_len: f64,
+        f: &mut F,
+    ) {
+        match self {
+            Tree::F32(t) => t.for_each_within_periodic(c, r, box_len, f),
+            Tree::F64(t) => t.for_each_within_periodic(c, r, box_len, f),
+        }
+    }
+
+    /// Gather the ids of all points within `rmax` of `center` into
+    /// `out` (cleared first), honoring periodicity when given. Returns
+    /// the number of candidates gathered.
+    pub fn gather_neighbors(
+        &self,
+        center: Vec3,
+        rmax: f64,
+        periodic: Option<f64>,
+        out: &mut Vec<u32>,
+    ) -> usize {
+        out.clear();
+        match periodic {
+            Some(box_len) => {
+                self.for_each_within_periodic(center, rmax, box_len, &mut |id| out.push(id))
+            }
+            None => self.for_each_within(center, rmax, &mut |id| out.push(id)),
+        }
+        out.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gather_clears_and_counts() {
+        let positions = vec![
+            Vec3::new(0.0, 0.0, 0.0),
+            Vec3::new(1.0, 0.0, 0.0),
+            Vec3::new(5.0, 0.0, 0.0),
+        ];
+        let tree = Tree::build(&positions, TreePrecision::Double);
+        let mut out = vec![99; 4]; // stale content must be discarded
+        let n = tree.gather_neighbors(Vec3::ZERO, 2.0, None, &mut out);
+        assert_eq!(n, 2);
+        let mut ids = out.clone();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![0, 1]);
+    }
+
+    #[test]
+    fn mixed_and_double_agree_away_from_boundaries() {
+        let positions: Vec<Vec3> = (0..50)
+            .map(|i| Vec3::new((i % 7) as f64, (i % 5) as f64, (i % 3) as f64))
+            .collect();
+        let t32 = Tree::build(&positions, TreePrecision::Mixed);
+        let t64 = Tree::build(&positions, TreePrecision::Double);
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        t32.gather_neighbors(Vec3::new(3.1, 2.1, 1.1), 2.5, None, &mut a);
+        t64.gather_neighbors(Vec3::new(3.1, 2.1, 1.1), 2.5, None, &mut b);
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+    }
+}

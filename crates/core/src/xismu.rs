@@ -88,7 +88,11 @@ pub fn smu_cross_counts(
                 x
             },
         );
-    SMuHistogram { s_bins: s_bins.clone(), n_mu, counts }
+    SMuHistogram {
+        s_bins: s_bins.clone(),
+        n_mu,
+        counts,
+    }
 }
 
 /// Landy–Szalay ξ(s, μ) from data and random catalogs.
@@ -114,7 +118,11 @@ pub fn xi_smu(data: &Catalog, randoms: &Catalog, s_bins: &RadialBins, n_mu: usiz
             (dd_n - 2.0 * dr_n + rr_n) / rr_n
         })
         .collect();
-    SMuHistogram { s_bins: s_bins.clone(), n_mu, counts }
+    SMuHistogram {
+        s_bins: s_bins.clone(),
+        n_mu,
+        counts,
+    }
 }
 
 /// Legendre multipoles of a ξ(s, μ) grid:
@@ -159,7 +167,9 @@ mod tests {
                 if i == j {
                     continue;
                 }
-                let d = cat.galaxies[j].pos.periodic_delta(cat.galaxies[i].pos, 10.0);
+                let d = cat.galaxies[j]
+                    .pos
+                    .periodic_delta(cat.galaxies[i].pos, 10.0);
                 let s = d.norm();
                 if let Some(sb) = bins.bin_of(s) {
                     let mu = (d.z / s).abs().min(1.0);
@@ -237,7 +247,11 @@ mod tests {
     fn multipole_of_flat_grid_is_monopole_only() {
         // ξ(s, μ) = c (μ-independent) → ξ0 = c, ξ_{l>0} = 0.
         let bins = RadialBins::linear(0.0, 1.0, 1);
-        let xi = SMuHistogram { s_bins: bins, n_mu: 400, counts: vec![0.7; 400] };
+        let xi = SMuHistogram {
+            s_bins: bins,
+            n_mu: 400,
+            counts: vec![0.7; 400],
+        };
         let m = xi_multipoles(&xi, 4);
         assert!((m[0][0] - 0.7).abs() < 1e-12);
         for l in 1..=4 {

@@ -12,12 +12,7 @@ use proptest::prelude::*;
 
 fn arb_galaxies(max_n: usize) -> impl Strategy<Value = Vec<Galaxy>> {
     prop::collection::vec(
-        (
-            0.0f64..20.0,
-            0.0f64..20.0,
-            0.0f64..20.0,
-            0.25f64..2.0,
-        )
+        (0.0f64..20.0, 0.0f64..20.0, 0.0f64..20.0, 0.25f64..2.0)
             .prop_map(|(x, y, z, w)| Galaxy::new(Vec3::new(x, y, z), w)),
         2..max_n,
     )

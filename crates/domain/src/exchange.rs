@@ -51,7 +51,11 @@ pub fn tagged_from_catalog(catalog: &Catalog) -> Vec<TaggedGalaxy> {
         .galaxies
         .iter()
         .enumerate()
-        .map(|(i, g)| TaggedGalaxy { id: i as u64, pos: g.pos, weight: g.weight })
+        .map(|(i, g)| TaggedGalaxy {
+            id: i as u64,
+            pos: g.pos,
+            weight: g.weight,
+        })
         .collect()
 }
 
@@ -170,11 +174,9 @@ pub fn distribute(
         };
         // One send to the peer on the opposite side.
         let dest_side_rank = level.side_rank.min(level.opposite_size - 1);
-        level.comm.send(
-            to_local(!level.on_lo, dest_side_rank),
-            TAG_HALO,
-            candidates,
-        );
+        level
+            .comm
+            .send(to_local(!level.on_lo, dest_side_rank), TAG_HALO, candidates);
         // Receive from every opposite rank that maps onto me.
         for j in 0..level.opposite_size {
             if j.min(level.side_size - 1) == level.side_rank {
@@ -193,7 +195,12 @@ pub fn distribute(
     ghosts.retain(|g| region.distance_sq_to_point(g.pos) <= r2);
     ghosts.sort_by_key(|g| g.id);
 
-    RankData { rank: world_rank, bounds: region, owned, ghosts }
+    RankData {
+        rank: world_rank,
+        bounds: region,
+        owned,
+        ghosts,
+    }
 }
 
 #[cfg(test)]
@@ -242,14 +249,12 @@ mod tests {
             // Owned set equals the plan's assignment.
             let mut got: Vec<u64> = rd.owned.iter().map(|g| g.id).collect();
             got.sort_unstable();
-            let mut want: Vec<u64> =
-                plan.owned_indices(r).iter().map(|&i| i as u64).collect();
+            let mut want: Vec<u64> = plan.owned_indices(r).iter().map(|&i| i as u64).collect();
             want.sort_unstable();
             assert_eq!(got, want, "owned mismatch on rank {r} ({num_ranks} ranks)");
             // Ghost set equals the plan's halo ground truth.
             let got_ghosts: Vec<u64> = rd.ghosts.iter().map(|g| g.id).collect();
-            let mut want_ghosts: Vec<u64> =
-                halos[r].iter().map(|&i| i as u64).collect();
+            let mut want_ghosts: Vec<u64> = halos[r].iter().map(|&i| i as u64).collect();
             want_ghosts.sort_unstable();
             assert_eq!(
                 got_ghosts, want_ghosts,

@@ -25,7 +25,12 @@ impl LoadBalance {
         let min = *per_rank.iter().min().unwrap();
         let max = *per_rank.iter().max().unwrap();
         let mean = per_rank.iter().sum::<u64>() as f64 / per_rank.len() as f64;
-        LoadBalance { per_rank, min, max, mean }
+        LoadBalance {
+            per_rank,
+            min,
+            max,
+            mean,
+        }
     }
 
     /// Imbalance `(max − mean) / mean`: the fraction of extra time the
@@ -89,9 +94,7 @@ pub fn pair_counts(plan: &DomainPlan, positions: &[Vec3], rmax: f64) -> Vec<u64>
 
 /// Primary-count balance of a plan (paper: balanced to 0.1%).
 pub fn primary_balance(plan: &DomainPlan) -> LoadBalance {
-    LoadBalance::from_counts(
-        plan.counts_per_rank().iter().map(|&c| c as u64).collect(),
-    )
+    LoadBalance::from_counts(plan.counts_per_rank().iter().map(|&c| c as u64).collect())
 }
 
 #[cfg(test)]

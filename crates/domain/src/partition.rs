@@ -80,7 +80,13 @@ impl DomainPlan {
             &mut owners,
             &mut owned,
         );
-        DomainPlan { num_ranks, root, boxes, owners, owned }
+        DomainPlan {
+            num_ranks,
+            root,
+            boxes,
+            owners,
+            owned,
+        }
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -101,7 +107,10 @@ impl DomainPlan {
             for &g in indices.iter() {
                 owners[g as usize] = rank_lo as u32;
             }
-            return PartitionNode::Leaf { rank: rank_lo, bounds };
+            return PartitionNode::Leaf {
+                rank: rank_lo,
+                bounds,
+            };
         }
         let (lo_ranks, _hi_ranks) = split_ranks(n_ranks);
         let rank_mid = rank_lo + lo_ranks;
@@ -222,7 +231,13 @@ impl DomainPlan {
         loop {
             match node {
                 PartitionNode::Leaf { rank, .. } => return *rank,
-                PartitionNode::Split { axis, value, lo, hi, .. } => {
+                PartitionNode::Split {
+                    axis,
+                    value,
+                    lo,
+                    hi,
+                    ..
+                } => {
                     node = if p[*axis] < *value { lo } else { hi };
                 }
             }
@@ -357,11 +372,9 @@ mod tests {
         let halos = plan.halo_indices(&pos, rmax);
         for r in 0..5 {
             let b = plan.rank_box(r);
-            let halo_set: std::collections::BTreeSet<u32> =
-                halos[r].iter().copied().collect();
+            let halo_set: std::collections::BTreeSet<u32> = halos[r].iter().copied().collect();
             for (g, &p) in pos.iter().enumerate() {
-                let needed = plan.owner_of(g) != r
-                    && b.distance_sq_to_point(p) <= rmax * rmax;
+                let needed = plan.owner_of(g) != r && b.distance_sq_to_point(p) <= rmax * rmax;
                 assert_eq!(
                     halo_set.contains(&(g as u32)),
                     needed,
@@ -377,7 +390,10 @@ mod tests {
         let plan = DomainPlan::build(&pos, Aabb::cube(30.0), 8);
         let small: usize = plan.halo_indices(&pos, 1.0).iter().map(|h| h.len()).sum();
         let large: usize = plan.halo_indices(&pos, 6.0).iter().map(|h| h.len()).sum();
-        assert!(large > small, "halo must grow with rmax: {small} vs {large}");
+        assert!(
+            large > small,
+            "halo must grow with rmax: {small} vs {large}"
+        );
     }
 
     #[test]

@@ -15,7 +15,9 @@ pub struct BruteForce {
 
 impl BruteForce {
     pub fn new(points: &[Vec3]) -> Self {
-        BruteForce { points: points.to_vec() }
+        BruteForce {
+            points: points.to_vec(),
+        }
     }
 
     #[inline]

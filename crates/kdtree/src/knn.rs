@@ -65,10 +65,16 @@ impl<S: Scalar> KdTree<S> {
                 for slot in start..end {
                     let d = distance_sq(self.slot_coord(slot), c).to_f64();
                     if heap.len() < k {
-                        heap.push(HeapItem { dist_sq: d, id: self.id_at(slot as usize) });
+                        heap.push(HeapItem {
+                            dist_sq: d,
+                            id: self.id_at(slot as usize),
+                        });
                     } else if d < heap.peek().unwrap().dist_sq {
                         heap.pop();
-                        heap.push(HeapItem { dist_sq: d, id: self.id_at(slot as usize) });
+                        heap.push(HeapItem {
+                            dist_sq: d,
+                            id: self.id_at(slot as usize),
+                        });
                     }
                 }
             }
@@ -76,7 +82,11 @@ impl<S: Scalar> KdTree<S> {
                 // Visit the nearer child first for earlier pruning.
                 let dl = self.node_min_dist_sq(left, c).to_f64();
                 let dr = self.node_min_dist_sq(right, c).to_f64();
-                let (first, second) = if dl <= dr { (left, right) } else { (right, left) };
+                let (first, second) = if dl <= dr {
+                    (left, right)
+                } else {
+                    (right, left)
+                };
                 self.knn_rec(first, c, k, heap);
                 self.knn_rec(second, c, k, heap);
             }

@@ -23,7 +23,12 @@ enum NodeKind<S> {
     /// `axis`/`split` record the partition plane (kept for diagnostics
     /// and future ordered traversals; pruning uses the cached bboxes).
     #[allow(dead_code)]
-    Internal { axis: u8, split: S, left: u32, right: u32 },
+    Internal {
+        axis: u8,
+        split: S,
+        left: u32,
+        right: u32,
+    },
     Leaf,
 }
 
@@ -47,12 +52,11 @@ impl<S: Scalar> Node<S> {
     #[inline]
     fn min_dist_sq(&self, p: [S; 3]) -> S {
         let mut acc = S::ZERO;
-        for ax in 0..3 {
-            let v = p[ax];
-            let d = if v < self.lo[ax] {
-                self.lo[ax].sub(v)
-            } else if v > self.hi[ax] {
-                v.sub(self.hi[ax])
+        for ((&v, &lo), &hi) in p.iter().zip(&self.lo).zip(&self.hi) {
+            let d = if v < lo {
+                lo.sub(v)
+            } else if v > hi {
+                v.sub(hi)
             } else {
                 S::ZERO
             };
@@ -65,9 +69,9 @@ impl<S: Scalar> Node<S> {
     #[inline]
     fn max_dist_sq(&self, p: [S; 3]) -> S {
         let mut acc = S::ZERO;
-        for ax in 0..3 {
-            let a = if p[ax] > self.lo[ax] { p[ax].sub(self.lo[ax]) } else { self.lo[ax].sub(p[ax]) };
-            let b = if p[ax] > self.hi[ax] { p[ax].sub(self.hi[ax]) } else { self.hi[ax].sub(p[ax]) };
+        for ((&v, &lo), &hi) in p.iter().zip(&self.lo).zip(&self.hi) {
+            let a = if v > lo { v.sub(lo) } else { lo.sub(v) };
+            let b = if v > hi { v.sub(hi) } else { hi.sub(v) };
             let d = a.fmax(b);
             acc = acc.add(d.mul(d));
         }
@@ -467,14 +471,21 @@ mod tests {
             let sb: std::collections::BTreeSet<_> = b.iter().collect();
             diff_total += sa.symmetric_difference(&sb).count();
         }
-        assert!(diff_total <= 2, "f32 tree diverged: {diff_total} boundary flips");
+        assert!(
+            diff_total <= 2,
+            "f32 tree diverged: {diff_total} boundary flips"
+        );
     }
 
     #[test]
     fn clustered_points_stay_balanced() {
         // A pathological distribution: two tight clusters far apart.
         let mut pts = random_points(256, 1.0, 3);
-        pts.extend(random_points(256, 1.0, 4).iter().map(|p| *p + Vec3::splat(1000.0)));
+        pts.extend(
+            random_points(256, 1.0, 4)
+                .iter()
+                .map(|p| *p + Vec3::splat(1000.0)),
+        );
         let tree = KdTree::<f64>::build(&pts, TreeConfig { leaf_size: 4 });
         let stats = tree.stats();
         // Balanced median split: depth ≈ log2(512/4) + 1 = 8, allow slack.
@@ -488,7 +499,10 @@ mod tests {
         let tree = KdTree::<f64>::build(&pts, TreeConfig { leaf_size: 8 });
         assert_eq!(tree.within(Vec3::splat(5.0), 0.1).len(), 100);
         assert_eq!(tree.count_within(Vec3::splat(5.0), 0.1), 100);
-        assert!(tree.stats().max_depth < 30, "no infinite split on duplicates");
+        assert!(
+            tree.stats().max_depth < 30,
+            "no infinite split on duplicates"
+        );
     }
 
     #[test]
@@ -502,7 +516,7 @@ mod tests {
         let tree = KdTree::<f64>::build(&pts, TreeConfig::default());
         // Non-periodic: point 1 is 98 away from point 0.
         assert_eq!(tree.within(pts[0], 10.0).len(), 1); // itself
-        // Periodic: minimum-image distance is 2.
+                                                        // Periodic: minimum-image distance is 2.
         let mut found = Vec::new();
         tree.for_each_within_periodic(pts[0], 10.0, box_len, &mut |id| found.push(id));
         found.sort_unstable();
@@ -520,9 +534,7 @@ mod tests {
             tree.for_each_within_periodic(c, radius, box_len, &mut |id| got.push(id));
             got.sort_unstable();
             let mut want: Vec<u32> = (0..pts.len() as u32)
-                .filter(|&i| {
-                    pts[i as usize].periodic_delta(c, box_len).norm() <= radius
-                })
+                .filter(|&i| pts[i as usize].periodic_delta(c, box_len).norm() <= radius)
                 .collect();
             want.sort_unstable();
             assert_eq!(got, want);

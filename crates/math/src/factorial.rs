@@ -72,10 +72,7 @@ pub fn binomial_u128(n: u64, k: u64) -> u128 {
     let k = k.min(n - k);
     let mut acc: u128 = 1;
     for i in 0..k {
-        acc = acc
-            .checked_mul((n - i) as u128)
-            .expect("binomial overflow")
-            / (i as u128 + 1);
+        acc = acc.checked_mul((n - i) as u128).expect("binomial overflow") / (i as u128 + 1);
     }
     acc
 }

@@ -77,8 +77,7 @@ pub fn assoc_legendre_p(l: usize, m: usize, x: f64) -> f64 {
         return pmmp1;
     }
     for ll in (m + 2)..=l {
-        let pll = (x * (2 * ll - 1) as f64 * pmmp1 - (ll + m - 1) as f64 * pmm)
-            / (ll - m) as f64;
+        let pll = (x * (2 * ll - 1) as f64 * pmmp1 - (ll + m - 1) as f64 * pmm) / (ll - m) as f64;
         pmm = pmmp1;
         pmmp1 = pll;
     }
@@ -262,7 +261,11 @@ mod tests {
                     let x = -1.0 + (i as f64 + 0.5) * h;
                     s += legendre_p(a, x) * legendre_p(b, x) * h;
                 }
-                let want = if a == b { 2.0 / (2 * a + 1) as f64 } else { 0.0 };
+                let want = if a == b {
+                    2.0 / (2 * a + 1) as f64
+                } else {
+                    0.0
+                };
                 assert!(
                     (s - want).abs() < 5e-6,
                     "orthogonality a={a} b={b}: {s} vs {want}"

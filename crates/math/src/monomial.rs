@@ -118,7 +118,12 @@ impl MonomialBasis {
             schedule.push(UpdateStep { parent, axis });
         }
 
-        MonomialBasis { lmax, exponents, schedule, degree_offsets }
+        MonomialBasis {
+            lmax,
+            exponents,
+            schedule,
+            degree_offsets,
+        }
     }
 
     #[inline]
@@ -189,7 +194,15 @@ impl MonomialBasis {
 
     /// Accumulating variant used by the scalar kernel:
     /// `acc[i] += weight * monomial_i(x, y, z)`.
-    pub fn accumulate_into(&self, x: f64, y: f64, z: f64, weight: f64, scratch: &mut [f64], acc: &mut [f64]) {
+    pub fn accumulate_into(
+        &self,
+        x: f64,
+        y: f64,
+        z: f64,
+        weight: f64,
+        scratch: &mut [f64],
+        acc: &mut [f64],
+    ) {
         self.eval_into(x, y, z, scratch);
         for (a, s) in acc.iter_mut().zip(scratch.iter()) {
             *a += weight * s;

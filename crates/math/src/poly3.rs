@@ -137,8 +137,8 @@ pub fn r_squared_pow(n: u32) -> Poly3 {
 
 /// `(x + iy)^m` expanded binomially.
 pub fn x_plus_iy_pow(m: u32) -> Poly3 {
-    let xpiy = Poly3::monomial((1, 0, 0), Complex64::ONE)
-        .add(&Poly3::monomial((0, 1, 0), Complex64::I));
+    let xpiy =
+        Poly3::monomial((1, 0, 0), Complex64::ONE).add(&Poly3::monomial((0, 1, 0), Complex64::I));
     xpiy.pow(m)
 }
 

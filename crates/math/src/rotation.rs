@@ -227,7 +227,9 @@ mod tests {
 
     #[test]
     fn radial_los_per_primary() {
-        let los = LineOfSight::Radial { observer: Vec3::ZERO };
+        let los = LineOfSight::Radial {
+            observer: Vec3::ZERO,
+        };
         let p = Vec3::new(10.0, 0.0, 0.0);
         let r = los.rotation_for(p).unwrap();
         // The line of sight x̂ must map to ẑ.
@@ -241,7 +243,9 @@ mod tests {
     fn angle_to_los_preserved_by_rotation() {
         // The polar angle of a separation vector w.r.t. the line of sight
         // must equal the polar angle w.r.t. z after rotation.
-        let los = LineOfSight::Radial { observer: Vec3::new(1.0, 2.0, 3.0) };
+        let los = LineOfSight::Radial {
+            observer: Vec3::new(1.0, 2.0, 3.0),
+        };
         let primary = Vec3::new(40.0, -10.0, 25.0);
         let r = los.rotation_for(primary).unwrap();
         let u = (primary - Vec3::new(1.0, 2.0, 3.0)).normalized().unwrap();

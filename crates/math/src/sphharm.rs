@@ -41,7 +41,7 @@ pub fn ylm(l: usize, m: i64, theta: f64, phi: f64) -> Complex64 {
         val
     } else {
         // Y_{l,-m} = (-1)^m conj(Y_{lm})
-        let sign = if mabs % 2 == 0 { 1.0 } else { -1.0 };
+        let sign = if mabs.is_multiple_of(2) { 1.0 } else { -1.0 };
         val.conj() * sign
     }
 }

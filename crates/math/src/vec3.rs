@@ -14,10 +14,26 @@ pub struct Vec3 {
 }
 
 impl Vec3 {
-    pub const ZERO: Vec3 = Vec3 { x: 0.0, y: 0.0, z: 0.0 };
-    pub const X: Vec3 = Vec3 { x: 1.0, y: 0.0, z: 0.0 };
-    pub const Y: Vec3 = Vec3 { x: 0.0, y: 1.0, z: 0.0 };
-    pub const Z: Vec3 = Vec3 { x: 0.0, y: 0.0, z: 1.0 };
+    pub const ZERO: Vec3 = Vec3 {
+        x: 0.0,
+        y: 0.0,
+        z: 0.0,
+    };
+    pub const X: Vec3 = Vec3 {
+        x: 1.0,
+        y: 0.0,
+        z: 0.0,
+    };
+    pub const Y: Vec3 = Vec3 {
+        x: 0.0,
+        y: 1.0,
+        z: 0.0,
+    };
+    pub const Z: Vec3 = Vec3 {
+        x: 0.0,
+        y: 0.0,
+        z: 1.0,
+    };
 
     #[inline]
     pub const fn new(x: f64, y: f64, z: f64) -> Self {
@@ -32,7 +48,11 @@ impl Vec3 {
 
     #[inline]
     pub fn from_array(a: [f64; 3]) -> Self {
-        Vec3 { x: a[0], y: a[1], z: a[2] }
+        Vec3 {
+            x: a[0],
+            y: a[1],
+            z: a[2],
+        }
     }
 
     #[inline]
@@ -221,7 +241,10 @@ impl Aabb {
     /// Box spanning the two corners (components are sorted).
     #[inline]
     pub fn new(a: Vec3, b: Vec3) -> Self {
-        Aabb { lo: a.min(b), hi: a.max(b) }
+        Aabb {
+            lo: a.min(b),
+            hi: a.max(b),
+        }
     }
 
     /// Degenerate box containing a single point.
@@ -243,7 +266,10 @@ impl Aabb {
     /// Cubic box `[0, len)^3`.
     #[inline]
     pub fn cube(len: f64) -> Self {
-        Aabb { lo: Vec3::ZERO, hi: Vec3::splat(len) }
+        Aabb {
+            lo: Vec3::ZERO,
+            hi: Vec3::splat(len),
+        }
     }
 
     #[inline]
@@ -303,7 +329,10 @@ impl Aabb {
     /// Smallest box containing both.
     #[inline]
     pub fn union(&self, o: &Aabb) -> Aabb {
-        Aabb { lo: self.lo.min(o.lo), hi: self.hi.max(o.hi) }
+        Aabb {
+            lo: self.lo.min(o.lo),
+            hi: self.hi.max(o.hi),
+        }
     }
 
     /// Grow every face outward by `margin`.

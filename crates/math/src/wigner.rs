@@ -20,7 +20,9 @@ pub struct Wigner3j {
 impl Wigner3j {
     /// Build an evaluator valid for `j ≤ max_j`.
     pub fn new(max_j: usize) -> Self {
-        Wigner3j { lnfact: LnFactorialTable::new(3 * max_j + 2) }
+        Wigner3j {
+            lnfact: LnFactorialTable::new(3 * max_j + 2),
+        }
     }
 
     /// Triangle inequality check `|j1-j2| ≤ j3 ≤ j1+j2`.
@@ -49,12 +51,10 @@ impl Wigner3j {
             self.lnfact.get(n as usize)
         };
         // Triangle coefficient Δ(j1 j2 j3), in logs.
-        let ln_delta = 0.5
-            * (lf(j1 + j2 - j3) + lf(j1 - j2 + j3) + lf(-j1 + j2 + j3)
-                - lf(j1 + j2 + j3 + 1));
+        let ln_delta =
+            0.5 * (lf(j1 + j2 - j3) + lf(j1 - j2 + j3) + lf(-j1 + j2 + j3) - lf(j1 + j2 + j3 + 1));
         let ln_prefac = 0.5
-            * (lf(j1 + m1) + lf(j1 - m1) + lf(j2 + m2) + lf(j2 - m2) + lf(j3 + m3)
-                + lf(j3 - m3));
+            * (lf(j1 + m1) + lf(j1 - m1) + lf(j2 + m2) + lf(j2 - m2) + lf(j3 + m3) + lf(j3 - m3));
 
         // Racah sum over k where all factorial arguments are non-negative.
         let kmin = 0.max(j2 - j3 - m1).max(j1 - j3 + m2);
@@ -73,7 +73,11 @@ impl Wigner3j {
             let sign = if k % 2 == 0 { 1.0 } else { -1.0 };
             sum += sign * (ln_delta + ln_prefac - ln_term).exp();
         }
-        let phase = if (j1 - j2 - m3).rem_euclid(2) == 0 { 1.0 } else { -1.0 };
+        let phase = if (j1 - j2 - m3).rem_euclid(2) == 0 {
+            1.0
+        } else {
+            -1.0
+        };
         phase * sum
     }
 
@@ -107,9 +111,17 @@ mod tests {
         // (1 1 0; 0 0 0) = -1/sqrt(3)
         assert!(close(w.eval(1, 1, 0, 0, 0, 0), -1.0 / 3f64.sqrt(), 1e-12));
         // (1 1 2; 0 0 0) = sqrt(2/15)
-        assert!(close(w.eval(1, 1, 2, 0, 0, 0), (2.0 / 15.0f64).sqrt(), 1e-12));
+        assert!(close(
+            w.eval(1, 1, 2, 0, 0, 0),
+            (2.0 / 15.0f64).sqrt(),
+            1e-12
+        ));
         // (2 2 2; 0 0 0) = -sqrt(2/35)
-        assert!(close(w.eval(2, 2, 2, 0, 0, 0), -(2.0 / 35.0f64).sqrt(), 1e-12));
+        assert!(close(
+            w.eval(2, 2, 2, 0, 0, 0),
+            -(2.0 / 35.0f64).sqrt(),
+            1e-12
+        ));
         // (1 1 2; 1 -1 0) = 1/sqrt(30)
         assert!(close(w.eval(1, 1, 2, 1, -1, 0), 1.0 / 30f64.sqrt(), 1e-12));
         // (2 1 1; 0 1 -1) = sqrt(1/30) ... check via symmetry instead:
@@ -121,10 +133,7 @@ mod tests {
                 } else {
                     -1.0 / ((2 * j + 1) as f64).sqrt()
                 };
-                assert!(
-                    close(w.eval(j, j, 0, m, -m, 0), want, 1e-12),
-                    "j={j} m={m}"
-                );
+                assert!(close(w.eval(j, j, 0, m, -m, 0), want, 1e-12), "j={j} m={m}");
             }
         }
     }
@@ -135,7 +144,7 @@ mod tests {
         assert_eq!(w.eval(1, 1, 3, 0, 0, 0), 0.0); // triangle violated
         assert_eq!(w.eval(1, 1, 2, 1, 1, 0), 0.0); // m-sum non-zero
         assert_eq!(w.eval(2, 2, 2, 3, -3, 0), 0.0); // |m| > j
-        // odd sum with zero m's vanishes
+                                                    // odd sum with zero m's vanishes
         assert_eq!(w.eval(1, 1, 1, 0, 0, 0), 0.0);
         assert_eq!(w.eval(3, 2, 2, 0, 0, 0), 0.0);
     }
@@ -161,10 +170,7 @@ mod tests {
                     } else {
                         0.0
                     };
-                    assert!(
-                        (s - want).abs() < 1e-11,
-                        "j3={j3} j3'={j3p} m3={m3}: {s}"
-                    );
+                    assert!((s - want).abs() < 1e-11, "j3={j3} j3'={j3p} m3={m3}: {s}");
                 }
             }
         }
@@ -175,7 +181,11 @@ mod tests {
         // Even permutations of columns leave the symbol unchanged; odd
         // permutations multiply by (-1)^{j1+j2+j3}.
         let w = Wigner3j::new(8);
-        let cases = [(3i64, 2i64, 4i64, 1i64, -1i64, 0i64), (5, 4, 3, 2, -2, 0), (2, 2, 2, 1, 0, -1)];
+        let cases = [
+            (3i64, 2i64, 4i64, 1i64, -1i64, 0i64),
+            (5, 4, 3, 2, -2, 0),
+            (2, 2, 2, 1, 0, -1),
+        ];
         for (j1, j2, j3, m1, m2, m3) in cases {
             let base = w.eval(j1, j2, j3, m1, m2, m3);
             let cyc = w.eval(j2, j3, j1, m2, m3, m1);

@@ -74,13 +74,13 @@ impl YlmTable {
                 continue;
             }
             let rem = l - m - j;
-            debug_assert!(rem % 2 == 0, "parity violation in Ylm expansion");
+            debug_assert!(rem.is_multiple_of(2), "parity violation in Ylm expansion");
             let term = Poly3::monomial((0, 0, j as u32), Complex64::real(dj))
                 .mul(&r_squared_pow((rem / 2) as u32));
             poly = poly.add(&term);
         }
         // (x+iy)^m and prefactor N_lm (-1)^m.
-        let sign = if m % 2 == 0 { 1.0 } else { -1.0 };
+        let sign = if m.is_multiple_of(2) { 1.0 } else { -1.0 };
         let prefactor = Complex64::real(sign * ylm_norm(l, m));
         let full = x_plus_iy_pow(m as u32).mul(&poly).scale(prefactor);
         debug_assert!(full.is_homogeneous(l as u32));
@@ -126,7 +126,13 @@ impl YlmTable {
 
     /// Evaluate `Y_ℓm(dir)` through the monomial expansion — a slow path
     /// used for testing the table against the direct evaluator.
-    pub fn eval_via_monomials(&self, l: usize, m: usize, dir: Vec3, basis: &MonomialBasis) -> Complex64 {
+    pub fn eval_via_monomials(
+        &self,
+        l: usize,
+        m: usize,
+        dir: Vec3,
+        basis: &MonomialBasis,
+    ) -> Complex64 {
         let u = dir.normalized().expect("direction must be non-zero");
         let mut vals = vec![0.0; basis.len()];
         basis.eval_into(u.x, u.y, u.z, &mut vals);
@@ -233,7 +239,7 @@ impl YlmPairProductTable {
                 .mul(&r_squared_pow((rem / 2) as u32));
             poly = poly.add(&term);
         }
-        let sign = if m % 2 == 0 { 1.0 } else { -1.0 };
+        let sign = if m.is_multiple_of(2) { 1.0 } else { -1.0 };
         let prefactor = Complex64::real(sign * ylm_norm(l, m));
         x_plus_iy_pow(m as u32).mul(&poly).scale(prefactor)
     }
@@ -321,10 +327,7 @@ mod tests {
         for l in 0..=lmax {
             for m in 0..=l {
                 let direct = ylm_cartesian(l, m as i64, u);
-                assert!(
-                    alm[lm_index(l, m)].dist_inf(direct) < 1e-11,
-                    "l={l} m={m}"
-                );
+                assert!(alm[lm_index(l, m)].dist_inf(direct) < 1e-11, "l={l} m={m}");
             }
         }
     }
@@ -353,10 +356,7 @@ mod tests {
                 for u in us {
                     direct += ylm_cartesian(l, m as i64, u);
                 }
-                assert!(
-                    alm[lm_index(l, m)].dist_inf(direct) < 1e-11,
-                    "l={l} m={m}"
-                );
+                assert!(alm[lm_index(l, m)].dist_inf(direct) < 1e-11, "l={l} m={m}");
             }
         }
     }
@@ -381,8 +381,8 @@ mod tests {
                     let via_table = table.assemble(l, lp, m, &sums);
                     let mut direct = Complex64::ZERO;
                     for u in dirs {
-                        direct += ylm_cartesian(l, m as i64, u)
-                            * ylm_cartesian(lp, m as i64, u).conj();
+                        direct +=
+                            ylm_cartesian(l, m as i64, u) * ylm_cartesian(lp, m as i64, u).conj();
                     }
                     assert!(
                         via_table.dist_inf(direct) < 1e-10,

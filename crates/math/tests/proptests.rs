@@ -12,14 +12,8 @@ use proptest::prelude::*;
 
 fn unit_vector() -> impl Strategy<Value = Vec3> {
     // Reject near-zero raw vectors before normalizing.
-    (
-        -1.0f64..1.0,
-        -1.0f64..1.0,
-        -1.0f64..1.0,
-    )
-        .prop_filter_map("non-zero", |(x, y, z)| {
-            Vec3::new(x, y, z).normalized()
-        })
+    (-1.0f64..1.0, -1.0f64..1.0, -1.0f64..1.0)
+        .prop_filter_map("non-zero", |(x, y, z)| Vec3::new(x, y, z).normalized())
 }
 
 proptest! {

@@ -73,7 +73,11 @@ mod tests {
 
     #[test]
     fn density_matches_expectation() {
-        let ns = NeymanScott { parent_density: 0.002, mean_children: 20.0, sigma: 2.0 };
+        let ns = NeymanScott {
+            parent_density: 0.002,
+            mean_children: 20.0,
+            sigma: 2.0,
+        };
         let cat = ns.generate(50.0, 3);
         let expected = ns.expected_density() * 50.0f64.powi(3);
         let got = cat.len() as f64;
@@ -85,7 +89,11 @@ mod tests {
 
     #[test]
     fn children_cluster_around_parents() {
-        let ns = NeymanScott { parent_density: 0.0005, mean_children: 30.0, sigma: 1.5 };
+        let ns = NeymanScott {
+            parent_density: 0.0005,
+            mean_children: 30.0,
+            sigma: 1.5,
+        };
         let cat = ns.generate(60.0, 7);
         // Close-pair excess relative to uniform with the same count.
         let uni = galactos_catalog::uniform_box(cat.len(), 60.0, 91);
@@ -94,7 +102,12 @@ mod tests {
             let mut count = 0;
             for i in 0..c.len() {
                 for j in (i + 1)..c.len() {
-                    if c.galaxies[i].pos.periodic_delta(c.galaxies[j].pos, l).norm() < r {
+                    if c.galaxies[i]
+                        .pos
+                        .periodic_delta(c.galaxies[j].pos, l)
+                        .norm()
+                        < r
+                    {
                         count += 1;
                     }
                 }
@@ -111,7 +124,11 @@ mod tests {
 
     #[test]
     fn positions_inside_box_and_deterministic() {
-        let ns = NeymanScott { parent_density: 0.001, mean_children: 10.0, sigma: 5.0 };
+        let ns = NeymanScott {
+            parent_density: 0.001,
+            mean_children: 10.0,
+            sigma: 5.0,
+        };
         let a = ns.generate(30.0, 5);
         let b = ns.generate(30.0, 5);
         assert_eq!(a.len(), b.len());

@@ -21,7 +21,10 @@ pub enum Direction {
 /// In-place 1-D FFT of a power-of-two-length buffer.
 pub fn fft_inplace(data: &mut [Complex64], dir: Direction) {
     let n = data.len();
-    assert!(n.is_power_of_two(), "FFT length must be a power of two, got {n}");
+    assert!(
+        n.is_power_of_two(),
+        "FFT length must be a power of two, got {n}"
+    );
     if n <= 1 {
         return;
     }
@@ -77,7 +80,10 @@ pub struct Mesh3 {
 impl Mesh3 {
     pub fn zeros(n: usize) -> Self {
         assert!(n.is_power_of_two(), "mesh side must be a power of two");
-        Mesh3 { n, data: vec![Complex64::ZERO; n * n * n] }
+        Mesh3 {
+            n,
+            data: vec![Complex64::ZERO; n * n * n],
+        }
     }
 
     pub fn from_real(n: usize, values: &[f64]) -> Self {
@@ -303,7 +309,9 @@ mod tests {
     fn mesh_roundtrip_3d() {
         let n = 16;
         let mut rng = ChaCha8Rng::seed_from_u64(7);
-        let values: Vec<f64> = (0..n * n * n).map(|_| rng.random_range(-1.0..1.0)).collect();
+        let values: Vec<f64> = (0..n * n * n)
+            .map(|_| rng.random_range(-1.0..1.0))
+            .collect();
         let mut mesh = Mesh3::from_real(n, &values);
         mesh.fft3(Direction::Forward);
         mesh.fft3(Direction::Inverse);
@@ -323,8 +331,7 @@ mod tests {
         for i in 0..n {
             for j in 0..n {
                 for k in 0..n {
-                    let phase = 2.0 * std::f64::consts::PI
-                        * (m.0 * i + m.1 * j + m.2 * k) as f64
+                    let phase = 2.0 * std::f64::consts::PI * (m.0 * i + m.1 * j + m.2 * k) as f64
                         / n as f64;
                     mesh.set(i, j, k, Complex64::real(phase.cos()));
                 }
@@ -357,8 +364,7 @@ mod tests {
         // z
         for i in 0..n {
             for j in 0..n {
-                let line: Vec<Complex64> =
-                    (0..n).map(|k| ref_data[(i * n + j) * n + k]).collect();
+                let line: Vec<Complex64> = (0..n).map(|k| ref_data[(i * n + j) * n + k]).collect();
                 let out = dft_reference(&line, Direction::Forward);
                 for k in 0..n {
                     ref_data[(i * n + j) * n + k] = out[k];
@@ -368,8 +374,7 @@ mod tests {
         // y
         for i in 0..n {
             for k in 0..n {
-                let line: Vec<Complex64> =
-                    (0..n).map(|j| ref_data[(i * n + j) * n + k]).collect();
+                let line: Vec<Complex64> = (0..n).map(|j| ref_data[(i * n + j) * n + k]).collect();
                 let out = dft_reference(&line, Direction::Forward);
                 for j in 0..n {
                     ref_data[(i * n + j) * n + k] = out[j];
@@ -379,8 +384,7 @@ mod tests {
         // x
         for j in 0..n {
             for k in 0..n {
-                let line: Vec<Complex64> =
-                    (0..n).map(|i| ref_data[(i * n + j) * n + k]).collect();
+                let line: Vec<Complex64> = (0..n).map(|i| ref_data[(i * n + j) * n + k]).collect();
                 let out = dft_reference(&line, Direction::Forward);
                 for i in 0..n {
                     ref_data[(i * n + j) * n + k] = out[i];

@@ -23,17 +23,16 @@ pub struct GaussianField {
 
 impl GaussianField {
     /// Synthesize a field with the target spectrum.
-    pub fn generate(
-        spectrum: &dyn PowerSpectrum,
-        n: usize,
-        box_len: f64,
-        seed: u64,
-    ) -> Self {
+    pub fn generate(spectrum: &dyn PowerSpectrum, n: usize, box_len: f64, seed: u64) -> Self {
         let mut mesh = Self::noise_k_space(n, seed);
         Self::apply_transfer(&mut mesh, spectrum, n, box_len);
         mesh.fft3(Direction::Inverse);
         debug_assert!(mesh.max_imag() < 1e-8, "imag {}", mesh.max_imag());
-        GaussianField { n, box_len, delta: mesh.to_real() }
+        GaussianField {
+            n,
+            box_len,
+            delta: mesh.to_real(),
+        }
     }
 
     /// Synthesize the field together with the three components of the
@@ -74,7 +73,11 @@ impl GaussianField {
             psi.push(m.to_real());
         }
         delta_k.fft3(Direction::Inverse);
-        let field = GaussianField { n, box_len, delta: delta_k.to_real() };
+        let field = GaussianField {
+            n,
+            box_len,
+            delta: delta_k.to_real(),
+        };
         let psi: [Vec<f64>; 3] = psi.try_into().unwrap();
         (field, psi)
     }
@@ -149,8 +152,7 @@ impl GaussianField {
     /// Standard deviation of δ on the mesh.
     pub fn sigma(&self) -> f64 {
         let m = self.mean();
-        (self.delta.iter().map(|&d| (d - m) * (d - m)).sum::<f64>()
-            / self.delta.len() as f64)
+        (self.delta.iter().map(|&d| (d - m) * (d - m)).sum::<f64>() / self.delta.len() as f64)
             .sqrt()
     }
 
@@ -185,7 +187,7 @@ impl GaussianField {
                 let j = (j0 + dj).rem_euclid(n) as usize;
                 for (dk, wk) in [(0i64, 1.0 - fz), (1, fz)] {
                     let k = (k0 + dk).rem_euclid(n) as usize;
-                    acc += wi * wj * wk * values[(i * self.n as usize + j) * self.n + k];
+                    acc += wi * wj * wk * values[(i * self.n + j) * self.n + k];
                 }
             }
         }
@@ -225,7 +227,13 @@ impl GaussianField {
         }
         (0..nbins)
             .filter(|&b| count[b] > 0)
-            .map(|b| (ksum[b] / count[b] as f64, power[b] / count[b] as f64, count[b]))
+            .map(|b| {
+                (
+                    ksum[b] / count[b] as f64,
+                    power[b] / count[b] as f64,
+                    count[b],
+                )
+            })
             .collect()
     }
 }
@@ -257,7 +265,10 @@ mod tests {
 
     #[test]
     fn field_is_deterministic_and_zero_mean() {
-        let p = PowerLawSpectrum { amplitude: 100.0, index: -1.0 };
+        let p = PowerLawSpectrum {
+            amplitude: 100.0,
+            index: -1.0,
+        };
         let a = GaussianField::generate(&p, 16, 100.0, 5);
         let b = GaussianField::generate(&p, 16, 100.0, 5);
         assert_eq!(a.delta()[0], b.delta()[0]);
@@ -269,7 +280,10 @@ mod tests {
     fn measured_power_matches_input() {
         // The realized spectrum must track the target within sample
         // variance (bins hold many modes at high k).
-        let p = PowerLawSpectrum { amplitude: 500.0, index: -1.5 };
+        let p = PowerLawSpectrum {
+            amplitude: 500.0,
+            index: -1.5,
+        };
         let f = GaussianField::generate(&p, 32, 200.0, 11);
         let measured = f.measure_power(8);
         assert!(measured.len() >= 6);
@@ -308,7 +322,9 @@ mod tests {
         let n = 16usize;
         let box_len = 100.0;
         let k_nyquist = std::f64::consts::PI * n as f64 / box_len;
-        let p = SmoothSpectrum { kc: 0.15 * k_nyquist };
+        let p = SmoothSpectrum {
+            kc: 0.15 * k_nyquist,
+        };
         let (field, psi) = GaussianField::generate_with_displacement(&p, n, box_len, 3);
         let cell = box_len / n as f64;
         let idx = |i: usize, j: usize, k: usize| (i * n + j) * n + k;
@@ -337,12 +353,18 @@ mod tests {
         }
         // Central differences are 2nd order; the band limit keeps the
         // residual well under 10% of the field scale.
-        assert!(worst < 0.1 * scale, "divergence error {worst} vs scale {scale}");
+        assert!(
+            worst < 0.1 * scale,
+            "divergence error {worst} vs scale {scale}"
+        );
     }
 
     #[test]
     fn cic_interpolation_reproduces_constant_and_is_periodic() {
-        let p = PowerLawSpectrum { amplitude: 1.0, index: -1.0 };
+        let p = PowerLawSpectrum {
+            amplitude: 1.0,
+            index: -1.0,
+        };
         let f = GaussianField::generate(&p, 8, 10.0, 1);
         let constant = vec![3.5; 8 * 8 * 8];
         for pos in [
@@ -361,7 +383,10 @@ mod tests {
 
     #[test]
     fn value_at_wraps() {
-        let p = PowerLawSpectrum { amplitude: 1.0, index: -1.0 };
+        let p = PowerLawSpectrum {
+            amplitude: 1.0,
+            index: -1.0,
+        };
         let f = GaussianField::generate(&p, 8, 10.0, 2);
         let a = f.value_at(Vec3::new(0.5, 0.5, 0.5));
         let b = f.value_at(Vec3::new(10.5, 0.5, 0.5));

@@ -74,7 +74,11 @@ pub fn generate(
     if let Some(params) = rsd {
         crate::rsd::apply_plane_parallel(&mut catalog, &field, &displacement, params);
     }
-    LognormalMock { catalog, field, displacement }
+    LognormalMock {
+        catalog,
+        field,
+        displacement,
+    }
 }
 
 #[cfg(test)]
@@ -113,7 +117,10 @@ mod tests {
 
     #[test]
     fn target_count_roughly_met() {
-        let p = PowerLawSpectrum { amplitude: 200.0, index: -1.5 };
+        let p = PowerLawSpectrum {
+            amplitude: 200.0,
+            index: -1.5,
+        };
         let mock = generate(&p, 16, 100.0, 2000, 7, None);
         let n = mock.catalog.len() as f64;
         assert!(
@@ -125,7 +132,10 @@ mod tests {
 
     #[test]
     fn deterministic_by_seed() {
-        let p = PowerLawSpectrum { amplitude: 100.0, index: -1.0 };
+        let p = PowerLawSpectrum {
+            amplitude: 100.0,
+            index: -1.0,
+        };
         let a = generate(&p, 8, 50.0, 300, 3, None);
         let b = generate(&p, 8, 50.0, 300, 3, None);
         assert_eq!(a.catalog.len(), b.catalog.len());
@@ -136,7 +146,10 @@ mod tests {
     fn clustering_exceeds_poisson() {
         // A strongly clustered mock must show an excess of close pairs
         // over a uniform catalog of the same density.
-        let p = PowerLawSpectrum { amplitude: 3000.0, index: -1.8 };
+        let p = PowerLawSpectrum {
+            amplitude: 3000.0,
+            index: -1.8,
+        };
         let mock = generate(&p, 16, 100.0, 1200, 5, None);
         let uniform = galactos_catalog::uniform_box(mock.catalog.len(), 100.0, 99);
         let r = 8.0;
@@ -150,7 +163,10 @@ mod tests {
 
     #[test]
     fn rsd_changes_z_only() {
-        let p = PowerLawSpectrum { amplitude: 500.0, index: -1.5 };
+        let p = PowerLawSpectrum {
+            amplitude: 500.0,
+            index: -1.5,
+        };
         let real = generate(&p, 16, 100.0, 800, 11, None);
         let red = generate(
             &p,
@@ -158,11 +174,20 @@ mod tests {
             100.0,
             800,
             11,
-            Some(RsdParams { growth_rate: 0.8, sigma_v: 0.0, seed: 1 }),
+            Some(RsdParams {
+                growth_rate: 0.8,
+                sigma_v: 0.0,
+                seed: 1,
+            }),
         );
         assert_eq!(real.catalog.len(), red.catalog.len());
         let mut moved = 0usize;
-        for (a, b) in real.catalog.galaxies.iter().zip(red.catalog.galaxies.iter()) {
+        for (a, b) in real
+            .catalog
+            .galaxies
+            .iter()
+            .zip(red.catalog.galaxies.iter())
+        {
             assert!((a.pos.x - b.pos.x).abs() < 1e-12);
             assert!((a.pos.y - b.pos.y).abs() < 1e-12);
             if (a.pos.z - b.pos.z).abs() > 1e-9 {

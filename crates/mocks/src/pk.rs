@@ -102,8 +102,7 @@ impl PowerSpectrum for BaoSpectrum {
         }
         let x = k / self.k_eq;
         let smooth = self.amplitude * x.powf(self.ns) / (1.0 + x * x).powi(2);
-        let wiggle = 1.0
-            + self.a_bao * (k * self.r_bao).sin() * (-(k / self.k_silk).powi(2)).exp();
+        let wiggle = 1.0 + self.a_bao * (k * self.r_bao).sin() * (-(k / self.k_silk).powi(2)).exp();
         smooth * wiggle
     }
 }
@@ -114,7 +113,10 @@ mod tests {
 
     #[test]
     fn power_law_scaling() {
-        let p = PowerLawSpectrum { amplitude: 3.0, index: -1.5 };
+        let p = PowerLawSpectrum {
+            amplitude: 3.0,
+            index: -1.5,
+        };
         assert!((p.power(1.0) - 3.0).abs() < 1e-12);
         assert!((p.power(4.0) - 3.0 * 4.0f64.powf(-1.5)).abs() < 1e-12);
         assert_eq!(p.power(0.0), 0.0);

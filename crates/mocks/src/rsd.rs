@@ -34,7 +34,11 @@ pub struct RsdParams {
 impl RsdParams {
     /// Pure Kaiser distortion with growth rate `f`.
     pub fn kaiser(growth_rate: f64) -> Self {
-        RsdParams { growth_rate, sigma_v: 0.0, seed: 0 }
+        RsdParams {
+            growth_rate,
+            sigma_v: 0.0,
+            seed: 0,
+        }
     }
 }
 
@@ -108,7 +112,10 @@ mod tests {
 
     #[test]
     fn kaiser_displacement_is_coherent_and_periodic() {
-        let p = PowerLawSpectrum { amplitude: 800.0, index: -2.0 };
+        let p = PowerLawSpectrum {
+            amplitude: 800.0,
+            index: -2.0,
+        };
         let (field, psi) = GaussianField::generate_with_displacement(&p, 16, 100.0, 3);
         let mut cat = galactos_catalog::uniform_box(500, 100.0, 5);
         let before = cat.positions();
@@ -125,7 +132,10 @@ mod tests {
 
     #[test]
     fn finger_of_god_adds_dispersion() {
-        let p = PowerLawSpectrum { amplitude: 1.0, index: -1.0 };
+        let p = PowerLawSpectrum {
+            amplitude: 1.0,
+            index: -1.0,
+        };
         let (field, psi) = GaussianField::generate_with_displacement(&p, 8, 50.0, 1);
         let mut a = galactos_catalog::uniform_box(400, 50.0, 9);
         let mut b = a.clone();
@@ -133,13 +143,21 @@ mod tests {
             &mut a,
             &field,
             &psi,
-            RsdParams { growth_rate: 0.0, sigma_v: 0.0, seed: 2 },
+            RsdParams {
+                growth_rate: 0.0,
+                sigma_v: 0.0,
+                seed: 2,
+            },
         );
         apply_plane_parallel(
             &mut b,
             &field,
             &psi,
-            RsdParams { growth_rate: 0.0, sigma_v: 2.0, seed: 2 },
+            RsdParams {
+                growth_rate: 0.0,
+                sigma_v: 2.0,
+                seed: 2,
+            },
         );
         // a unchanged (f=0, σ_v=0); b scattered.
         let moved = a

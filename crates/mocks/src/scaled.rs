@@ -34,7 +34,11 @@ pub struct ScaledDataset {
 pub fn scaled_dataset(nodes: usize, galaxies_per_node: f64, density: f64) -> ScaledDataset {
     let galaxies = nodes as f64 * galaxies_per_node;
     let box_len = (galaxies / density).cbrt();
-    ScaledDataset { nodes, galaxies, box_len }
+    ScaledDataset {
+        nodes,
+        galaxies,
+        box_len,
+    }
 }
 
 /// The paper's Table 1, regenerated from the construction rule (rather
@@ -45,7 +49,11 @@ pub fn paper_table1() -> Vec<ScaledDataset> {
         .map(|&nodes| scaled_dataset(nodes, GALAXIES_PER_NODE, OUTER_RIM_DENSITY))
         .collect();
     // The full-system row: 1.951e9 galaxies in the 3000 Mpc/h Outer Rim box.
-    rows.push(ScaledDataset { nodes: 9636, galaxies: 1.951e9, box_len: 3000.0 });
+    rows.push(ScaledDataset {
+        nodes: 9636,
+        galaxies: 1.951e9,
+        box_len: 3000.0,
+    });
     rows
 }
 

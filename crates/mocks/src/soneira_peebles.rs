@@ -44,7 +44,14 @@ impl SoneiraPeebles {
                 rng.random_range(0.0..box_len),
                 rng.random_range(0.0..box_len),
             );
-            self.recurse(center, self.r0, self.levels, box_len, &mut rng, &mut galaxies);
+            self.recurse(
+                center,
+                self.r0,
+                self.levels,
+                box_len,
+                &mut rng,
+                &mut galaxies,
+            );
         }
         Catalog::new_periodic(galaxies, box_len)
     }
@@ -68,7 +75,14 @@ impl SoneiraPeebles {
         }
         for _ in 0..self.eta {
             let child = center + uniform_in_sphere(rng) * radius;
-            self.recurse(child, radius / self.lambda, levels_left - 1, box_len, rng, out);
+            self.recurse(
+                child,
+                radius / self.lambda,
+                levels_left - 1,
+                box_len,
+                rng,
+                out,
+            );
         }
     }
 }
@@ -93,7 +107,13 @@ mod tests {
 
     #[test]
     fn count_is_exact() {
-        let sp = SoneiraPeebles { n_clusters: 4, eta: 3, lambda: 1.9, r0: 10.0, levels: 4 };
+        let sp = SoneiraPeebles {
+            n_clusters: 4,
+            eta: 3,
+            lambda: 1.9,
+            r0: 10.0,
+            levels: 4,
+        };
         let cat = sp.generate(100.0, 3);
         assert_eq!(cat.len(), 4 * 81);
         assert_eq!(sp.expected_count(), 324);
@@ -101,7 +121,13 @@ mod tests {
 
     #[test]
     fn hierarchical_clustering_present() {
-        let sp = SoneiraPeebles { n_clusters: 6, eta: 4, lambda: 2.2, r0: 12.0, levels: 3 };
+        let sp = SoneiraPeebles {
+            n_clusters: 6,
+            eta: 4,
+            lambda: 2.2,
+            r0: 12.0,
+            levels: 3,
+        };
         let cat = sp.generate(120.0, 9);
         let uni = galactos_catalog::uniform_box(cat.len(), 120.0, 31);
         let close = |c: &Catalog, r: f64| -> usize {
@@ -109,7 +135,12 @@ mod tests {
             let mut n = 0;
             for i in 0..c.len() {
                 for j in (i + 1)..c.len() {
-                    if c.galaxies[i].pos.periodic_delta(c.galaxies[j].pos, l).norm() < r {
+                    if c.galaxies[i]
+                        .pos
+                        .periodic_delta(c.galaxies[j].pos, l)
+                        .norm()
+                        < r
+                    {
                         n += 1;
                     }
                 }
@@ -121,7 +152,13 @@ mod tests {
 
     #[test]
     fn deterministic() {
-        let sp = SoneiraPeebles { n_clusters: 2, eta: 2, lambda: 2.0, r0: 5.0, levels: 2 };
+        let sp = SoneiraPeebles {
+            n_clusters: 2,
+            eta: 2,
+            lambda: 2.0,
+            r0: 5.0,
+            levels: 2,
+        };
         let a = sp.generate(50.0, 1);
         let b = sp.generate(50.0, 1);
         assert_eq!(a.galaxies[3].pos, b.galaxies[3].pos);
@@ -130,7 +167,13 @@ mod tests {
     #[test]
     #[should_panic(expected = "lambda must exceed 1")]
     fn rejects_bad_lambda() {
-        let sp = SoneiraPeebles { n_clusters: 1, eta: 2, lambda: 0.5, r0: 5.0, levels: 1 };
+        let sp = SoneiraPeebles {
+            n_clusters: 1,
+            eta: 2,
+            lambda: 0.5,
+            r0: 5.0,
+            levels: 1,
+        };
         sp.generate(10.0, 1);
     }
 }

@@ -90,7 +90,10 @@ mod tests {
 
     #[test]
     fn count_and_bounds() {
-        let p = PowerLawSpectrum { amplitude: 20.0, index: -1.5 };
+        let p = PowerLawSpectrum {
+            amplitude: 20.0,
+            index: -1.5,
+        };
         let cat = generate(&p, params(1000), 3);
         assert_eq!(cat.len(), 1000);
         assert_eq!(cat.periodic, Some(60.0));
@@ -101,7 +104,10 @@ mod tests {
 
     #[test]
     fn deterministic_by_seed() {
-        let p = PowerLawSpectrum { amplitude: 20.0, index: -1.5 };
+        let p = PowerLawSpectrum {
+            amplitude: 20.0,
+            index: -1.5,
+        };
         let a = generate(&p, params(500), 7);
         let b = generate(&p, params(500), 7);
         assert_eq!(a.galaxies[17].pos, b.galaxies[17].pos);
@@ -111,7 +117,10 @@ mod tests {
     fn displacement_creates_clustering() {
         // Displaced lattice must show a close-pair excess over the
         // undisplaced (growth = 0) lattice.
-        let p = PowerLawSpectrum { amplitude: 400.0, index: -2.0 };
+        let p = PowerLawSpectrum {
+            amplitude: 400.0,
+            index: -2.0,
+        };
         let mut with = params(1200);
         with.growth = 1.0;
         let mut without = params(1200);
@@ -123,7 +132,12 @@ mod tests {
             let mut n = 0;
             for i in 0..c.len() {
                 for j in (i + 1)..c.len() {
-                    if c.galaxies[i].pos.periodic_delta(c.galaxies[j].pos, l).norm() < r {
+                    if c.galaxies[i]
+                        .pos
+                        .periodic_delta(c.galaxies[j].pos, l)
+                        .norm()
+                        < r
+                    {
                         n += 1;
                     }
                 }

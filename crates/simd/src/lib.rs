@@ -18,6 +18,12 @@
 //! assert_eq!(c.horizontal_sum(), 2.0 * 28.0 + 8.0);
 //! ```
 
+// The indexed `for i in 0..F64_LANES` loops below ARE the kernel's
+// vectorization schedule (one lane per index, no iterator adapters in
+// the way of LLVM's vectorizer); clippy's preference for iterators is
+// deliberately overridden crate-wide.
+#![allow(clippy::needless_range_loop)]
+
 use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub};
 
 /// Number of `f64` lanes per vector — matches one 512-bit register, the
@@ -236,7 +242,9 @@ pub struct Batch4 {
 impl Batch4 {
     #[inline(always)]
     pub fn zero() -> Self {
-        Batch4 { v: [F64x8::ZERO; ILP_BATCHES] }
+        Batch4 {
+            v: [F64x8::ZERO; ILP_BATCHES],
+        }
     }
 
     /// Accumulate four independent products: `v[i] += a[i] * b[i]`.

@@ -53,10 +53,10 @@ fn main() {
         let da = a.catalog.len() as f64 / box_len.powi(3);
         let db = b.catalog.len() as f64 / box_len.powi(3);
         for bin in 0..bins.nbins() {
-            let va = za.get(0, bin, bin) / (bins.shell_volume(bin) * da)
-                * (4.0 * std::f64::consts::PI);
-            let vb = zb.get(0, bin, bin) / (bins.shell_volume(bin) * db)
-                * (4.0 * std::f64::consts::PI);
+            let va =
+                za.get(0, bin, bin) / (bins.shell_volume(bin) * da) * (4.0 * std::f64::consts::PI);
+            let vb =
+                zb.get(0, bin, bin) / (bins.shell_volume(bin) * db) * (4.0 * std::f64::consts::PI);
             with_bao[bin] += va / n_mocks as f64;
             without[bin] += vb / n_mocks as f64;
         }

@@ -5,8 +5,8 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use galactos::prelude::*;
 use galactos::mocks::cluster_process::NeymanScott;
+use galactos::prelude::*;
 
 fn main() {
     // 1. A clustered galaxy catalog (Neyman–Scott process: Poisson

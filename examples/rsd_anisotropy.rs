@@ -19,7 +19,10 @@ fn main() {
     // Amplitude chosen for a Gaussian-field sigma of order unity: much
     // larger values make exp(G) collapse all mass into a few cells
     // (a degenerate lognormal mock).
-    let spectrum = PowerLawSpectrum { amplitude: 8.0, index: -1.2 };
+    let spectrum = PowerLawSpectrum {
+        amplitude: 8.0,
+        index: -1.2,
+    };
     let mesh = 64;
     let box_len = 100.0;
     let n_gal = 5_000;
@@ -64,7 +67,9 @@ fn main() {
     if red_sum > real_sum {
         println!("RSD enhanced the anisotropic coupling, as the Kaiser effect predicts.");
     } else {
-        println!("warning: no enhancement detected — try a larger catalog or stronger growth rate.");
+        println!(
+            "warning: no enhancement detected — try a larger catalog or stronger growth rate."
+        );
     }
 
     // The isotropic part barely changes by comparison (it only picks up

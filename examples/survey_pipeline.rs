@@ -118,5 +118,7 @@ fn main() {
         Some(snr) => println!("pair-moment detection significance (1 component): {snr:.1} sigma"),
         None => println!("covariance singular for the chosen component"),
     }
-    println!("\npipeline complete: mask -> randoms -> D-R weighting -> edge correction -> jackknife.");
+    println!(
+        "\npipeline complete: mask -> randoms -> D-R weighting -> edge correction -> jackknife."
+    );
 }

@@ -9,7 +9,10 @@ fn repeated_runs_are_bitwise_identical() {
     let config = EngineConfig::test_default(6.0, 3, 3);
     let engine = Engine::new(config);
     // Single-threaded: reduction order is fixed, results bitwise equal.
-    let pool = rayon::ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(1)
+        .build()
+        .unwrap();
     let a = pool.install(|| engine.compute(&cat));
     let b = pool.install(|| engine.compute(&cat));
     assert_eq!(a.max_difference(&b), 0.0);
@@ -26,8 +29,14 @@ fn thread_count_does_not_change_results_beyond_roundoff() {
     cat.periodic = None;
     let config = EngineConfig::test_default(8.0, 3, 3);
     let engine = Engine::new(config);
-    let pool1 = rayon::ThreadPoolBuilder::new().num_threads(1).build().unwrap();
-    let pool4 = rayon::ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+    let pool1 = rayon::ThreadPoolBuilder::new()
+        .num_threads(1)
+        .build()
+        .unwrap();
+    let pool4 = rayon::ThreadPoolBuilder::new()
+        .num_threads(4)
+        .build()
+        .unwrap();
     let a = pool1.install(|| engine.compute(&cat));
     let b = pool4.install(|| engine.compute(&cat));
     let scale = a.max_abs().max(1.0);
@@ -42,10 +51,18 @@ fn thread_count_does_not_change_results_beyond_roundoff() {
 
 #[test]
 fn mock_generators_are_seed_deterministic() {
-    let a = NeymanScott { parent_density: 1e-3, mean_children: 5.0, sigma: 1.0 }
-        .generate(25.0, 42);
-    let b = NeymanScott { parent_density: 1e-3, mean_children: 5.0, sigma: 1.0 }
-        .generate(25.0, 42);
+    let a = NeymanScott {
+        parent_density: 1e-3,
+        mean_children: 5.0,
+        sigma: 1.0,
+    }
+    .generate(25.0, 42);
+    let b = NeymanScott {
+        parent_density: 1e-3,
+        mean_children: 5.0,
+        sigma: 1.0,
+    }
+    .generate(25.0, 42);
     assert_eq!(a.len(), b.len());
     for (x, y) in a.galaxies.iter().zip(b.galaxies.iter()) {
         assert_eq!(x.pos, y.pos);

@@ -67,7 +67,10 @@ fn io_roundtrip_preserves_zeta_exactly() {
     let engine = Engine::new(config);
     // One thread: reduction order fixed, so lossless I/O means bitwise
     // identical results.
-    let pool = rayon::ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(1)
+        .build()
+        .unwrap();
     let a = pool.install(|| engine.compute(&cat));
     let b = pool.install(|| engine.compute(&back));
     assert_eq!(a.max_difference(&b), 0.0, "binary IO must be lossless");
@@ -140,8 +143,7 @@ fn jackknife_covariance_has_positive_variances_on_signal() {
     let plan = galactos::domain::DomainPlan::build(&positions, cat.bounds, 6);
     let partials: Vec<_> = (0..6)
         .map(|r| {
-            let idx: Vec<usize> =
-                plan.owned_indices(r).iter().map(|&i| i as usize).collect();
+            let idx: Vec<usize> = plan.owned_indices(r).iter().map(|&i| i as usize).collect();
             engine.compute(&cat.subset(&idx))
         })
         .collect();

@@ -37,24 +37,19 @@ fn three_point_signal_detected_in_clustered_process() {
 fn kaiser_rsd_enhances_quadrupole_coupling() {
     // Redshift-space distortions must light up the (2,0) multipole
     // coupling — the anisotropic signal the paper exists to measure.
-    let spectrum = PowerLawSpectrum { amplitude: 8.0, index: -1.2 };
+    let spectrum = PowerLawSpectrum {
+        amplitude: 8.0,
+        index: -1.2,
+    };
     let real = lognormal::generate(&spectrum, 32, 100.0, 3000, 11, None);
-    let red = lognormal::generate(
-        &spectrum,
-        32,
-        100.0,
-        3000,
-        11,
-        Some(RsdParams::kaiser(1.2)),
-    );
+    let red = lognormal::generate(&spectrum, 32, 100.0, 3000, 11, Some(RsdParams::kaiser(1.2)));
     let mut config = EngineConfig::test_default(25.0, 2, 5);
     config.subtract_self_pairs = true;
     let engine = Engine::new(config);
     let z_real = engine.compute(&real.catalog).normalized();
     let z_red = engine.compute(&red.catalog).normalized();
-    let coupling = |z: &AnisotropicZeta| -> f64 {
-        (0..5).map(|b| z.get(2, 0, 0, b, b).re.abs()).sum()
-    };
+    let coupling =
+        |z: &AnisotropicZeta| -> f64 { (0..5).map(|b| z.get(2, 0, 0, b, b).re.abs()).sum() };
     let c_real = coupling(&z_real);
     let c_red = coupling(&z_red);
     assert!(
@@ -97,10 +92,7 @@ fn anisotropic_null_on_uniform_random_catalog() {
     for l in 1..=3usize {
         for m in 0..=l {
             let v = z.get(l, l, m, 1, 1).abs();
-            assert!(
-                v < 0.1 * signal,
-                "l={l} m={m}: {v} not small vs {signal}"
-            );
+            assert!(v < 0.1 * signal, "l={l} m={m}: {v} not small vs {signal}");
         }
     }
 }
@@ -109,7 +101,10 @@ fn anisotropic_null_on_uniform_random_catalog() {
 fn lognormal_mock_power_spectrum_matches_input() {
     // The Gaussian field driving the mocks must realize the input P(k).
     use galactos::mocks::GaussianField;
-    let p = PowerLawSpectrum { amplitude: 50.0, index: -1.0 };
+    let p = PowerLawSpectrum {
+        amplitude: 50.0,
+        index: -1.0,
+    };
     let field = GaussianField::generate(&p, 32, 64.0, 5);
     let measured = field.measure_power(8);
     let mut checked = 0;

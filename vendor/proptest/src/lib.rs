@@ -1,0 +1,238 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Supports the subset the Galactos property tests use: the
+//! `proptest!` macro (with optional `#![proptest_config(..)]`), range
+//! strategies over ints and floats, tuple strategies, `prop_map` /
+//! `prop_filter_map`, `collection::vec`, `bool::ANY`, and the
+//! `prop_assert!` / `prop_assert_eq!` / `prop_assume!` macros.
+//!
+//! Differences from the real crate: values are sampled uniformly (no
+//! edge-case biasing), failing cases are not shrunk (the failing inputs
+//! are reported as generated), and each test's RNG seed is a stable
+//! hash of its name, so runs are fully deterministic.
+
+pub mod strategy;
+pub mod test_runner;
+
+/// Strategies for `bool`.
+pub mod bool {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    #[derive(Clone, Copy, Debug)]
+    pub struct Any;
+
+    /// Uniform `true` / `false`.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+
+        fn generate(&self, rng: &mut TestRng) -> Option<bool> {
+            Some(rng.next_u64() & 1 == 1)
+        }
+    }
+}
+
+/// Strategies for collections.
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// Element-count specification for [`vec`]: an exact size or a
+    /// half-open range.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // exclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange { lo: r.start, hi: r.end }
+        }
+    }
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Vectors of `element`-generated values with length in `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Option<Vec<S::Value>> {
+            let span = (self.size.hi - self.size.lo) as u64;
+            let len = self.size.lo + (rng.below(span.max(1))) as usize;
+            let mut out = Vec::with_capacity(len);
+            for _ in 0..len {
+                // Give filtered element strategies a few tries before
+                // rejecting the whole case.
+                let mut element = None;
+                for _ in 0..16 {
+                    if let Some(v) = self.element.generate(rng) {
+                        element = Some(v);
+                        break;
+                    }
+                }
+                out.push(element?);
+            }
+            Some(out)
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+
+    /// Mirror of the real prelude's `prop` module alias.
+    pub mod prop {
+        pub use crate::{bool, collection};
+    }
+}
+
+/// Generated-case count cap multiplier before giving up on a test whose
+/// assumptions reject too much.
+#[doc(hidden)]
+pub const MAX_REJECT_FACTOR: u32 = 20;
+
+#[macro_export]
+macro_rules! proptest {
+    ( #![proptest_config($config:expr)] $($rest:tt)* ) => {
+        $crate::__proptest_cases! { ($config) $($rest)* }
+    };
+    ( $($rest:tt)* ) => {
+        $crate::__proptest_cases! {
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_cases {
+    ( ($config:expr)
+      $(
+          #[test]
+          fn $name:ident ( $( $arg:ident in $strategy:expr ),* $(,)? ) $body:block
+      )*
+    ) => {
+        $(
+            #[test]
+            fn $name() {
+                #![allow(unused_mut, clippy::redundant_closure_call)]
+                let config: $crate::test_runner::ProptestConfig = $config;
+                let mut rng =
+                    $crate::test_runner::TestRng::for_test(concat!(module_path!(), "::", stringify!($name)));
+                // Evaluate each strategy expression once, bound to the
+                // argument's own name (shadowed by the value per case).
+                $( let $arg = $strategy; )*
+                let mut passed: u32 = 0;
+                let mut attempts: u32 = 0;
+                while passed < config.cases {
+                    attempts += 1;
+                    assert!(
+                        attempts <= config.cases * $crate::MAX_REJECT_FACTOR + 1000,
+                        "test `{}` rejected too many generated cases",
+                        stringify!($name),
+                    );
+                    $(
+                        let $arg = match $crate::strategy::Strategy::generate(&$arg, &mut rng) {
+                            Some(v) => v,
+                            None => continue,
+                        };
+                    )*
+                    let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| { $body ::std::result::Result::Ok(()) })();
+                    match outcome {
+                        Ok(()) => passed += 1,
+                        Err($crate::test_runner::TestCaseError::Reject) => {}
+                        Err($crate::test_runner::TestCaseError::Fail(message)) => {
+                            panic!(
+                                "proptest `{}` failed at case {}: {}",
+                                stringify!($name), passed, message,
+                            );
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                ::std::format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                ::std::format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        if !(left == right) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                ::std::format!("assertion failed: {:?} == {:?}", left, right),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let left = $left;
+        let right = $right;
+        if !(left == right) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                ::std::format!($($fmt)+),
+            ));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        if left == right {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                ::std::format!("assertion failed: {:?} != {:?}", left, right),
+            ));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(, $($fmt:tt)+)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}

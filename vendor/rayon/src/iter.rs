@@ -1,0 +1,241 @@
+//! Parallel iterator adapters over index ranges and slices.
+//!
+//! These are eager, concrete types (no general `ParallelIterator`
+//! trait machinery): each terminal call (`reduce`, `for_each`) chunks
+//! the underlying index space, runs chunks on worker threads via the
+//! executor in the crate root, and merges in chunk order.
+
+use crate::{chunk_ranges, execute_for_each, execute_reduce, FOLD_CHUNK};
+use std::ops::Range;
+
+/// `collection.into_par_iter()` — implemented for `Range<usize>`.
+pub trait IntoParallelIterator {
+    type Iter;
+
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl IntoParallelIterator for Range<usize> {
+    type Iter = ParRange;
+
+    fn into_par_iter(self) -> ParRange {
+        ParRange { range: self }
+    }
+}
+
+/// `collection.par_iter()` by shared reference.
+pub trait IntoParallelRefIterator<'a> {
+    type Item: 'a;
+    type Iter;
+
+    fn par_iter(&'a self) -> Self::Iter;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    type Iter = ParIter<'a, T>;
+
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+/// Parallel iterator over `0..n`.
+pub struct ParRange {
+    pub(crate) range: Range<usize>,
+}
+
+impl ParRange {
+    pub fn fold<A, INIT, F>(self, init: INIT, fold: F) -> FoldRange<INIT, F>
+    where
+        INIT: Fn() -> A + Sync,
+        F: Fn(A, usize) -> A + Sync,
+    {
+        FoldRange { range: self.range, init, fold }
+    }
+
+    pub fn map<R, F>(self, map: F) -> MapRange<F>
+    where
+        R: Send,
+        F: Fn(usize) -> R + Sync,
+    {
+        MapRange { range: self.range, map }
+    }
+
+    pub fn for_each<F>(self, op: F)
+    where
+        F: Fn(usize) + Sync,
+    {
+        let start = self.range.start;
+        execute_for_each(self.range.len(), |i| op(start + i));
+    }
+}
+
+pub struct FoldRange<INIT, F> {
+    range: Range<usize>,
+    init: INIT,
+    fold: F,
+}
+
+impl<INIT, F> FoldRange<INIT, F> {
+    pub fn reduce<A, Z, M>(self, zero: Z, merge: M) -> A
+    where
+        A: Send,
+        INIT: Fn() -> A + Sync,
+        F: Fn(A, usize) -> A + Sync,
+        Z: Fn() -> A + Sync,
+        M: Fn(A, A) -> A + Sync,
+    {
+        let offset = self.range.start;
+        let n = self.range.len();
+        let ranges = chunk_ranges(n, FOLD_CHUNK);
+        let n_tasks = n.div_ceil(FOLD_CHUNK);
+        let (init, fold) = (&self.init, &self.fold);
+        execute_reduce(
+            n_tasks,
+            move |task| {
+                let mut acc = init();
+                for i in ranges(task) {
+                    acc = fold(acc, offset + i);
+                }
+                acc
+            },
+            zero,
+            merge,
+        )
+    }
+}
+
+pub struct MapRange<F> {
+    range: Range<usize>,
+    map: F,
+}
+
+impl<F> MapRange<F> {
+    pub fn reduce<R, Z, M>(self, zero: Z, merge: M) -> R
+    where
+        R: Send,
+        F: Fn(usize) -> R + Sync,
+        Z: Fn() -> R + Sync,
+        M: Fn(R, R) -> R + Sync,
+    {
+        let offset = self.range.start;
+        let map = &self.map;
+        execute_reduce(self.range.len(), move |i| map(offset + i), zero, merge)
+    }
+}
+
+/// Parallel iterator over `&[T]`.
+pub struct ParIter<'a, T> {
+    pub(crate) items: &'a [T],
+}
+
+impl<'a, T: Sync> ParIter<'a, T> {
+    pub fn fold<A, INIT, F>(self, init: INIT, fold: F) -> FoldSlice<'a, T, INIT, F>
+    where
+        INIT: Fn() -> A + Sync,
+        F: Fn(A, &'a T) -> A + Sync,
+    {
+        FoldSlice { items: self.items, init, fold }
+    }
+
+    pub fn map<R, F>(self, map: F) -> MapSlice<'a, T, F>
+    where
+        R: Send,
+        F: Fn(&'a T) -> R + Sync,
+    {
+        MapSlice { items: self.items, map }
+    }
+
+    pub fn for_each<F>(self, op: F)
+    where
+        F: Fn(&'a T) + Sync,
+    {
+        let items = self.items;
+        execute_for_each(items.len(), |i| op(&items[i]));
+    }
+}
+
+pub struct FoldSlice<'a, T, INIT, F> {
+    items: &'a [T],
+    init: INIT,
+    fold: F,
+}
+
+impl<'a, T: Sync, INIT, F> FoldSlice<'a, T, INIT, F> {
+    /// Post-process each per-chunk accumulator (rayon's `Fold::map`).
+    pub fn map<A, R, G>(self, map: G) -> FoldMapSlice<'a, T, INIT, F, G>
+    where
+        INIT: Fn() -> A + Sync,
+        F: Fn(A, &'a T) -> A + Sync,
+        G: Fn(A) -> R + Sync,
+    {
+        FoldMapSlice { items: self.items, init: self.init, fold: self.fold, map }
+    }
+
+    pub fn reduce<A, Z, M>(self, zero: Z, merge: M) -> A
+    where
+        A: Send,
+        INIT: Fn() -> A + Sync,
+        F: Fn(A, &'a T) -> A + Sync,
+        Z: Fn() -> A + Sync,
+        M: Fn(A, A) -> A + Sync,
+    {
+        self.map(|acc| acc).reduce(zero, merge)
+    }
+}
+
+pub struct FoldMapSlice<'a, T, INIT, F, G> {
+    items: &'a [T],
+    init: INIT,
+    fold: F,
+    map: G,
+}
+
+impl<'a, T: Sync, INIT, F, G> FoldMapSlice<'a, T, INIT, F, G> {
+    pub fn reduce<A, R, Z, M>(self, zero: Z, merge: M) -> R
+    where
+        R: Send,
+        INIT: Fn() -> A + Sync,
+        F: Fn(A, &'a T) -> A + Sync,
+        G: Fn(A) -> R + Sync,
+        Z: Fn() -> R + Sync,
+        M: Fn(R, R) -> R + Sync,
+    {
+        let items = self.items;
+        let ranges = chunk_ranges(items.len(), FOLD_CHUNK);
+        let n_tasks = items.len().div_ceil(FOLD_CHUNK);
+        let (init, fold, map) = (&self.init, &self.fold, &self.map);
+        execute_reduce(
+            n_tasks,
+            move |task| {
+                let mut acc = init();
+                for i in ranges(task) {
+                    acc = fold(acc, &items[i]);
+                }
+                map(acc)
+            },
+            zero,
+            merge,
+        )
+    }
+}
+
+pub struct MapSlice<'a, T, F> {
+    items: &'a [T],
+    map: F,
+}
+
+impl<'a, T: Sync, F> MapSlice<'a, T, F> {
+    pub fn reduce<R, Z, M>(self, zero: Z, merge: M) -> R
+    where
+        R: Send,
+        F: Fn(&'a T) -> R + Sync,
+        Z: Fn() -> R + Sync,
+        M: Fn(R, R) -> R + Sync,
+    {
+        let items = self.items;
+        let map = &self.map;
+        execute_reduce(items.len(), move |i| map(&items[i]), zero, merge)
+    }
+}

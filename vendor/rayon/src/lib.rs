@@ -1,0 +1,216 @@
+//! Offline stand-in for `rayon`.
+//!
+//! Implements the iterator surface Galactos uses (`par_iter`,
+//! `par_chunks`, `par_chunks_mut`, range `into_par_iter`, with `fold` /
+//! `map` / `enumerate` / `for_each` / `reduce`) over `std::thread::
+//! scope`. Two properties the engine's tests rely on are guaranteed:
+//!
+//! * **Dynamic scheduling** — workers pull task indices from a shared
+//!   atomic counter, so load balancing matches rayon's work-stealing in
+//!   spirit.
+//! * **Deterministic reduction** — per-task results are merged in task
+//!   index order (out-of-order completions are buffered), so a given
+//!   chunking produces bit-identical floating-point results regardless
+//!   of thread count or scheduling race outcomes. Real rayon only
+//!   guarantees a deterministic *join tree*; this is strictly stronger
+//!   and makes `cargo test` reproducible on any host.
+//!
+//! Thread pools are lightweight: `ThreadPool::install` pins the number
+//! of worker threads parallel calls may use via a thread-local, and
+//! workers are spawned per parallel call (scoped threads; spawn cost is
+//! irrelevant at Galactos problem sizes).
+
+use std::cell::Cell;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+pub mod iter;
+pub mod slice;
+
+pub mod prelude {
+    pub use crate::iter::{IntoParallelIterator, IntoParallelRefIterator};
+    pub use crate::slice::{ParallelSlice, ParallelSliceMut};
+}
+
+thread_local! {
+    /// Thread count pinned by `ThreadPool::install`; 0 = host default.
+    static CURRENT_THREADS: Cell<usize> = const { Cell::new(0) };
+}
+
+fn host_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Number of threads parallel calls on this thread will use.
+pub fn current_num_threads() -> usize {
+    let pinned = CURRENT_THREADS.with(Cell::get);
+    if pinned == 0 {
+        host_threads()
+    } else {
+        pinned
+    }
+}
+
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "failed to build thread pool")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Run `op` with this pool's thread count pinned for any parallel
+    /// calls it makes.
+    pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
+        struct Restore(usize);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                CURRENT_THREADS.with(|c| c.set(self.0));
+            }
+        }
+        let _restore = Restore(CURRENT_THREADS.with(|c| {
+            let prev = c.get();
+            c.set(self.num_threads);
+            prev
+        }));
+        op()
+    }
+
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads
+    }
+}
+
+#[derive(Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: Option<usize>,
+}
+
+impl ThreadPoolBuilder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = Some(n);
+        self
+    }
+
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let n = match self.num_threads {
+            Some(0) | None => host_threads(),
+            Some(n) => n,
+        };
+        Ok(ThreadPool { num_threads: n.max(1) })
+    }
+}
+
+/// Run `task(0..n_tasks)` across worker threads (dynamic pulling) and
+/// fold the results in task-index order: `merge(..merge(merge(zero(),
+/// r0), r1).., r_last)`.
+pub(crate) fn execute_reduce<R, T, Z, M>(n_tasks: usize, task: T, zero: Z, merge: M) -> R
+where
+    R: Send,
+    T: Fn(usize) -> R + Sync,
+    Z: Fn() -> R + Sync,
+    M: Fn(R, R) -> R + Sync,
+{
+    let threads = current_num_threads().min(n_tasks.max(1));
+    if threads <= 1 || n_tasks <= 1 {
+        let mut acc = zero();
+        for i in 0..n_tasks {
+            acc = merge(acc, task(i));
+        }
+        return acc;
+    }
+
+    struct Ordered<R> {
+        next: usize,
+        pending: BTreeMap<usize, R>,
+        acc: Option<R>,
+    }
+    let ordered = Mutex::new(Ordered { next: 0, pending: BTreeMap::new(), acc: None });
+    let cursor = AtomicUsize::new(0);
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= n_tasks {
+                    break;
+                }
+                let result = task(i);
+                let mut state = ordered.lock().unwrap();
+                state.pending.insert(i, result);
+                // Drain the completed prefix so memory stays bounded by
+                // the out-of-order window, not the task count.
+                loop {
+                    let key = state.next;
+                    let Some(r) = state.pending.remove(&key) else {
+                        break;
+                    };
+                    let acc = match state.acc.take() {
+                        Some(a) => merge(a, r),
+                        None => merge(zero(), r),
+                    };
+                    state.acc = Some(acc);
+                    state.next += 1;
+                }
+            });
+        }
+    });
+
+    let state = ordered.into_inner().unwrap();
+    debug_assert!(state.pending.is_empty());
+    state.acc.unwrap_or_else(zero)
+}
+
+/// Run `task(i)` for `i` in `0..n_tasks` across worker threads.
+pub(crate) fn execute_for_each<T>(n_tasks: usize, task: T)
+where
+    T: Fn(usize) + Sync,
+{
+    let threads = current_num_threads().min(n_tasks.max(1));
+    if threads <= 1 || n_tasks <= 1 {
+        for i in 0..n_tasks {
+            task(i);
+        }
+        return;
+    }
+    let cursor = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= n_tasks {
+                    break;
+                }
+                task(i);
+            });
+        }
+    });
+}
+
+/// Split `n_items` into contiguous index ranges of `chunk` items.
+pub(crate) fn chunk_ranges(n_items: usize, chunk: usize) -> impl Fn(usize) -> Range<usize> {
+    move |task| {
+        let start = task * chunk;
+        start..(start + chunk).min(n_items)
+    }
+}
+
+/// Per-item chunk size used when folding flat item sequences. Fixed (not
+/// a function of thread count) so reduction structure — and therefore
+/// float roundoff — is identical for every thread count.
+pub(crate) const FOLD_CHUNK: usize = 64;

@@ -1,0 +1,160 @@
+//! Parallel slice extensions: `par_iter`, `par_chunks`,
+//! `par_chunks_mut` (with `enumerate`).
+
+use crate::iter::ParIter;
+use crate::{execute_for_each, execute_reduce};
+
+pub trait ParallelSlice<T: Sync> {
+    fn as_parallel_slice(&self) -> &[T];
+
+    fn par_iter(&self) -> ParIter<'_, T> {
+        ParIter { items: self.as_parallel_slice() }
+    }
+
+    fn par_chunks(&self, chunk_size: usize) -> ParChunks<'_, T> {
+        assert!(chunk_size > 0, "chunk_size must be positive");
+        ParChunks { items: self.as_parallel_slice(), chunk_size }
+    }
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn as_parallel_slice(&self) -> &[T] {
+        self
+    }
+}
+
+pub trait ParallelSliceMut<T: Send> {
+    fn as_parallel_slice_mut(&mut self) -> &mut [T];
+
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T> {
+        assert!(chunk_size > 0, "chunk_size must be positive");
+        ParChunksMut { items: self.as_parallel_slice_mut(), chunk_size }
+    }
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn as_parallel_slice_mut(&mut self) -> &mut [T] {
+        self
+    }
+}
+
+pub struct ParChunks<'a, T> {
+    items: &'a [T],
+    chunk_size: usize,
+}
+
+impl<'a, T: Sync> ParChunks<'a, T> {
+    fn n_chunks(&self) -> usize {
+        self.items.len().div_ceil(self.chunk_size)
+    }
+
+    pub fn map<R, F>(self, map: F) -> MapChunks<'a, T, F>
+    where
+        R: Send,
+        F: Fn(&'a [T]) -> R + Sync,
+    {
+        MapChunks { chunks: self, map }
+    }
+
+    pub fn for_each<F>(self, op: F)
+    where
+        F: Fn(&'a [T]) + Sync,
+    {
+        let (items, size) = (self.items, self.chunk_size);
+        execute_for_each(self.n_chunks(), |c| {
+            op(&items[c * size..((c + 1) * size).min(items.len())]);
+        });
+    }
+}
+
+pub struct MapChunks<'a, T, F> {
+    chunks: ParChunks<'a, T>,
+    map: F,
+}
+
+impl<'a, T: Sync, F> MapChunks<'a, T, F> {
+    pub fn reduce<R, Z, M>(self, zero: Z, merge: M) -> R
+    where
+        R: Send,
+        F: Fn(&'a [T]) -> R + Sync,
+        Z: Fn() -> R + Sync,
+        M: Fn(R, R) -> R + Sync,
+    {
+        let (items, size) = (self.chunks.items, self.chunks.chunk_size);
+        let map = &self.map;
+        execute_reduce(
+            self.chunks.n_chunks(),
+            move |c| map(&items[c * size..((c + 1) * size).min(items.len())]),
+            zero,
+            merge,
+        )
+    }
+}
+
+pub struct ParChunksMut<'a, T> {
+    items: &'a mut [T],
+    chunk_size: usize,
+}
+
+/// Shared view of a mutable slice handed out as disjoint chunks.
+///
+/// Safety: `get_chunk` is only ever called with distinct chunk indices
+/// across worker threads (each task index is claimed exactly once by
+/// the executor), so the produced `&mut [T]` ranges never alias.
+struct DisjointChunks<T> {
+    base: *mut T,
+    len: usize,
+    chunk_size: usize,
+}
+
+unsafe impl<T: Send> Sync for DisjointChunks<T> {}
+
+impl<T> DisjointChunks<T> {
+    /// # Safety
+    /// Each `chunk` index must be used by at most one thread at a time.
+    unsafe fn get_chunk(&self, chunk: usize) -> &mut [T] {
+        let start = chunk * self.chunk_size;
+        let end = (start + self.chunk_size).min(self.len);
+        // SAFETY: in-bounds and disjoint per the caller contract.
+        unsafe { std::slice::from_raw_parts_mut(self.base.add(start), end - start) }
+    }
+}
+
+impl<'a, T: Send> ParChunksMut<'a, T> {
+    fn n_chunks(&self) -> usize {
+        self.items.len().div_ceil(self.chunk_size)
+    }
+
+    pub fn enumerate(self) -> EnumerateChunksMut<'a, T> {
+        EnumerateChunksMut { chunks: self }
+    }
+
+    pub fn for_each<F>(self, op: F)
+    where
+        F: Fn(&mut [T]) + Sync,
+    {
+        self.enumerate().for_each(|(_, chunk)| op(chunk));
+    }
+}
+
+pub struct EnumerateChunksMut<'a, T> {
+    chunks: ParChunksMut<'a, T>,
+}
+
+impl<'a, T: Send> EnumerateChunksMut<'a, T> {
+    pub fn for_each<F>(self, op: F)
+    where
+        F: Fn((usize, &mut [T])) + Sync,
+    {
+        let n_chunks = self.chunks.n_chunks();
+        let view = DisjointChunks {
+            base: self.chunks.items.as_mut_ptr(),
+            len: self.chunks.items.len(),
+            chunk_size: self.chunks.chunk_size,
+        };
+        execute_for_each(n_chunks, |c| {
+            // SAFETY: the executor claims each task index exactly once.
+            op((c, unsafe { view.get_chunk(c) }));
+        });
+    }
+}

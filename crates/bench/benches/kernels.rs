@@ -3,6 +3,9 @@
 //! * `multipole_kernel` — SIMD vs scalar bucket accumulation at the
 //!   paper's parameters (ℓmax = 10, bucket 128): the vectorization win
 //!   of §3.3.2.
+//! * `residual_sweep` — the end-of-primary sweep of ragged bucket
+//!   tails, per backend: where the batched backend's cross-bucket
+//!   chunks pay off.
 //! * `bucketing` — one 128-pair flush vs 128 single-pair flushes: the
 //!   pre-binning win of §3.3.1.
 //! * `alm_strategies` — monomial-schedule a_ℓm assembly vs direct
@@ -13,6 +16,8 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use galactos_core::kernel::scalar::accumulate_bucket_scalar;
 use galactos_core::kernel::simd::accumulate_bucket_simd;
+use galactos_core::kernel::testutil::random_bucket;
+use galactos_core::kernel::{BackendKind, PairBuckets};
 use galactos_kdtree::{BruteForce, KdTree, TreeConfig};
 use galactos_math::monomial::MonomialBasis;
 use galactos_math::sphharm::ylm_all_cartesian;
@@ -22,31 +27,6 @@ use galactos_simd::{F64x8, ILP_BATCHES};
 use rand::prelude::*;
 use rand_chacha::ChaCha8Rng;
 use std::hint::black_box;
-
-fn random_bucket(n: usize, seed: u64) -> (Vec<f64>, Vec<f64>, Vec<f64>, Vec<f64>) {
-    let mut rng = ChaCha8Rng::seed_from_u64(seed);
-    let mut dx = Vec::with_capacity(n);
-    let mut dy = Vec::with_capacity(n);
-    let mut dz = Vec::with_capacity(n);
-    let mut w = Vec::with_capacity(n);
-    for _ in 0..n {
-        let v = loop {
-            let v = Vec3::new(
-                rng.random_range(-1.0..1.0),
-                rng.random_range(-1.0..1.0),
-                rng.random_range(-1.0..1.0),
-            );
-            if let Some(u) = v.normalized() {
-                break u;
-            }
-        };
-        dx.push(v.x);
-        dy.push(v.y);
-        dz.push(v.z);
-        w.push(1.0);
-    }
-    (dx, dy, dz, w)
-}
 
 fn bench_multipole_kernel(c: &mut Criterion) {
     let basis = MonomialBasis::new(10);
@@ -88,6 +68,38 @@ fn bench_multipole_kernel(c: &mut Criterion) {
         });
         black_box(sums[0]);
     });
+    group.finish();
+}
+
+fn bench_residual_sweep(c: &mut Criterion) {
+    // The end-of-primary shape: 10 bins, each holding a small ragged
+    // tail (3 pairs), flushed through flush_residual + finish. The
+    // batched backend pools the tails into cross-bucket lane chunks;
+    // simd pays one mostly-empty chunk per bin.
+    let basis = MonomialBasis::new(10);
+    let nbins = 10;
+    let tail = 3;
+    let (dx, dy, dz, w) = random_bucket(nbins * tail, 7);
+    let mut group = c.benchmark_group("residual_sweep");
+    group.throughput(criterion::Throughput::Elements((nbins * tail) as u64));
+
+    for kind in BackendKind::ALL {
+        group.bench_function(BenchmarkId::new("tails_3x10bins", kind.name()), |b| {
+            let mut acc = kind.backend().new_accumulator(nbins, basis.len());
+            let mut buckets = PairBuckets::new(nbins, 128);
+            b.iter(|| {
+                acc.reset();
+                for bin in 0..nbins {
+                    for t in 0..tail {
+                        let i = bin * tail + t;
+                        buckets.push(bin, dx[i], dy[i], dz[i], w[i]);
+                    }
+                }
+                acc.flush_residual(black_box(basis.schedule()), &mut buckets);
+                acc.finish(basis.schedule());
+            });
+        });
+    }
     group.finish();
 }
 
@@ -250,6 +262,6 @@ fn bench_fft3(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_multipole_kernel, bench_bucketing, bench_alm_strategies, bench_neighbor_search, bench_fft3
+    targets = bench_multipole_kernel, bench_residual_sweep, bench_bucketing, bench_alm_strategies, bench_neighbor_search, bench_fft3
 }
 criterion_main!(benches);

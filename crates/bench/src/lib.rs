@@ -11,10 +11,13 @@
 //! * [`datasets`] — catalog generation wrappers at paper-scaled sizes;
 //! * [`tables`] — aligned console table printing;
 //! * [`peak`] — an FMA micro-benchmark measuring the host's achievable
-//!   peak FLOP rate, the denominator of the paper's "39% of peak".
+//!   peak FLOP rate, the denominator of the paper's "39% of peak";
+//! * [`json`] — a minimal JSON builder for machine-readable outputs
+//!   like `perf_baseline`'s `BENCH_kernels.json`.
 
 pub mod costmodel;
 pub mod datasets;
+pub mod json;
 pub mod peak;
 pub mod tables;
 

@@ -1,6 +1,7 @@
 //! Engine configuration.
 
 use crate::bins::RadialBins;
+use crate::kernel::backend::BackendChoice;
 use galactos_math::LineOfSight;
 use galactos_math::Vec3;
 
@@ -51,9 +52,17 @@ pub struct EngineConfig {
     /// Remove the degenerate `j = k` (self-pair) terms from diagonal
     /// `r₁ = r₂` bins so that ζ counts only genuine triangles.
     pub subtract_self_pairs: bool,
-    /// Use the SIMD (8-lane, 4-batch) kernel; `false` selects the scalar
-    /// reference kernel (kept for tests and the vectorization ablation).
-    pub simd_kernel: bool,
+    /// Which a_ℓm accumulation kernel runs — the hottest code in the
+    /// engine. [`BackendChoice::Auto`] (the default) honors the
+    /// `GALACTOS_KERNEL_BACKEND` environment variable (`scalar`,
+    /// `simd`, `batched`) and otherwise picks by hardware detection;
+    /// `BackendChoice::Fixed(kind)` pins a specific backend, which is
+    /// how benchmarks and equivalence tests compare them. Resolved once
+    /// at [`Engine::new`](crate::engine::Engine::new). All backends
+    /// produce results equal to the scalar reference up to
+    /// floating-point reassociation (≲ 1e-11 relative; enforced by
+    /// tests and CI's bench-smoke job).
+    pub kernel_backend: BackendChoice,
 }
 
 impl EngineConfig {
@@ -69,7 +78,7 @@ impl EngineConfig {
             precision: TreePrecision::Mixed,
             scheduling: Scheduling::Dynamic,
             subtract_self_pairs: true,
-            simd_kernel: true,
+            kernel_backend: BackendChoice::Auto,
         }
     }
 
@@ -83,7 +92,7 @@ impl EngineConfig {
             precision: TreePrecision::Double,
             scheduling: Scheduling::Dynamic,
             subtract_self_pairs: false,
-            simd_kernel: true,
+            kernel_backend: BackendChoice::Auto,
         }
     }
 
@@ -108,6 +117,7 @@ mod tests {
         assert_eq!(c.bins.rmax(), 200.0);
         assert_eq!(c.precision, TreePrecision::Mixed);
         assert_eq!(c.scheduling, Scheduling::Dynamic);
+        assert_eq!(c.kernel_backend, BackendChoice::Auto);
         c.validate();
     }
 

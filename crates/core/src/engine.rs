@@ -5,14 +5,15 @@
 //! Slepian & Eisenstein (2017) formalize for the anisotropic redshift-
 //! space 3PCF:
 //!
-//! 1. [`gather`](Engine::gather) — collect secondaries within Rmax from
+//! 1. `gather` — collect secondaries within Rmax from
 //!    the precision-erased k-d tree ([`crate::traversal`]);
-//! 2. [`bin_and_bucket`](Engine::bin_and_bucket) — rotate separations
+//! 2. `bin_and_bucket` — rotate separations
 //!    into the line-of-sight frame, bin them into radial shells, and
-//!    bucket-accumulate the monomials (§3.3.1/§3.3.2);
-//! 3. [`assemble_alm`](Engine::assemble_alm) — reduce the monomial sums
+//!    bucket-accumulate the monomials through the engine's resolved
+//!    kernel backend (§3.3.1/§3.3.2);
+//! 3. `assemble_alm` — reduce the monomial sums
 //!    and assemble the shell coefficients `a_ℓm`;
-//! 4. [`accumulate_zeta`](Engine::accumulate_zeta) — accumulate
+//! 4. `accumulate_zeta` — accumulate
 //!    `ζ^m_{ℓℓ'}(r₁, r₂) += w_i · a_ℓm(r₁) · conj(a_ℓ'm(r₂))` (minus
 //!    the degenerate self-pair terms when enabled).
 //!
@@ -24,6 +25,7 @@
 
 use crate::config::{EngineConfig, Scheduling};
 use crate::flops::FlopCounter;
+use crate::kernel::{BackendKind, KernelBackend};
 use crate::result::AnisotropicZeta;
 use crate::schedule::{self, Merge};
 use crate::scratch::ComputeScratch;
@@ -41,6 +43,10 @@ pub struct Engine {
     config: EngineConfig,
     basis: MonomialBasis,
     ylm: YlmTable,
+    /// The kernel backend every worker accumulates with — the
+    /// configured [`BackendChoice`](crate::kernel::BackendChoice)
+    /// resolved once (environment consulted here, not per worker).
+    backend: &'static dyn KernelBackend,
     /// Degree-2ℓmax machinery for the self-pair (degenerate triangle)
     /// correction; present only when enabled.
     self_basis: Option<MonomialBasis>,
@@ -63,6 +69,7 @@ impl Engine {
         config.validate();
         let basis = MonomialBasis::new(config.lmax);
         let ylm = YlmTable::new(config.lmax, &basis);
+        let backend = config.kernel_backend.resolve().backend();
         let (self_basis, self_table) = if config.subtract_self_pairs {
             let b2 = MonomialBasis::new(2 * config.lmax);
             let t2 = YlmPairProductTable::new(config.lmax, &b2);
@@ -74,6 +81,7 @@ impl Engine {
             config,
             basis,
             ylm,
+            backend,
             self_basis,
             self_table,
         }
@@ -82,6 +90,12 @@ impl Engine {
     #[inline]
     pub fn config(&self) -> &EngineConfig {
         &self.config
+    }
+
+    /// The kernel backend this engine resolved at construction.
+    #[inline]
+    pub fn backend_kind(&self) -> BackendKind {
+        self.backend.kind()
     }
 
     /// Compute the anisotropic 3PCF of a catalog (every galaxy acts as a
@@ -204,10 +218,11 @@ impl Engine {
         )
     }
 
-    /// Allocate worker scratch sized for this engine's configuration.
+    /// Allocate worker scratch sized for this engine's configuration,
+    /// with accumulation state from the resolved kernel backend.
     pub fn new_scratch(&self) -> ComputeScratch {
         let nmono2 = self.self_basis.as_ref().map_or(0, |b| b.len());
-        ComputeScratch::new(&self.config, &self.basis, nmono2)
+        ComputeScratch::new(&self.config, &self.basis, nmono2, self.backend)
     }
 
     /// Drain a finished worker's instrumentation into the shared
@@ -348,16 +363,14 @@ impl Engine {
                 );
             }
         }
-        // Final sweep of partially filled buckets.
+        // Final sweep of partially filled buckets, then complete any
+        // accumulation the backend deferred (the batched backend pools
+        // the sweep's ragged tails and drains them across buckets here).
         let tk = Instant::now();
-        let filled: Vec<usize> = scratch.buckets.non_empty_bins().collect();
-        for bin in filled {
-            let (dx, dy, dz, w) = scratch.buckets.slices(bin);
-            scratch
-                .acc
-                .flush_bucket(self.basis.schedule(), bin, dx, dy, dz, w);
-            scratch.buckets.clear_bin(bin);
-        }
+        scratch
+            .acc
+            .flush_residual(self.basis.schedule(), &mut scratch.buckets);
+        scratch.acc.finish(self.basis.schedule());
         kernel_nanos += tk.elapsed().as_nanos() as u64;
         scratch.binned_pairs += binned;
         scratch.zeta.binned_pairs = scratch.binned_pairs;
@@ -369,6 +382,10 @@ impl Engine {
     /// accumulator and assemble the shell coefficients `a_ℓm`.
     fn assemble_alm(&self, scratch: &mut ComputeScratch) {
         let t2 = Instant::now();
+        // Guard for callers driving stages by hand: reduction must not
+        // observe accumulation a backend is still deferring. A no-op
+        // (idempotent) after the bin-and-bucket stage's own finish.
+        scratch.acc.finish(self.basis.schedule());
         let nbins = self.config.bins.nbins();
         let nmono = self.basis.len();
         let nlm = lm_count(self.config.lmax);
@@ -488,19 +505,28 @@ mod tests {
     }
 
     #[test]
-    fn simd_and_scalar_kernels_agree() {
+    fn all_kernel_backends_agree_on_zeta() {
+        use crate::kernel::BackendChoice;
         let cat = small_catalog(120, 12.0, 7);
         let mut config = EngineConfig::test_default(6.0, 4, 4);
-        config.simd_kernel = true;
-        let simd = Engine::new(config.clone()).compute(&cat);
-        config.simd_kernel = false;
-        let scalar = Engine::new(config).compute(&cat);
-        let scale = simd.max_abs().max(1.0);
-        assert!(
-            simd.max_difference(&scalar) < 1e-9 * scale,
-            "diff {}",
-            simd.max_difference(&scalar)
-        );
+        // Small bucket so every backend sees full flushes AND ragged
+        // tails (and the batched backend real cross-bucket chunks).
+        config.bucket_size = 12;
+        config.kernel_backend = BackendChoice::Fixed(BackendKind::Scalar);
+        let scalar = Engine::new(config.clone()).compute(&cat);
+        for kind in [BackendKind::Simd, BackendKind::BatchedSimd] {
+            config.kernel_backend = BackendChoice::Fixed(kind);
+            let engine = Engine::new(config.clone());
+            assert_eq!(engine.backend_kind(), kind);
+            let got = engine.compute(&cat);
+            let scale = scalar.max_abs().max(1.0);
+            assert!(
+                got.max_difference(&scalar) < 1e-9 * scale,
+                "{kind:?} diff {}",
+                got.max_difference(&scalar)
+            );
+            assert_eq!(got.binned_pairs, scalar.binned_pairs);
+        }
     }
 
     #[test]

@@ -1,0 +1,459 @@
+//! Cross-bucket batched accumulation — the `BatchedSimd` backend's
+//! kernel.
+//!
+//! The one-bucket-per-call SIMD kernel ([`crate::kernel::simd`]) pays a
+//! padded (mostly empty) vector chunk for every ragged bucket tail.
+//! Mid-primary that is rare (buckets flush *full*), but the
+//! end-of-primary sweep flushes every non-empty bucket partially filled
+//! — with the paper's 10 radial bins that is up to 10 padded chunks per
+//! primary, each running the full 2-FLOP parent/axis monomial schedule
+//! as a *serial* multiply chain, one at a time.
+//!
+//! This module batches those tails *across buckets*: tails are staged
+//! (with their bin) into one SoA buffer and accumulated many buckets
+//! per drain call, [`ILP_BATCHES`] bucket tails in flight at once with
+//! independent monomial chains. The chain is a serial data dependency
+//! and therefore latency-bound — the same reason the aligned kernel
+//! runs 4 independent chains (§3.3.2) — so interleaving 4 buckets'
+//! chains hides that latency where the one-bucket-per-call kernel
+//! cannot (a lone tail only fills one chain). Each tail then lands in
+//! its own bin's accumulators with plain unmasked vector adds.
+//!
+//! A note on the design: packing *lane* chunks across bucket boundaries
+//! (8 lanes drawn from several buckets, shared chain, masked per-bin
+//! routing) was measured first and loses — the masked add costs a
+//! multiply *and* an add over the bin's entire `nmono`-vector block per
+//! bin appearance, which is already more than the plain add it
+//! replaces, and tails straddling chunk boundaries multiply the
+//! appearances. Keeping one bucket per lane chunk and batching at the
+//! instruction level instead preserves the one-add-per-bin minimum
+//! while still amortizing the chain setup across buckets.
+
+use galactos_math::monomial::UpdateStep;
+use galactos_simd::{F64x8, F64_LANES, ILP_BATCHES};
+
+/// Capacity (in pairs) of a [`TailStaging`] buffer. Sized so a full
+/// drain is still one cache-resident sweep: 256 pairs × 4 streams × 8
+/// bytes = 8 kB, alongside the per-bin accumulators.
+pub const STAGING_PAIRS: usize = 256;
+
+/// One staged bucket tail: `len` pairs starting at `start` in the SoA
+/// arrays, all belonging to radial bin `bin`. `len` ≤ [`F64_LANES`]
+/// (longer pushes are split), so a segment is exactly one padded lane
+/// chunk at drain time.
+#[derive(Clone, Copy, Debug)]
+struct Segment {
+    bin: u32,
+    start: u16,
+    len: u16,
+}
+
+/// SoA staging area for ragged bucket tails awaiting a batched drain.
+///
+/// Unlike [`crate::kernel::PairBuckets`] this is *not* segregated by
+/// bin: tails from different buckets sit contiguously with a segment
+/// list on the side, so one drain call walks all of them.
+#[derive(Clone, Debug)]
+pub struct TailStaging {
+    dx: Vec<f64>,
+    dy: Vec<f64>,
+    dz: Vec<f64>,
+    w: Vec<f64>,
+    segments: Vec<Segment>,
+    len: usize,
+}
+
+impl TailStaging {
+    pub fn new() -> Self {
+        TailStaging {
+            dx: vec![0.0; STAGING_PAIRS],
+            dy: vec![0.0; STAGING_PAIRS],
+            dz: vec![0.0; STAGING_PAIRS],
+            w: vec![0.0; STAGING_PAIRS],
+            segments: Vec::with_capacity(STAGING_PAIRS / 2),
+            len: 0,
+        }
+    }
+
+    /// Staged pairs (not segments).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Free pair slots before the next drain is forced.
+    #[inline]
+    pub fn remaining(&self) -> usize {
+        STAGING_PAIRS - self.len
+    }
+
+    #[inline]
+    pub fn clear(&mut self) {
+        self.len = 0;
+        self.segments.clear();
+    }
+
+    /// Append one bucket tail (all pairs belong to `bin`), splitting it
+    /// into lane-sized segments. The caller must have checked
+    /// [`TailStaging::remaining`] and drained first if the tail does
+    /// not fit.
+    pub fn push_tail(&mut self, bin: usize, dx: &[f64], dy: &[f64], dz: &[f64], w: &[f64]) {
+        let n = dx.len();
+        debug_assert!(n <= self.remaining(), "staging overflow — missed drain");
+        let at = self.len;
+        self.dx[at..at + n].copy_from_slice(dx);
+        self.dy[at..at + n].copy_from_slice(dy);
+        self.dz[at..at + n].copy_from_slice(dz);
+        self.w[at..at + n].copy_from_slice(w);
+        let mut start = at;
+        while start < at + n {
+            let len = (at + n - start).min(F64_LANES);
+            self.segments.push(Segment {
+                bin: bin as u32,
+                start: start as u16,
+                len: len as u16,
+            });
+            start += len;
+        }
+        self.len = at + n;
+    }
+}
+
+impl Default for TailStaging {
+    fn default() -> Self {
+        TailStaging::new()
+    }
+}
+
+/// One tail loaded into lane registers, ready for the group kernel:
+/// per-axis coordinate lanes, the weight seed (zero-padded, so short
+/// tails vanish in the padding lanes), and the target radial bin.
+pub type LoadedTail = ([F64x8; 3], F64x8, usize);
+
+/// Load a tail's SoA slices into a [`LoadedTail`].
+#[inline]
+pub fn load_tail(bin: usize, dx: &[f64], dy: &[f64], dz: &[f64], w: &[f64]) -> LoadedTail {
+    (
+        [
+            F64x8::from_slice_padded(dx),
+            F64x8::from_slice_padded(dy),
+            F64x8::from_slice_padded(dz),
+        ],
+        F64x8::from_slice_padded(w),
+        bin,
+    )
+}
+
+/// Accumulate 1..=[`ILP_BATCHES`] loaded tails: independent monomial
+/// chains run interleaved — the group-level ILP this backend exists for
+/// — then each tail lands in its own bin's accumulator block with plain
+/// unmasked vector adds. A single tail takes a serial chain instead of
+/// wasting three zero slots.
+pub fn accumulate_tail_group(
+    schedule: &[UpdateStep],
+    tails: &[LoadedTail],
+    scratch: &mut [F64x8],
+    lanes: &mut [F64x8],
+    nmono: usize,
+) {
+    debug_assert_eq!(schedule.len() + 1, nmono);
+    debug_assert!(scratch.len() >= ILP_BATCHES * nmono);
+    debug_assert!((1..=ILP_BATCHES).contains(&tails.len()));
+    if let [(coords, seed, bin)] = tails {
+        let vals = &mut scratch[..nmono];
+        vals[0] = *seed;
+        for (j, step) in schedule.iter().enumerate() {
+            vals[j + 1] = vals[step.parent as usize] * coords[step.axis.index()];
+        }
+        let acc = &mut lanes[bin * nmono..(bin + 1) * nmono];
+        for (a, v) in acc.iter_mut().zip(vals.iter()) {
+            *a += *v;
+        }
+        return;
+    }
+    let (s0, rest) = scratch.split_at_mut(nmono);
+    let (s1, rest) = rest.split_at_mut(nmono);
+    let (s2, s3full) = rest.split_at_mut(nmono);
+    let s3 = &mut s3full[..nmono];
+    // Unused slots run zero-seeded chains (their adds are skipped).
+    let zero = ([F64x8::ZERO; 3], F64x8::ZERO, 0);
+    let slot = |b: usize| tails.get(b).unwrap_or(&zero);
+    let (c0, c1, c2, c3) = (slot(0).0, slot(1).0, slot(2).0, slot(3).0);
+    s0[0] = slot(0).1;
+    s1[0] = slot(1).1;
+    s2[0] = slot(2).1;
+    s3[0] = slot(3).1;
+    for (j, step) in schedule.iter().enumerate() {
+        let p = step.parent as usize;
+        let ax = step.axis.index();
+        s0[j + 1] = s0[p] * c0[ax];
+        s1[j + 1] = s1[p] * c1[ax];
+        s2[j + 1] = s2[p] * c2[ax];
+        s3[j + 1] = s3[p] * c3[ax];
+    }
+    for (b, vals) in [&*s0, &*s1, &*s2, &*s3].into_iter().enumerate() {
+        if b >= tails.len() {
+            break;
+        }
+        let bin = tails[b].2;
+        let acc = &mut lanes[bin * nmono..(bin + 1) * nmono];
+        for (a, v) in acc.iter_mut().zip(vals.iter()) {
+            *a += *v;
+        }
+    }
+}
+
+/// Accumulate a stream of loaded tails, feeding
+/// [`accumulate_tail_group`] a full [`ILP_BATCHES`]-slot group at a
+/// time plus one final partial group. The single group-buffering
+/// implementation behind both the staging drain and the end-of-primary
+/// bucket sweep.
+pub fn accumulate_tails(
+    schedule: &[UpdateStep],
+    tails: impl IntoIterator<Item = LoadedTail>,
+    scratch: &mut [F64x8],
+    lanes: &mut [F64x8],
+    nmono: usize,
+) {
+    let mut group: [LoadedTail; ILP_BATCHES] = [([F64x8::ZERO; 3], F64x8::ZERO, 0); ILP_BATCHES];
+    let mut k = 0;
+    for tail in tails {
+        group[k] = tail;
+        k += 1;
+        if k == ILP_BATCHES {
+            accumulate_tail_group(schedule, &group, scratch, lanes, nmono);
+            k = 0;
+        }
+    }
+    if k > 0 {
+        accumulate_tail_group(schedule, &group[..k], scratch, lanes, nmono);
+    }
+}
+
+/// Accumulate every staged tail into its bin's 8-lane accumulators
+/// (`lanes[bin * nmono + mono]`) in one pass and clear the staging:
+/// segments feed [`accumulate_tail_group`] four at a time.
+pub fn drain_staged_tails(
+    schedule: &[UpdateStep],
+    staging: &mut TailStaging,
+    scratch: &mut [F64x8],
+    lanes: &mut [F64x8],
+    nmono: usize,
+) {
+    accumulate_tails(
+        schedule,
+        staging.segments.iter().map(|seg| {
+            let (st, len) = (seg.start as usize, seg.len as usize);
+            load_tail(
+                seg.bin as usize,
+                &staging.dx[st..st + len],
+                &staging.dy[st..st + len],
+                &staging.dz[st..st + len],
+                &staging.w[st..st + len],
+            )
+        }),
+        scratch,
+        lanes,
+        nmono,
+    );
+    staging.clear();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::testutil::{random_binned_stream, scalar_bucket_sums};
+    use galactos_math::monomial::MonomialBasis;
+
+    /// Per-bin scalar reference for a binned stream.
+    fn reference(
+        basis: &MonomialBasis,
+        nbins: usize,
+        dx: &[f64],
+        dy: &[f64],
+        dz: &[f64],
+        w: &[f64],
+        bins: &[u32],
+    ) -> Vec<f64> {
+        let nmono = basis.len();
+        let mut want = vec![0.0; nbins * nmono];
+        for p in 0..dx.len() {
+            let b = bins[p] as usize;
+            let sums = scalar_bucket_sums(
+                basis.schedule(),
+                &dx[p..p + 1],
+                &dy[p..p + 1],
+                &dz[p..p + 1],
+                &w[p..p + 1],
+            );
+            for (i, s) in sums.iter().enumerate() {
+                want[b * nmono + i] += s;
+            }
+        }
+        want
+    }
+
+    fn check_drain(lmax: usize, nbins: usize, n: usize, seed: u64) {
+        let basis = MonomialBasis::new(lmax);
+        let nmono = basis.len();
+        let (dx, dy, dz, w, bins) = random_binned_stream(n, nbins, seed);
+        let want = reference(&basis, nbins, &dx, &dy, &dz, &w, &bins);
+
+        let mut staging = TailStaging::new();
+        // Stage pair-by-pair (worst case: one segment per pair).
+        for p in 0..n {
+            staging.push_tail(
+                bins[p] as usize,
+                &dx[p..p + 1],
+                &dy[p..p + 1],
+                &dz[p..p + 1],
+                &w[p..p + 1],
+            );
+        }
+        let mut scratch = vec![F64x8::ZERO; ILP_BATCHES * nmono];
+        let mut lanes = vec![F64x8::ZERO; nbins * nmono];
+        drain_staged_tails(
+            basis.schedule(),
+            &mut staging,
+            &mut scratch,
+            &mut lanes,
+            nmono,
+        );
+        assert!(staging.is_empty());
+
+        for b in 0..nbins {
+            for i in 0..nmono {
+                let got = lanes[b * nmono + i].horizontal_sum();
+                let wanted = want[b * nmono + i];
+                assert!(
+                    (got - wanted).abs() <= 1e-11 * (1.0 + wanted.abs()),
+                    "lmax={lmax} nbins={nbins} n={n} bin {b} monomial {i}: {got} vs {wanted}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn matches_scalar_across_segment_mixes() {
+        // Sizes around ILP-group and staging boundaries, several bin
+        // counts (n per-pair segments each).
+        for (nbins, n) in [
+            (1, 5),
+            (2, 8),
+            (3, 13),
+            (5, 64),
+            (10, 200),
+            (4, STAGING_PAIRS),
+        ] {
+            check_drain(4, nbins, n, (nbins * 1000 + n) as u64);
+        }
+    }
+
+    #[test]
+    fn matches_scalar_at_paper_lmax() {
+        check_drain(10, 10, 100, 99);
+    }
+
+    #[test]
+    fn two_tails_accumulate_into_their_bins() {
+        // 5 pairs in bin 0 + 7 in bin 1, staged as two tails: each
+        // becomes its own padded segment; both bins must receive
+        // exactly their pairs.
+        let basis = MonomialBasis::new(3);
+        let nmono = basis.len();
+        let (dx, dy, dz, w, _) = random_binned_stream(12, 1, 42);
+        let bins: Vec<u32> = (0..12).map(|p| u32::from(p >= 5)).collect();
+        let want = reference(&basis, 2, &dx, &dy, &dz, &w, &bins);
+
+        let mut staging = TailStaging::new();
+        staging.push_tail(0, &dx[..5], &dy[..5], &dz[..5], &w[..5]);
+        staging.push_tail(1, &dx[5..], &dy[5..], &dz[5..], &w[5..]);
+        assert_eq!(staging.len(), 12);
+
+        let mut scratch = vec![F64x8::ZERO; ILP_BATCHES * nmono];
+        let mut lanes = vec![F64x8::ZERO; 2 * nmono];
+        drain_staged_tails(
+            basis.schedule(),
+            &mut staging,
+            &mut scratch,
+            &mut lanes,
+            nmono,
+        );
+        for b in 0..2 {
+            for i in 0..nmono {
+                let got = lanes[b * nmono + i].horizontal_sum();
+                assert!(
+                    (got - want[b * nmono + i]).abs() <= 1e-12 * (1.0 + want[b * nmono + i].abs()),
+                    "bin {b} monomial {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn long_push_is_split_into_lane_segments() {
+        // A 20-pair push (legal, if unusual — flush_bucket only stages
+        // sub-lane tails) must split into 8 + 8 + 4 segments and still
+        // sum correctly.
+        let basis = MonomialBasis::new(2);
+        let nmono = basis.len();
+        let (dx, dy, dz, w, _) = random_binned_stream(20, 1, 8);
+        let bins = vec![0u32; 20];
+        let want = reference(&basis, 1, &dx, &dy, &dz, &w, &bins);
+
+        let mut staging = TailStaging::new();
+        staging.push_tail(0, &dx, &dy, &dz, &w);
+        assert_eq!(staging.len(), 20);
+
+        let mut scratch = vec![F64x8::ZERO; ILP_BATCHES * nmono];
+        let mut lanes = vec![F64x8::ZERO; nmono];
+        drain_staged_tails(
+            basis.schedule(),
+            &mut staging,
+            &mut scratch,
+            &mut lanes,
+            nmono,
+        );
+        for i in 0..nmono {
+            let got = lanes[i].horizontal_sum();
+            assert!(
+                (got - want[i]).abs() <= 1e-12 * (1.0 + want[i].abs()),
+                "monomial {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_staging_drain_is_a_noop() {
+        let basis = MonomialBasis::new(2);
+        let nmono = basis.len();
+        let mut staging = TailStaging::new();
+        let mut scratch = vec![F64x8::ZERO; ILP_BATCHES * nmono];
+        let mut lanes = vec![F64x8::ZERO; 3 * nmono];
+        drain_staged_tails(
+            basis.schedule(),
+            &mut staging,
+            &mut scratch,
+            &mut lanes,
+            nmono,
+        );
+        assert!(lanes.iter().all(|v| v.horizontal_sum() == 0.0));
+    }
+
+    #[test]
+    fn staging_capacity_accounting() {
+        let mut s = TailStaging::new();
+        assert_eq!(s.remaining(), STAGING_PAIRS);
+        let pairs = [0.1, 0.2, 0.3];
+        s.push_tail(2, &pairs, &pairs, &pairs, &[1.0, 1.0, 1.0]);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.remaining(), STAGING_PAIRS - 3);
+        s.clear();
+        assert!(s.is_empty());
+    }
+}

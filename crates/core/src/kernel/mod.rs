@@ -17,11 +17,28 @@
 //! * **Scalar reference** ([`scalar`]): the same arithmetic one lane
 //!   wide; tests require bit-level-close agreement, and the
 //!   vectorization ablation benchmarks the two against each other.
+//! * **Cross-bucket batching** ([`batched`]): ragged bucket tails are
+//!   staged with their bin ids and accumulated many buckets per call,
+//!   lane-width chunks spanning bucket boundaries, so the
+//!   end-of-primary sweep stops paying one padded vector chunk per bin.
+//! * **Runtime dispatch** ([`backend`]): the three implementations
+//!   behind one [`KernelBackend`] trait, selected per engine via
+//!   [`EngineConfig`](crate::config::EngineConfig), the
+//!   `GALACTOS_KERNEL_BACKEND` environment variable, or hardware
+//!   detection.
+//!
+//! [`testutil`] carries the deterministic input generators and
+//! against-scalar checkers shared by every backend's tests and the
+//! `perf_baseline` benchmark harness.
 
 pub mod accumulator;
+pub mod backend;
+pub mod batched;
 pub mod buckets;
 pub mod scalar;
 pub mod simd;
+pub mod testutil;
 
 pub use accumulator::KernelAccumulator;
+pub use backend::{detect, BackendChoice, BackendKind, KernelBackend, BACKEND_ENV};
 pub use buckets::PairBuckets;

@@ -88,86 +88,21 @@ pub fn accumulate_bucket_simd(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::kernel::scalar::accumulate_bucket_scalar;
+    use crate::kernel::backend::BackendKind;
+    use crate::kernel::testutil::{check_backend_vs_scalar, random_bucket};
     use galactos_math::monomial::MonomialBasis;
-    use rand::prelude::*;
-    use rand_chacha::ChaCha8Rng;
-
-    fn random_bucket(n: usize, seed: u64) -> (Vec<f64>, Vec<f64>, Vec<f64>, Vec<f64>) {
-        let mut rng = ChaCha8Rng::seed_from_u64(seed);
-        let mut dx = Vec::with_capacity(n);
-        let mut dy = Vec::with_capacity(n);
-        let mut dz = Vec::with_capacity(n);
-        let mut w = Vec::with_capacity(n);
-        for _ in 0..n {
-            // Unit vectors, like the real kernel input.
-            let v = loop {
-                let v = galactos_math::Vec3::new(
-                    rng.random_range(-1.0..1.0),
-                    rng.random_range(-1.0..1.0),
-                    rng.random_range(-1.0..1.0),
-                );
-                if let Some(u) = v.normalized() {
-                    break u;
-                }
-            };
-            dx.push(v.x);
-            dy.push(v.y);
-            dz.push(v.z);
-            w.push(rng.random_range(0.1..2.0));
-        }
-        (dx, dy, dz, w)
-    }
-
-    fn check_simd_vs_scalar(lmax: usize, n: usize, seed: u64) {
-        let basis = MonomialBasis::new(lmax);
-        let nmono = basis.len();
-        let (dx, dy, dz, w) = random_bucket(n, seed);
-
-        let mut scalar_scratch = vec![0.0; nmono];
-        let mut scalar_sums = vec![0.0; nmono];
-        accumulate_bucket_scalar(
-            basis.schedule(),
-            &dx,
-            &dy,
-            &dz,
-            &w,
-            &mut scalar_scratch,
-            &mut scalar_sums,
-        );
-
-        let mut simd_scratch = vec![F64x8::ZERO; ILP_BATCHES * nmono];
-        let mut acc = vec![F64x8::ZERO; nmono];
-        accumulate_bucket_simd(
-            basis.schedule(),
-            &dx,
-            &dy,
-            &dz,
-            &w,
-            &mut simd_scratch,
-            &mut acc,
-        );
-        for i in 0..nmono {
-            let simd_val = acc[i].horizontal_sum();
-            assert!(
-                (simd_val - scalar_sums[i]).abs() <= 1e-11 * (1.0 + scalar_sums[i].abs()),
-                "lmax={lmax} n={n} monomial {i}: {simd_val} vs {}",
-                scalar_sums[i]
-            );
-        }
-    }
 
     #[test]
     fn matches_scalar_across_sizes() {
         // Exercises: empty, sub-lane, exact lane, ILP-group, and ragged.
         for n in [0usize, 1, 3, 7, 8, 9, 16, 31, 32, 33, 64, 100, 128] {
-            check_simd_vs_scalar(6, n, n as u64 + 1);
+            check_backend_vs_scalar(BackendKind::Simd, 6, n, n as u64 + 1, 1e-11);
         }
     }
 
     #[test]
     fn matches_scalar_at_paper_lmax() {
-        check_simd_vs_scalar(10, 128, 42);
+        check_backend_vs_scalar(BackendKind::Simd, 10, 128, 42, 1e-11);
     }
 
     #[test]

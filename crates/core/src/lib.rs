@@ -9,9 +9,12 @@
 //!   bucket size, precision, scheduling);
 //! * [`result`] — the `ζ^m_{ℓℓ'}(r₁, r₂)` container, its isotropic
 //!   compression, and merge/normalize operations;
-//! * [`kernel`] — the bucketed multipole accumulation kernel: per-bin
-//!   pair buckets (pre-binning, §3.3.1), 8-lane deferred-reduction
-//!   accumulators with 4-way ILP (§3.3.2), and a scalar reference path;
+//! * [`kernel`] — the bucketed multipole accumulation kernel behind a
+//!   runtime-dispatched backend trait: per-bin pair buckets
+//!   (pre-binning, §3.3.1), 8-lane deferred-reduction accumulators with
+//!   4-way ILP (§3.3.2), cross-bucket tail batching, and a scalar
+//!   reference path — selected per engine via config, environment, or
+//!   hardware detection;
 //! * [`engine`] — the staged per-primary pipeline (gather →
 //!   bin/bucket → a_ℓm assembly → ζ accumulation), thread-parallel
 //!   over primaries (§3.3);
@@ -57,6 +60,7 @@ pub mod xismu;
 pub use bins::RadialBins;
 pub use config::{EngineConfig, Scheduling, TreePrecision};
 pub use engine::Engine;
+pub use kernel::{BackendChoice, BackendKind, KernelBackend};
 pub use result::{AnisotropicZeta, IsotropicZeta};
 pub use schedule::run_partitioned;
 pub use scratch::ComputeScratch;

@@ -10,6 +10,15 @@
 //! copy-pasted. [`run_partitioned`] is the single implementation:
 //! callers supply per-worker state construction, a range processor, a
 //! state finalizer, and a [`Merge`] spec.
+//!
+//! Worker state is whatever the caller builds — for the engine it is a
+//! [`ComputeScratch`](crate::scratch::ComputeScratch) whose kernel
+//! accumulator comes from the engine's resolved
+//! [`KernelBackend`](crate::kernel::KernelBackend) (resolution happens
+//! once, before the parallel region, so workers never consult the
+//! environment). The `perf_baseline` benchmark drives bare backend
+//! accumulators through the same driver to measure multi-thread kernel
+//! throughput without the rest of the engine.
 
 use crate::config::Scheduling;
 use rayon::prelude::*;
@@ -35,6 +44,14 @@ pub fn chunk_size(scheduling: Scheduling, n_items: usize) -> usize {
         // One contiguous block per thread.
         Scheduling::Static => n_items.div_ceil(rayon::current_num_threads().max(1)).max(1),
     }
+}
+
+/// Number of worker states [`run_partitioned`] will construct (and
+/// finished results it will merge) for a run over `n_items` — one per
+/// chunk. Benchmark reports use this to relate throughput to the
+/// scheduling overhead actually paid.
+pub fn chunk_count(scheduling: Scheduling, n_items: usize) -> usize {
+    n_items.div_ceil(chunk_size(scheduling, n_items))
 }
 
 /// Partition `0..n_items` into chunks per `scheduling`, run every chunk
@@ -63,7 +80,7 @@ where
     FM: Fn(R, R) -> R + Sync,
 {
     let chunk = chunk_size(scheduling, n_items);
-    let n_chunks = n_items.div_ceil(chunk);
+    let n_chunks = chunk_count(scheduling, n_items);
     let Merge { zero, merge } = merge;
     (0..n_chunks)
         .into_par_iter()
@@ -130,6 +147,18 @@ mod tests {
         let (sum, chunks) = pool.install(|| sum_squares(Scheduling::Static, 100));
         assert_eq!(sum, expected(100));
         assert_eq!(chunks, 1);
+    }
+
+    #[test]
+    fn chunk_count_matches_states_constructed() {
+        for n in [0, 1, DYNAMIC_CHUNK, DYNAMIC_CHUNK + 1, 333] {
+            let (_, chunks) = sum_squares(Scheduling::Dynamic, n);
+            assert_eq!(
+                chunks as usize,
+                chunk_count(Scheduling::Dynamic, n),
+                "n={n}"
+            );
+        }
     }
 
     #[test]

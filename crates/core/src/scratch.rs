@@ -14,7 +14,7 @@
 //! (or reuse scratch across engine calls) can avoid reallocation.
 
 use crate::config::EngineConfig;
-use crate::kernel::{KernelAccumulator, PairBuckets};
+use crate::kernel::{BackendKind, KernelAccumulator, KernelBackend, PairBuckets};
 use crate::result::AnisotropicZeta;
 use galactos_math::monomial::MonomialBasis;
 use galactos_math::{lm_count, Complex64};
@@ -48,15 +48,19 @@ pub struct ComputeScratch {
 impl ComputeScratch {
     /// Allocate scratch sized for `config`, with monomial counts taken
     /// from the engine's bases (`nmono2` = 0 when self-pair subtraction
-    /// is off).
-    pub(crate) fn new(config: &EngineConfig, basis: &MonomialBasis, nmono2: usize) -> Self {
+    /// is off) and the kernel accumulation state built by `backend` —
+    /// the engine resolves its configured [`BackendChoice`](
+    /// crate::kernel::BackendChoice) once at construction and passes
+    /// the resolved backend here for every worker.
+    pub(crate) fn new(
+        config: &EngineConfig,
+        basis: &MonomialBasis,
+        nmono2: usize,
+        backend: &dyn KernelBackend,
+    ) -> Self {
         let nbins = config.bins.nbins();
         let nmono = basis.len();
-        let acc = if config.simd_kernel {
-            KernelAccumulator::new_simd(nbins, nmono)
-        } else {
-            KernelAccumulator::new_scalar(nbins, nmono)
-        };
+        let acc = backend.new_accumulator(nbins, nmono);
         ComputeScratch {
             neighbors: Vec::with_capacity(1024),
             buckets: PairBuckets::new(nbins, config.bucket_size),
@@ -104,5 +108,10 @@ impl ComputeScratch {
     /// callers driving stages manually).
     pub fn partial(&self) -> &AnisotropicZeta {
         &self.zeta
+    }
+
+    /// Which kernel backend this scratch accumulates with.
+    pub fn backend_kind(&self) -> BackendKind {
+        self.acc.kind()
     }
 }

@@ -1,0 +1,37 @@
+//! The `GALACTOS_KERNEL_BACKEND` resolution chain through a real
+//! engine. Environment mutation is process-global, so this lives in
+//! its own integration-test binary (its own process): the single test
+//! below is the only code running when the variable changes, which
+//! keeps `set_var` safe even at the libc level.
+
+use galactos_core::config::EngineConfig;
+use galactos_core::engine::Engine;
+use galactos_core::kernel::{detect, BackendChoice, BackendKind, BACKEND_ENV};
+
+/// The full `Auto` chain: env override wins when valid, garbage falls
+/// back to detection, `Fixed` never reads the environment.
+#[test]
+fn auto_resolution_follows_env_then_detect() {
+    let mut cfg = EngineConfig::test_default(6.0, 2, 3);
+    cfg.kernel_backend = BackendChoice::Auto;
+    let engine_kind = |cfg: &EngineConfig| Engine::new(cfg.clone()).backend_kind();
+
+    std::env::set_var(BACKEND_ENV, "scalar");
+    assert_eq!(engine_kind(&cfg), BackendKind::Scalar);
+    std::env::set_var(BACKEND_ENV, "Batched-SIMD");
+    assert_eq!(engine_kind(&cfg), BackendKind::BatchedSimd);
+
+    // Unparsable value: fall back to hardware detection.
+    std::env::set_var(BACKEND_ENV, "quantum");
+    assert_eq!(engine_kind(&cfg), detect());
+
+    // A pinned choice beats the environment.
+    std::env::set_var(BACKEND_ENV, "simd");
+    cfg.kernel_backend = BackendChoice::Fixed(BackendKind::Scalar);
+    assert_eq!(engine_kind(&cfg), BackendKind::Scalar);
+
+    // Unset: detection again.
+    std::env::remove_var(BACKEND_ENV);
+    cfg.kernel_backend = BackendChoice::Auto;
+    assert_eq!(engine_kind(&cfg), detect());
+}

@@ -5,6 +5,7 @@ use galactos_catalog::{Catalog, Galaxy};
 use galactos_core::bins::RadialBins;
 use galactos_core::config::{EngineConfig, Scheduling, TreePrecision};
 use galactos_core::engine::Engine;
+use galactos_core::kernel::{BackendChoice, BackendKind};
 use galactos_core::naive::seminaive_anisotropic;
 use galactos_core::result::AnisotropicZeta;
 use galactos_math::{LineOfSight, Vec3};
@@ -33,17 +34,18 @@ proptest! {
         lmax in 0usize..5,
         nbins in 1usize..4,
         bucket in 1usize..40,
-        simd in prop::bool::ANY,
+        backend_idx in 0usize..3,
     ) {
+        let backend = BackendKind::ALL[backend_idx];
         let mut config = base_config(lmax, nbins, 8.0);
         config.bucket_size = bucket;
-        config.simd_kernel = simd;
+        config.kernel_backend = BackendChoice::Fixed(backend);
         let engine = Engine::new(config.clone()).compute(&Catalog::new(galaxies.clone()));
         let oracle = seminaive_anisotropic(&galaxies, &config, None);
         let scale = oracle.max_abs().max(1.0);
         prop_assert!(
             engine.max_difference(&oracle) < 1e-8 * scale,
-            "diff {} (lmax={lmax} nbins={nbins} bucket={bucket} simd={simd})",
+            "diff {} (lmax={lmax} nbins={nbins} bucket={bucket} backend={backend:?})",
             engine.max_difference(&oracle)
         );
         prop_assert_eq!(engine.num_primaries, oracle.num_primaries);

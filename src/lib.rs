@@ -50,6 +50,7 @@ pub mod prelude {
     pub use galactos_core::bins::RadialBins;
     pub use galactos_core::config::{EngineConfig, Scheduling, TreePrecision};
     pub use galactos_core::engine::Engine;
+    pub use galactos_core::kernel::{BackendChoice, BackendKind};
     pub use galactos_core::pipeline::compute_distributed;
     pub use galactos_core::result::{AnisotropicZeta, IsotropicZeta};
     pub use galactos_math::{LineOfSight, Vec3};

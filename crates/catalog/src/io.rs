@@ -22,8 +22,13 @@ use std::fs::File;
 use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
 use std::path::Path;
 
-const MAGIC: u32 = 0x4743_4154;
+/// Magic number shared by every GCAT framing (v1 files, v2 shard files
+/// and v2 shard manifests).
+pub(crate) const MAGIC: u32 = 0x4743_4154;
 const VERSION: u32 = 1;
+/// Wire size of one galaxy record: `(x, y, z, weight)` as little-endian
+/// `f64`s.
+pub(crate) const RECORD_BYTES: usize = 32;
 
 /// Errors produced by catalog (de)serialization.
 #[derive(Debug)]
@@ -32,6 +37,12 @@ pub enum CatalogIoError {
     BadMagic(u32),
     BadVersion(u32),
     Truncated,
+    /// Structurally valid framing whose contents contradict themselves
+    /// (checksum mismatch, manifest/shard disagreement, …).
+    Corrupt(String),
+    /// Well-formed input requesting something this build cannot do
+    /// (e.g. distributing a periodic sharded catalog).
+    Unsupported(String),
     Parse(String),
 }
 
@@ -42,6 +53,8 @@ impl std::fmt::Display for CatalogIoError {
             CatalogIoError::BadMagic(m) => write!(f, "bad magic 0x{m:08x}"),
             CatalogIoError::BadVersion(v) => write!(f, "unsupported version {v}"),
             CatalogIoError::Truncated => write!(f, "truncated catalog stream"),
+            CatalogIoError::Corrupt(s) => write!(f, "corrupt catalog stream: {s}"),
+            CatalogIoError::Unsupported(s) => write!(f, "unsupported catalog: {s}"),
             CatalogIoError::Parse(s) => write!(f, "parse error: {s}"),
         }
     }
@@ -90,7 +103,7 @@ pub fn from_bytes(mut buf: impl Buf) -> Result<Catalog, CatalogIoError> {
     if version != VERSION {
         return Err(CatalogIoError::BadVersion(version));
     }
-    let count = buf.get_u64_le() as usize;
+    let count = buf.get_u64_le();
     if buf.remaining() < 4 + 8 + 48 {
         return Err(CatalogIoError::Truncated);
     }
@@ -98,9 +111,7 @@ pub fn from_bytes(mut buf: impl Buf) -> Result<Catalog, CatalogIoError> {
     let box_len = buf.get_f64_le();
     let lo = Vec3::new(buf.get_f64_le(), buf.get_f64_le(), buf.get_f64_le());
     let hi = Vec3::new(buf.get_f64_le(), buf.get_f64_le(), buf.get_f64_le());
-    if buf.remaining() < count * 32 {
-        return Err(CatalogIoError::Truncated);
-    }
+    let count = checked_record_count(count, buf.remaining())?;
     let mut galaxies = Vec::with_capacity(count);
     for _ in 0..count {
         let pos = Vec3::new(buf.get_f64_le(), buf.get_f64_le(), buf.get_f64_le());
@@ -112,6 +123,23 @@ pub fn from_bytes(mut buf: impl Buf) -> Result<Catalog, CatalogIoError> {
         bounds: Aabb { lo, hi },
         periodic: if flags & 1 != 0 { Some(box_len) } else { None },
     })
+}
+
+/// Validate a header-declared record count against the bytes actually
+/// available. The count is attacker-controlled: it must survive the
+/// `u64 → usize` narrowing and the `× RECORD_BYTES` scaling without
+/// wrapping (a wrapped product would defeat the truncation check and
+/// abort in `Vec::with_capacity`), and the payload must really be
+/// present.
+pub(crate) fn checked_record_count(count: u64, remaining: usize) -> Result<usize, CatalogIoError> {
+    let count = usize::try_from(count).map_err(|_| CatalogIoError::Truncated)?;
+    let payload = count
+        .checked_mul(RECORD_BYTES)
+        .ok_or(CatalogIoError::Truncated)?;
+    if remaining < payload {
+        return Err(CatalogIoError::Truncated);
+    }
+    Ok(count)
 }
 
 /// Write a catalog to a file in the binary format.
@@ -147,11 +175,16 @@ pub fn read_csv(path: impl AsRef<Path>) -> Result<Catalog, CatalogIoError> {
     let mut galaxies = Vec::new();
     let mut line = String::new();
     let mut r = reader;
-    let mut first = true;
+    // The header, when present, is the first *non-empty* line — leading
+    // blank lines (common in hand-edited exports) must not demote it to
+    // a data row.
+    let mut first_content = true;
     while r.read_line(&mut line)? != 0 {
         let trimmed = line.trim();
         if !trimmed.is_empty() {
-            let is_header = first && trimmed.chars().next().is_some_and(|c| c.is_alphabetic());
+            let is_header =
+                first_content && trimmed.chars().next().is_some_and(|c| c.is_alphabetic());
+            first_content = false;
             if !is_header {
                 let fields: Vec<&str> = trimmed.split(',').collect();
                 if fields.len() < 3 {
@@ -171,7 +204,6 @@ pub fn read_csv(path: impl AsRef<Path>) -> Result<Catalog, CatalogIoError> {
                 galaxies.push(Galaxy::new(pos, weight));
             }
         }
-        first = false;
         line.clear();
     }
     Ok(Catalog::new(galaxies))
@@ -232,6 +264,30 @@ mod tests {
     }
 
     #[test]
+    fn huge_header_count_is_truncated_not_abort() {
+        // A corrupt header claiming u64::MAX records used to wrap the
+        // `count * 32` truncation check and abort inside
+        // `Vec::with_capacity`; it must surface as `Truncated`.
+        for huge in [u64::MAX, u64::MAX / 32 + 1, (usize::MAX as u64 / 32) + 1] {
+            let mut crafted = BytesMut::new();
+            crafted.put_u32_le(MAGIC);
+            crafted.put_u32_le(VERSION);
+            crafted.put_u64_le(huge);
+            crafted.put_u32_le(0); // flags
+            crafted.put_f64_le(0.0); // box_len
+            for _ in 0..6 {
+                crafted.put_f64_le(0.0); // bounds
+            }
+            // A little trailing garbage so the header itself is intact.
+            crafted.put_f64_le(1.0);
+            assert!(
+                matches!(from_bytes(&crafted[..]), Err(CatalogIoError::Truncated)),
+                "count {huge} must be rejected as truncated"
+            );
+        }
+    }
+
+    #[test]
     fn file_roundtrip() {
         let dir = std::env::temp_dir().join("galactos_io_test");
         std::fs::create_dir_all(&dir).unwrap();
@@ -257,6 +313,21 @@ mod tests {
             assert!((a.pos - b.pos).norm() < 1e-12);
             assert!((a.weight - b.weight).abs() < 1e-12);
         }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn csv_header_after_leading_blank_line() {
+        // The header used to be recognized only on the literal first
+        // line, so a leading blank line turned `x,y,z,weight` into a
+        // `Parse` error.
+        let dir = std::env::temp_dir().join("galactos_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("blank_then_header.csv");
+        std::fs::write(&path, "\n\nx,y,z,weight\n1.0,2.0,3.0,0.5\n").unwrap();
+        let back = read_csv(&path).unwrap();
+        assert_eq!(back.len(), 1);
+        assert_eq!(back.galaxies[0].weight, 0.5);
         std::fs::remove_file(&path).ok();
     }
 

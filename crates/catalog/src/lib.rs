@@ -8,6 +8,9 @@
 //!   every other crate;
 //! * [`io`] — a compact binary format (plus CSV) for catalogs, the
 //!   "I/O" slice of the paper's runtime breakdown (Fig. 4);
+//! * [`shard`] — GCAT v2: the same records split into spatially-aligned
+//!   shard files behind a checksummed manifest, streamed in bounded
+//!   memory so survey-scale catalogs never need to fit on one node;
 //! * [`random`] — uniform Poisson random catalogs, both for algorithm
 //!   testing (ζ must vanish on them) and as the R catalogs of the
 //!   data-minus-randoms estimator (paper §6.1);
@@ -20,10 +23,12 @@
 pub mod galaxy;
 pub mod io;
 pub mod random;
+pub mod shard;
 pub mod stats;
 pub mod survey;
 
 pub use galaxy::{Catalog, Galaxy};
 pub use random::uniform_box;
+pub use shard::{ShardAssignment, ShardManifest, ShardMeta, ShardReader, ShardedWriter};
 pub use stats::CatalogStats;
 pub use survey::{Cap, SurveyGeometry};

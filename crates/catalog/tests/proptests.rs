@@ -1,9 +1,21 @@
 //! Property-based tests for catalog containers, I/O and geometry.
 
 use galactos_catalog::io::{from_bytes, to_bytes};
-use galactos_catalog::{Cap, Catalog, Galaxy, SurveyGeometry};
+use galactos_catalog::shard::{read_sharded, write_sharded};
+use galactos_catalog::{Cap, Catalog, Galaxy, ShardAssignment, SurveyGeometry};
 use galactos_math::Vec3;
 use proptest::prelude::*;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Unique scratch directory per proptest case (cases run concurrently
+/// across test threads and repeatedly within one run).
+fn case_dir() -> std::path::PathBuf {
+    static COUNTER: AtomicUsize = AtomicUsize::new(0);
+    let id = COUNTER.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir()
+        .join("galactos_catalog_proptests")
+        .join(format!("case_{}_{id}", std::process::id()))
+}
 
 fn arb_galaxies() -> impl Strategy<Value = Vec<Galaxy>> {
     prop::collection::vec(
@@ -49,6 +61,47 @@ proptest! {
         let total_scale = d.total_weight().abs() + r.total_weight().abs();
         prop_assert!(field.total_weight().abs() < 1e-9 * total_scale.max(1.0));
         prop_assert_eq!(field.len(), d.len() + r.len());
+    }
+
+    #[test]
+    fn sharded_roundtrip_reconstructs_exact_catalog(
+        galaxies in arb_galaxies(),
+        num_shards in 1usize..6,
+        is_periodic in prop::bool::ANY,
+        box_len in 1000.0f64..2000.0,
+    ) {
+        let mut cat = Catalog::new(galaxies);
+        cat.periodic = is_periodic.then_some(box_len);
+        // Arbitrary (non-spatial) assignment: the format must roundtrip
+        // for any partition of the records; every shard declares the
+        // full bounds so the assignment is trivially region-consistent.
+        let assignment = ShardAssignment {
+            shard_of: (0..cat.len()).map(|g| (g % num_shards) as u32).collect(),
+            bounds: vec![cat.bounds; num_shards],
+        };
+        let dir = case_dir();
+        let manifest = write_sharded(&cat, &assignment, &dir).unwrap();
+        prop_assert_eq!(manifest.total_count as usize, cat.len());
+        let (back_manifest, back) = read_sharded(&dir).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+        prop_assert_eq!(back_manifest, manifest);
+        prop_assert_eq!(back.len(), cat.len());
+        // Bit-exact bounds and periodicity.
+        prop_assert_eq!(back.bounds, cat.bounds);
+        prop_assert_eq!(back.periodic, cat.periodic);
+        // Shard-by-shard reads deliver shard-major order: galaxy g went
+        // to shard g % num_shards, preserving record order within each
+        // shard — reconstruct that order and compare bit-exactly.
+        let mut expected: Vec<&Galaxy> = Vec::with_capacity(cat.len());
+        for s in 0..num_shards {
+            expected.extend(cat.galaxies.iter().skip(s).step_by(num_shards));
+        }
+        for (a, b) in back.galaxies.iter().zip(expected) {
+            prop_assert_eq!(a.pos.x.to_bits(), b.pos.x.to_bits());
+            prop_assert_eq!(a.pos.y.to_bits(), b.pos.y.to_bits());
+            prop_assert_eq!(a.pos.z.to_bits(), b.pos.z.to_bits());
+            prop_assert_eq!(a.weight.to_bits(), b.weight.to_bits());
+        }
     }
 
     #[test]

@@ -88,13 +88,18 @@ impl RadialBins {
     }
 
     /// Bin index of radius `r`, or `None` outside `[rmin, rmax)`.
+    /// Non-finite radii (NaN, ±∞) are never inside any bin.
     ///
     /// Bins are the half-open intervals `[edges[i], edges[i+1])`
     /// *exactly as stored*: the fast arithmetic lookup is corrected
     /// against the edge array so boundary radii land deterministically.
     #[inline]
     pub fn bin_of(&self, r: f64) -> Option<usize> {
-        if r < self.rmin() || r >= self.rmax() {
+        // NaN fails both range comparisons below, which used to fall
+        // through to the lookup: the linear cast produced a silent
+        // `Some(0)` and the logarithmic `partial_cmp(..).unwrap()`
+        // panicked. Reject it explicitly so both spacings agree.
+        if r.is_nan() || r < self.rmin() || r >= self.rmax() {
             return None;
         }
         let guess = match self.spacing {
@@ -178,6 +183,20 @@ mod tests {
                     assert_eq!(bins.bin_of(r), Some(i), "r={r} bins={bins:?}");
                 }
             }
+        }
+    }
+
+    #[test]
+    fn non_finite_radii_land_in_no_bin() {
+        // Regression: NaN used to return Some(0) for linear spacing and
+        // panic (partial_cmp unwrap) for logarithmic spacing.
+        for bins in [
+            RadialBins::linear(0.0, 100.0, 10),
+            RadialBins::logarithmic(1.0, 100.0, 4),
+        ] {
+            assert_eq!(bins.bin_of(f64::NAN), None, "{bins:?}");
+            assert_eq!(bins.bin_of(f64::INFINITY), None, "{bins:?}");
+            assert_eq!(bins.bin_of(f64::NEG_INFINITY), None, "{bins:?}");
         }
     }
 

@@ -1,23 +1,35 @@
 //! The distributed 3PCF pipeline (paper §3.2 end to end).
 //!
-//! Per rank: receive owned galaxies + ghosts from the recursive
-//! scatter/halo exchange, build the local k-d tree over owned+ghosts,
-//! run the engine with *owned galaxies only* as primaries, and reduce
-//! the multipole arrays across ranks ("the remainder of the 3PCF
-//! calculation (besides a final reduction) is strongly parallel").
+//! Per rank: receive owned galaxies + ghosts, build the local k-d tree
+//! over owned+ghosts, run the engine with *owned galaxies only* as
+//! primaries, and reduce the multipole arrays across ranks ("the
+//! remainder of the 3PCF calculation (besides a final reduction) is
+//! strongly parallel"). Ingestion comes in two flavors:
+//!
+//! * [`compute_distributed`] — rank 0 holds the catalog and scatters it
+//!   through the recursive scatter/halo exchange (the paper's setup,
+//!   fine while one node can hold the data);
+//! * [`compute_distributed_sharded`] — the out-of-core path: each rank
+//!   streams its owned GCAT v2 shards plus halo-intersecting neighbor
+//!   shards straight from disk, so peak resident galaxies per rank are
+//!   `owned + ghosts`, never the catalog size.
 //!
 //! The integration tests require the reduced distributed result to
 //! match the single-process engine to floating-point accuracy for any
-//! rank count.
+//! rank count, on both ingestion paths.
 
 use crate::config::{EngineConfig, Scheduling};
 use crate::engine::Engine;
 use crate::result::AnisotropicZeta;
 use crate::schedule::{self, Merge};
+use galactos_catalog::io::CatalogIoError;
+use galactos_catalog::shard::ShardManifest;
 use galactos_catalog::{Catalog, Galaxy};
 use galactos_cluster::run_cluster_with_stacks;
 use galactos_domain::exchange::{distribute, tagged_from_catalog};
+use galactos_domain::shard::distribute_from_shards;
 use galactos_math::Aabb;
+use std::path::Path;
 
 /// Per-rank execution summary.
 #[derive(Clone, Debug)]
@@ -30,6 +42,11 @@ pub struct RankReport {
     pub bytes_sent: u64,
     /// Messages this rank sent.
     pub messages_sent: u64,
+    /// Shard records this rank streamed from disk (sharded ingestion
+    /// only; zero on the scatter path).
+    pub records_read: u64,
+    /// Bytes this rank read from shard files (sharded ingestion only).
+    pub bytes_read: u64,
 }
 
 /// Cluster-level result of a distributed run.
@@ -93,6 +110,8 @@ pub fn compute_distributed(
             binned_pairs: zeta.binned_pairs,
             bytes_sent: snapshot.bytes_sent,
             messages_sent: snapshot.messages_sent,
+            records_read: 0,
+            bytes_read: 0,
         };
 
         // Final reduction of the multipole arrays (Algorithm 1's last
@@ -101,10 +120,17 @@ pub fn compute_distributed(
         (zeta.to_f64_vec(), report)
     });
 
-    // Reduce partials (root-sum, as Comm::allreduce would) through the
-    // same schedule driver the engine uses: each chunk of ranks is
-    // deserialized and merged by a worker, and the per-chunk partials
-    // are merged once at the end.
+    reduce_rank_partials(config, results)
+}
+
+/// Reduce per-rank multipole partials (root-sum, as `Comm::allreduce`
+/// would) through the same schedule driver the engine uses: each chunk
+/// of ranks is deserialized and merged by a worker, and the per-chunk
+/// partials are merged once at the end.
+fn reduce_rank_partials(
+    config: &EngineConfig,
+    results: Vec<(Vec<f64>, RankReport)>,
+) -> DistributedRun {
     let lmax = config.lmax;
     let nbins = config.bins.nbins();
     let zeta = schedule::run_partitioned(
@@ -136,16 +162,95 @@ pub fn compute_distributed(
     }
 }
 
+/// Compute the anisotropic 3PCF of a GCAT v2 sharded catalog on a
+/// simulated cluster of `num_ranks` ranks, without any rank ever
+/// holding the full catalog.
+///
+/// `manifest_path` points at the shard directory's manifest (see
+/// [`galactos_catalog::shard`]); shard files are resolved next to it.
+/// Each rank streams its own shards as primaries plus the neighbor
+/// shards intersecting its `rmax` halo as ghost candidates — the
+/// out-of-core replacement for [`compute_distributed`]'s rank-0
+/// scatter. The reduced result matches the single-process engine to
+/// floating-point accuracy for any rank count (tests enforce 1e-9
+/// relative), and per-rank [`RankReport::records_read`] /
+/// [`RankReport::bytes_read`] quantify the ingestion I/O.
+///
+/// Like [`compute_distributed`], the catalog must be non-periodic —
+/// but since the flag comes from a file rather than a caller-built
+/// [`Catalog`], a periodic manifest is a
+/// [`CatalogIoError::Unsupported`] error, not a panic.
+pub fn compute_distributed_sharded(
+    manifest_path: impl AsRef<Path>,
+    config: &EngineConfig,
+    num_ranks: usize,
+) -> Result<DistributedRun, CatalogIoError> {
+    let manifest_path = manifest_path.as_ref();
+    let dir = manifest_path
+        .parent()
+        .unwrap_or_else(|| Path::new("."))
+        .to_path_buf();
+    let manifest = ShardManifest::read(manifest_path)?;
+    // `distribute_from_shards` rejects periodic manifests too; checking
+    // here as well fails fast before any rank threads are spawned.
+    if let Some(box_len) = manifest.periodic {
+        return Err(CatalogIoError::Unsupported(format!(
+            "distributed pipeline treats catalogs as open boxes (like the \
+             paper); manifest declares a periodic box of length {box_len}"
+        )));
+    }
+    let rmax = config.bins.rmax();
+
+    let results = run_cluster_with_stacks(num_ranks, 8 << 20, |comm| {
+        let rank = comm.rank();
+        let rd = distribute_from_shards(&dir, &manifest, rank, num_ranks, rmax)?;
+
+        // Local galaxy array: owned first (primaries), ghosts after.
+        let mut local: Vec<Galaxy> = Vec::with_capacity(rd.resident());
+        local.extend_from_slice(&rd.owned);
+        local.extend_from_slice(&rd.ghosts);
+
+        let engine = Engine::new(config.clone());
+        let zeta = engine.compute_subset(&local, rd.owned.len());
+
+        let report = RankReport {
+            rank,
+            owned: rd.owned.len(),
+            ghosts: rd.ghosts.len(),
+            binned_pairs: zeta.binned_pairs,
+            bytes_sent: 0,
+            messages_sent: 0,
+            records_read: rd.records_read,
+            bytes_read: rd.bytes_read,
+        };
+        Ok::<_, CatalogIoError>((zeta.to_f64_vec(), report))
+    });
+
+    let results = results.into_iter().collect::<Result<Vec<_>, _>>()?;
+    Ok(reduce_rank_partials(config, results))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::config::EngineConfig;
+    use galactos_catalog::shard::MANIFEST_FILE;
     use galactos_catalog::uniform_box;
+    use galactos_domain::shard::write_sharded;
+    use std::path::PathBuf;
 
     fn open_catalog(n: usize, box_len: f64, seed: u64) -> Catalog {
         let mut c = uniform_box(n, box_len, seed);
         c.periodic = None;
         c
+    }
+
+    fn shard_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir()
+            .join("galactos_pipeline_shard_test")
+            .join(format!("{name}_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        dir
     }
 
     #[test]
@@ -187,6 +292,108 @@ mod tests {
         assert_eq!(dist.ranks.len(), 6);
         let pair_total: u64 = dist.ranks.iter().map(|r| r.binned_pairs).sum();
         assert_eq!(pair_total, dist.zeta.binned_pairs);
+    }
+
+    #[test]
+    fn sharded_matches_single_process() {
+        // Same bar as `distributed_matches_single_process`, through the
+        // out-of-core ingestion path, with a shard count that matches
+        // no rank count exactly (7 shards over {1, 2, 3, 5} ranks).
+        let cat = open_catalog(250, 15.0, 3);
+        let config = EngineConfig::test_default(5.0, 3, 3);
+        let single = Engine::new(config.clone()).compute(&cat);
+        let dir = shard_dir("matches_single");
+        write_sharded(&cat, 7, &dir).unwrap();
+        let manifest_path = dir.join(MANIFEST_FILE);
+        for ranks in [1usize, 2, 3, 5] {
+            let dist = compute_distributed_sharded(&manifest_path, &config, ranks).unwrap();
+            let scale = single.max_abs().max(1.0);
+            assert!(
+                dist.zeta.max_difference(&single) < 1e-9 * scale,
+                "ranks={ranks}: diff {}",
+                dist.zeta.max_difference(&single)
+            );
+            assert_eq!(dist.zeta.num_primaries, single.num_primaries);
+            assert_eq!(dist.zeta.binned_pairs, single.binned_pairs);
+            let owned_total: usize = dist.ranks.iter().map(|r| r.owned).sum();
+            assert_eq!(owned_total, 250);
+            // The sharded path moves no bytes through the fabric.
+            assert_eq!(dist.total_bytes_sent, 0);
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn sharded_no_rank_holds_the_full_catalog() {
+        // The point of v2: for multi-rank runs, no rank's resident
+        // galaxies (owned + ghosts) nor its streamed shard records may
+        // reach the catalog size. An elongated box (survey-slab
+        // geometry) makes the bisection cut slabs along x, so even
+        // interior ranks have shards beyond their halo.
+        let n = 300;
+        let mut cat = open_catalog(n, 24.0, 19);
+        for g in &mut cat.galaxies {
+            g.pos.x *= 8.0;
+        }
+        cat.recompute_bounds();
+        let config = EngineConfig::test_default(2.5, 2, 2);
+        let single = Engine::new(config.clone()).compute(&cat);
+        let dir = shard_dir("bounded_residency");
+        write_sharded(&cat, 20, &dir).unwrap();
+        let manifest_path = dir.join(MANIFEST_FILE);
+        for ranks in [2usize, 3, 5] {
+            let dist = compute_distributed_sharded(&manifest_path, &config, ranks).unwrap();
+            let scale = single.max_abs().max(1.0);
+            assert!(dist.zeta.max_difference(&single) < 1e-9 * scale);
+            for r in &dist.ranks {
+                assert!(
+                    r.owned + r.ghosts < n,
+                    "rank {} resident {} galaxies = full catalog",
+                    r.rank,
+                    r.owned + r.ghosts
+                );
+                assert!(
+                    r.records_read < n as u64,
+                    "rank {} streamed {} records = full catalog",
+                    r.rank,
+                    r.records_read
+                );
+                assert!(r.bytes_read > 0, "rank {} read nothing", r.rank);
+            }
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn sharded_with_self_subtraction() {
+        let cat = open_catalog(120, 10.0, 7);
+        let mut config = EngineConfig::test_default(4.0, 2, 2);
+        config.subtract_self_pairs = true;
+        let single = Engine::new(config.clone()).compute(&cat);
+        let dir = shard_dir("self_subtraction");
+        write_sharded(&cat, 6, &dir).unwrap();
+        let dist = compute_distributed_sharded(dir.join(MANIFEST_FILE), &config, 4).unwrap();
+        let scale = single.max_abs().max(1.0);
+        assert!(dist.zeta.max_difference(&single) < 1e-9 * scale);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn sharded_surfaces_corrupt_manifest() {
+        let cat = open_catalog(60, 8.0, 23);
+        let config = EngineConfig::test_default(2.0, 1, 1);
+        let dir = shard_dir("corrupt_manifest");
+        write_sharded(&cat, 3, &dir).unwrap();
+        let manifest_path = dir.join(MANIFEST_FILE);
+        let mut bytes = std::fs::read(&manifest_path).unwrap();
+        let last = bytes.len() - 20; // inside the entry table
+        bytes[last] ^= 0xFF;
+        std::fs::write(&manifest_path, &bytes).unwrap();
+        assert!(matches!(
+            compute_distributed_sharded(&manifest_path, &config, 2),
+            Err(CatalogIoError::Corrupt(_))
+        ));
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

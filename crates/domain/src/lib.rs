@@ -21,6 +21,13 @@
 //!   on the opposite sub-communicator"). Tests verify the executed
 //!   exchange reproduces the plan's ground truth exactly.
 //!
+//! * [`shard`] — the **out-of-core path**: writing GCAT v2 shards
+//!   aligned with the same recursive bisection, and
+//!   [`shard::distribute_from_shards`], which gives each rank its owned
+//!   galaxies and ghosts by streaming only its own shards plus the
+//!   neighbor shards intersecting its `rmax` halo — no rank ever holds
+//!   the full catalog, removing the rank-0 scatter bottleneck.
+//!
 //! * [`load`] — primary counts and primary×secondary pair counts per
 //!   rank, the quantities whose variance explains the paper's strong-
 //!   scaling deviation (60% pair-count variation, §5.3) and weak-scaling
@@ -29,7 +36,9 @@
 pub mod exchange;
 pub mod load;
 pub mod partition;
+pub mod shard;
 
 pub use exchange::{distribute, RankData, TaggedGalaxy};
 pub use load::{pair_counts, LoadBalance};
 pub use partition::{split_ranks, DomainPlan, PartitionNode};
+pub use shard::{distribute_from_shards, shard_range_for_rank, ShardRankData};

@@ -362,6 +362,22 @@ impl Aabb {
         d2
     }
 
+    /// Squared distance between the closest points of two boxes (zero
+    /// when they overlap). This is the shard-halo predicate: another
+    /// domain's region can only hold galaxies within `rmax` of this one
+    /// when the box gap is at most `rmax`.
+    #[inline]
+    pub fn distance_sq_to_aabb(&self, other: &Aabb) -> f64 {
+        let mut d2 = 0.0;
+        for ax in 0..3 {
+            let gap = (self.lo[ax] - other.hi[ax]).max(other.lo[ax] - self.hi[ax]);
+            if gap > 0.0 {
+                d2 += gap * gap;
+            }
+        }
+        d2
+    }
+
     /// Squared distance from `p` to the farthest point of the box.
     #[inline]
     pub fn max_distance_sq_to_point(&self, p: Vec3) -> f64 {
@@ -450,6 +466,25 @@ mod tests {
         assert!((d2 - 3.0).abs() < 1e-12);
         let far = b.max_distance_sq_to_point(Vec3::ZERO);
         assert!((far - 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn aabb_box_to_box_distance() {
+        let a = Aabb::new(Vec3::ZERO, Vec3::splat(2.0));
+        // Overlapping and touching boxes are at distance zero.
+        assert_eq!(a.distance_sq_to_aabb(&a), 0.0);
+        let touching = Aabb::new(Vec3::new(2.0, 0.0, 0.0), Vec3::new(4.0, 2.0, 2.0));
+        assert_eq!(a.distance_sq_to_aabb(&touching), 0.0);
+        // Separated along one axis: gap of 1.
+        let one_axis = Aabb::new(Vec3::new(3.0, 0.0, 0.0), Vec3::new(4.0, 2.0, 2.0));
+        assert!((a.distance_sq_to_aabb(&one_axis) - 1.0).abs() < 1e-12);
+        // Corner-to-corner: gap of 1 on each axis.
+        let corner = Aabb::new(Vec3::splat(3.0), Vec3::splat(4.0));
+        assert!((a.distance_sq_to_aabb(&corner) - 3.0).abs() < 1e-12);
+        assert_eq!(
+            corner.distance_sq_to_aabb(&a),
+            a.distance_sq_to_aabb(&corner)
+        );
     }
 
     #[test]

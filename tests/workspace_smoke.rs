@@ -1,5 +1,5 @@
-//! Workspace smoke test: every target in the workspace — the 15 bench
-//! binaries, the 5 examples, and the criterion bench — must keep
+//! Workspace smoke test: every target in the workspace — the 16 bench
+//! binaries, the 6 examples, and the criterion bench — must keep
 //! compiling as refactors land. `cargo test` alone only builds lib and
 //! test targets, so a green test run can hide broken binaries; this
 //! test closes that gap by driving `cargo check` over all of them.

@@ -10,15 +10,20 @@
 //! 2. **threaded** — primaries distributed by
 //!    [`schedule::run_partitioned`], each worker owning a backend
 //!    accumulator, at the host thread count;
-//! 3. **engine** — the full engine on a clustered catalog.
+//! 3. **engine** — the full engine on a clustered catalog;
+//! 4. **traversal** — the full engine at the paper point (ℓmax 10,
+//!    10 radial bins) on a ≥50k-galaxy clustered catalog, per-primary
+//!    vs leaf-blocked traversal, recording the speedup and the
+//!    cross-mode equivalence.
 //!
 //! Every backend is checked against the scalar reference while being
-//! timed; the process exits nonzero if any disagreement exceeds the
-//! equivalence tolerance (1e-10 relative), which is what CI's
-//! `bench-smoke` job relies on.
+//! timed, and leaf-blocked traversal against per-primary (1e-9
+//! relative — the modes bin identical pairs in different order); the
+//! process exits nonzero if any disagreement exceeds its tolerance,
+//! which is what CI's `bench-smoke` job relies on.
 //!
 //! Usage: `perf_baseline [--smoke] [--out PATH]`
-//! (`--smoke` shrinks the grid and pair counts to CI scale.)
+//! (`--smoke` shrinks the grid, pair counts and catalogs to CI scale.)
 
 use galactos_bench::datasets::{node_dataset, scaled_rmax};
 use galactos_bench::json::Json;
@@ -30,12 +35,18 @@ use galactos_core::flops::kernel_flops_per_pair;
 use galactos_core::kernel::testutil::{max_rel_diff, random_binned_stream};
 use galactos_core::kernel::{BackendChoice, BackendKind, PairBuckets};
 use galactos_core::schedule::{self, Merge};
+use galactos_core::traversal::{TraversalChoice, TraversalKind};
 use galactos_core::Scheduling;
 use galactos_math::monomial::MonomialBasis;
 use std::time::Instant;
 
 /// Relative tolerance for every backend-vs-scalar equivalence check.
 const EQUIV_TOL: f64 = 1e-10;
+
+/// Relative tolerance for leaf-blocked vs per-primary traversal: the
+/// modes bin identical pairs in a different accumulation order, so the
+/// bound covers reassociation only.
+const TRAVERSAL_EQUIV_TOL: f64 = 1e-9;
 
 /// The paper's radial binning.
 const NBINS: usize = 10;
@@ -58,6 +69,9 @@ struct Params {
     engine_galaxies: usize,
     /// ℓmax of the engine-level run (the grid covers paper ℓmax).
     engine_lmax: usize,
+    /// Galaxies of the traversal-mode comparison (paper point: ℓmax 10,
+    /// 10 bins; the committed baseline uses a ≥50k clustered catalog).
+    traversal_galaxies: usize,
 }
 
 impl Params {
@@ -73,6 +87,7 @@ impl Params {
                 threaded_primaries: 32,
                 engine_galaxies: 400,
                 engine_lmax: 4,
+                traversal_galaxies: 1500,
             }
         } else {
             Params {
@@ -85,6 +100,7 @@ impl Params {
                 threaded_primaries: 128,
                 engine_galaxies: 2500,
                 engine_lmax: 6,
+                traversal_galaxies: 50_000,
             }
         }
     }
@@ -343,6 +359,78 @@ fn run_engine(params: &Params) -> Vec<RunResult> {
     results
 }
 
+/// One timed traversal-mode run at the paper point.
+struct TraversalResult {
+    mode: TraversalKind,
+    secs: f64,
+    speedup: f64,
+    max_rel_diff: f64,
+    binned_pairs: u64,
+}
+
+/// Traversal comparison: the full engine at the paper point (ℓmax 10,
+/// 10 radial bins, bucket 128, mixed precision — `paper_default`) on a
+/// clustered catalog, per-primary vs leaf-blocked. Self-pair
+/// subtraction is off: its degree-2ℓmax per-pair work is identical in
+/// both modes and would only dilute the traversal signal (and slow the
+/// committed full run ~6×).
+fn run_traversal(params: &Params) -> (Vec<TraversalResult>, usize, f64, usize) {
+    let catalog = node_dataset(params.traversal_galaxies, true, BENCH_SEED + 7);
+    let rmax = scaled_rmax(&catalog);
+    let mut config = EngineConfig::paper_default(rmax);
+    config.subtract_self_pairs = false;
+
+    let mut results: Vec<TraversalResult> = Vec::new();
+    let mut reference: Option<(f64, galactos_core::AnisotropicZeta)> = None;
+    for mode in TraversalKind::ALL {
+        config.traversal = TraversalChoice::Fixed(mode);
+        let engine = Engine::new(config.clone());
+        // Best of two passes (thread pool is warm from earlier
+        // sections); the first pass's result feeds the equivalence
+        // check.
+        let t0 = Instant::now();
+        let zeta = engine.compute(&catalog);
+        let first = t0.elapsed().as_secs_f64();
+        let t1 = Instant::now();
+        let _ = engine.compute(&catalog);
+        let secs = first.min(t1.elapsed().as_secs_f64());
+        let (speedup, diff) = match &reference {
+            None => (1.0, 0.0),
+            Some((ref_secs, ref_zeta)) => {
+                // Pair-count mismatch is reported through the same
+                // equivalence gate as a ζ deviation (nonzero exit, not
+                // a panic): on the committed seed the sets are
+                // identical, but the per-primary search's box-distance
+                // fast paths can in principle decide a pair within one
+                // rounding ulp of the boundary differently from the
+                // per-point gate the blocked loop replays.
+                if zeta.binned_pairs != ref_zeta.binned_pairs {
+                    eprintln!(
+                        "traversal modes binned different pair sets: {} vs {}",
+                        zeta.binned_pairs, ref_zeta.binned_pairs
+                    );
+                }
+                let mut diff = zeta.max_difference(ref_zeta) / ref_zeta.max_abs().max(1.0);
+                if zeta.binned_pairs != ref_zeta.binned_pairs {
+                    diff = diff.max(1.0); // force the gate to fail
+                }
+                (ref_secs / secs, diff)
+            }
+        };
+        results.push(TraversalResult {
+            mode,
+            secs,
+            speedup,
+            max_rel_diff: diff,
+            binned_pairs: zeta.binned_pairs,
+        });
+        if mode == TraversalKind::PerPrimary {
+            reference = Some((secs, zeta));
+        }
+    }
+    (results, catalog.len(), rmax, config.lmax)
+}
+
 fn run_json(r: &RunResult) -> Json {
     Json::obj([
         ("backend", Json::str(r.backend.name())),
@@ -435,9 +523,34 @@ fn main() {
         .collect();
     print_table(&["backend", "secs", "vs scalar", "rel diff"], &rows);
 
+    let (traversal, trav_galaxies, trav_rmax, trav_lmax) = run_traversal(&params);
+    println!(
+        "\n== traversal modes, {trav_galaxies} clustered galaxies, lmax {trav_lmax}, \
+         nbins {NBINS}, rmax {trav_rmax:.1} ==\n"
+    );
+    let rows: Vec<Vec<String>> = traversal
+        .iter()
+        .map(|r| {
+            vec![
+                r.mode.name().to_string(),
+                format!("{:.3}", r.secs),
+                format!("{:.2}x", r.speedup),
+                format!("{:.1e}", r.max_rel_diff),
+                format!("{}", r.binned_pairs),
+            ]
+        })
+        .collect();
+    print_table(
+        &["traversal", "secs", "vs per-primary", "rel diff", "pairs"],
+        &rows,
+    );
+
     let equivalence_ok = cells.iter().all(|c| c.max_rel_diff <= EQUIV_TOL)
         && threaded.iter().all(|r| r.max_rel_diff <= EQUIV_TOL)
-        && engine.iter().all(|r| r.max_rel_diff <= EQUIV_TOL);
+        && engine.iter().all(|r| r.max_rel_diff <= EQUIV_TOL)
+        && traversal
+            .iter()
+            .all(|r| r.max_rel_diff <= TRAVERSAL_EQUIV_TOL);
 
     let json = Json::obj([
         ("schema", Json::str("galactos/bench-kernels/v1")),
@@ -495,6 +608,34 @@ fn main() {
                 ("lmax", Json::Int(params.engine_lmax as u64)),
                 ("threads", Json::Int(threads as u64)),
                 ("runs", Json::Arr(engine.iter().map(run_json).collect())),
+            ]),
+        ),
+        (
+            "traversal",
+            Json::obj([
+                ("galaxies", Json::Int(trav_galaxies as u64)),
+                ("lmax", Json::Int(trav_lmax as u64)),
+                ("nbins", Json::Int(NBINS as u64)),
+                ("rmax", Json::Num(trav_rmax)),
+                ("threads", Json::Int(threads as u64)),
+                ("equivalence_tol", Json::Num(TRAVERSAL_EQUIV_TOL)),
+                (
+                    "runs",
+                    Json::Arr(
+                        traversal
+                            .iter()
+                            .map(|r| {
+                                Json::obj([
+                                    ("mode", Json::str(r.mode.name())),
+                                    ("secs", Json::Num(r.secs)),
+                                    ("speedup_vs_per_primary", Json::Num(r.speedup)),
+                                    ("max_rel_diff_vs_per_primary", Json::Num(r.max_rel_diff)),
+                                    ("binned_pairs", Json::Int(r.binned_pairs)),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
             ]),
         ),
     ]);

@@ -20,6 +20,12 @@ pub struct RadialBins {
     spacing: BinSpacing,
     /// Cached `1/width` for the linear fast path.
     inv_width: f64,
+    /// Cached `ln(rmin)` for the logarithmic fast path.
+    ln_rmin: f64,
+    /// Cached `1 / ln(edges[i+1]/edges[i])` so the logarithmic lookup
+    /// is one `ln` and one multiply per call — no division, no binary
+    /// search.
+    inv_ln_step: f64,
 }
 
 impl RadialBins {
@@ -35,6 +41,8 @@ impl RadialBins {
             edges,
             spacing: BinSpacing::Linear,
             inv_width: 1.0 / width,
+            ln_rmin: 0.0,
+            inv_ln_step: 0.0,
         }
     }
 
@@ -53,6 +61,8 @@ impl RadialBins {
             edges,
             spacing: BinSpacing::Logarithmic,
             inv_width: 0.0,
+            ln_rmin: rmin.ln(),
+            inv_ln_step: 1.0 / ratio,
         }
     }
 
@@ -106,11 +116,13 @@ impl RadialBins {
             BinSpacing::Linear => {
                 (((r - self.rmin()) * self.inv_width) as usize).min(self.nbins() - 1)
             }
+            // One ln + one multiply per pair (the reciprocal of the log
+            // step is precomputed at construction, so there is no
+            // division and no binary search on the hot path). Any
+            // rounding of the arithmetic guess is repaired by the
+            // edge-exact correction below, exactly as for linear bins.
             BinSpacing::Logarithmic => {
-                match self.edges.binary_search_by(|e| e.partial_cmp(&r).unwrap()) {
-                    Ok(i) => i.min(self.nbins() - 1),
-                    Err(i) => i - 1,
-                }
+                (((r.ln() - self.ln_rmin) * self.inv_ln_step) as usize).min(self.nbins() - 1)
             }
         };
         // Edge-exact correction for floating-point rounding of the

@@ -2,6 +2,7 @@
 
 use crate::bins::RadialBins;
 use crate::kernel::backend::BackendChoice;
+use crate::traversal::TraversalChoice;
 use galactos_math::LineOfSight;
 use galactos_math::Vec3;
 
@@ -63,6 +64,19 @@ pub struct EngineConfig {
     /// floating-point reassociation (≲ 1e-11 relative; enforced by
     /// tests and CI's bench-smoke job).
     pub kernel_backend: BackendChoice,
+    /// How secondaries are found for each primary — one tree descent
+    /// per primary, or the paper's §3.2 node-to-node walk gathering
+    /// candidates once per primary *leaf* into a SoA block.
+    /// [`TraversalChoice::Auto`] (the default) honors the
+    /// `GALACTOS_TRAVERSAL` environment variable (`per-primary`,
+    /// `leaf-blocked`) and otherwise picks the measured-fastest mode;
+    /// `TraversalChoice::Fixed(kind)` pins one, which is how the
+    /// benchmark and equivalence tests compare them. Resolved once at
+    /// [`Engine::new`](crate::engine::Engine::new). Both modes bin
+    /// exactly the same pairs and agree to floating-point
+    /// reassociation (≤ 1e-9 relative; enforced by the equivalence
+    /// suite and CI's bench-smoke gate).
+    pub traversal: TraversalChoice,
 }
 
 impl EngineConfig {
@@ -79,6 +93,7 @@ impl EngineConfig {
             scheduling: Scheduling::Dynamic,
             subtract_self_pairs: true,
             kernel_backend: BackendChoice::Auto,
+            traversal: TraversalChoice::Auto,
         }
     }
 
@@ -93,6 +108,7 @@ impl EngineConfig {
             scheduling: Scheduling::Dynamic,
             subtract_self_pairs: false,
             kernel_backend: BackendChoice::Auto,
+            traversal: TraversalChoice::Auto,
         }
     }
 
@@ -118,6 +134,7 @@ mod tests {
         assert_eq!(c.precision, TreePrecision::Mixed);
         assert_eq!(c.scheduling, Scheduling::Dynamic);
         assert_eq!(c.kernel_backend, BackendChoice::Auto);
+        assert_eq!(c.traversal, TraversalChoice::Auto);
         c.validate();
     }
 

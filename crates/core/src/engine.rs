@@ -30,12 +30,29 @@ use crate::result::AnisotropicZeta;
 use crate::schedule::{self, Merge};
 use crate::scratch::ComputeScratch;
 use crate::timing::{Stage, StageTimer};
-use crate::traversal::Tree;
+use crate::traversal::{LeafInfo, TraversalKind, Tree};
 use galactos_catalog::{Catalog, Galaxy};
 use galactos_math::monomial::MonomialBasis;
 use galactos_math::ylm::{YlmPairProductTable, YlmTable};
 use galactos_math::{lm_count, lm_index, Complex64, Mat3, Vec3};
 use std::time::Instant;
+
+/// `Instant::now()` only when instrumentation is on — untimed runs pay
+/// zero clock reads on the hot path.
+#[inline(always)]
+fn now_if(instrument: bool) -> Option<Instant> {
+    if instrument {
+        Some(Instant::now())
+    } else {
+        None
+    }
+}
+
+/// Elapsed nanoseconds since a gated [`now_if`] start (0 when off).
+#[inline(always)]
+fn nanos_since(start: Option<Instant>) -> u64 {
+    start.map_or(0, |t| t.elapsed().as_nanos() as u64)
+}
 
 /// The anisotropic 3PCF engine. Construct once (tables are built at
 /// construction), then [`Engine::compute`] any number of catalogs.
@@ -47,6 +64,10 @@ pub struct Engine {
     /// configured [`BackendChoice`](crate::kernel::BackendChoice)
     /// resolved once (environment consulted here, not per worker).
     backend: &'static dyn KernelBackend,
+    /// The traversal mode every run uses — the configured
+    /// [`TraversalChoice`](crate::traversal::TraversalChoice) resolved
+    /// once, like the backend.
+    traversal: TraversalKind,
     /// Degree-2ℓmax machinery for the self-pair (degenerate triangle)
     /// correction; present only when enabled.
     self_basis: Option<MonomialBasis>,
@@ -70,6 +91,7 @@ impl Engine {
         let basis = MonomialBasis::new(config.lmax);
         let ylm = YlmTable::new(config.lmax, &basis);
         let backend = config.kernel_backend.resolve().backend();
+        let traversal = config.traversal.resolve();
         let (self_basis, self_table) = if config.subtract_self_pairs {
             let b2 = MonomialBasis::new(2 * config.lmax);
             let t2 = YlmPairProductTable::new(config.lmax, &b2);
@@ -82,6 +104,7 @@ impl Engine {
             basis,
             ylm,
             backend,
+            traversal,
             self_basis,
             self_table,
         }
@@ -96,6 +119,12 @@ impl Engine {
     #[inline]
     pub fn backend_kind(&self) -> BackendKind {
         self.backend.kind()
+    }
+
+    /// The traversal mode this engine resolved at construction.
+    #[inline]
+    pub fn traversal_kind(&self) -> TraversalKind {
+        self.traversal
     }
 
     /// Compute the anisotropic 3PCF of a catalog (every galaxy acts as a
@@ -192,30 +221,68 @@ impl Engine {
         flops: Option<&FlopCounter>,
     ) -> AnisotropicZeta {
         let positions: Vec<Vec3> = galaxies.iter().map(|g| g.pos).collect();
-        let t0 = Instant::now();
+        let t0 = now_if(timer.is_some());
         let tree = Tree::build(&positions, self.config.precision);
         if let Some(t) = timer {
-            t.add(Stage::TreeBuild, t0.elapsed().as_nanos() as u64);
+            t.add(Stage::TreeBuild, nanos_since(t0));
         }
 
-        schedule::run_partitioned(
-            scheduling,
-            n_primaries,
-            || self.new_scratch(),
-            |scratch, range| {
-                for i in range {
-                    self.process_primary(scratch, galaxies, &tree, i, periodic);
-                }
+        let instrument = timer.is_some();
+        let make_state = || {
+            let mut scratch = self.new_scratch();
+            scratch.instrument = instrument;
+            scratch
+        };
+        let finish = |scratch| Self::finish_scratch(scratch, timer, flops);
+        let merge = || Merge {
+            zero: || AnisotropicZeta::zeros(self.config.lmax, self.config.bins.nbins()),
+            merge: |mut a: AnisotropicZeta, b| {
+                a.merge(&b);
+                a
             },
-            |scratch| Self::finish_scratch(scratch, timer, flops),
-            Merge {
-                zero: || AnisotropicZeta::zeros(self.config.lmax, self.config.bins.nbins()),
-                merge: |mut a: AnisotropicZeta, b| {
-                    a.merge(&b);
-                    a
+        };
+
+        match self.traversal {
+            TraversalKind::PerPrimary => schedule::run_partitioned(
+                scheduling,
+                n_primaries,
+                make_state,
+                |scratch, range| {
+                    for i in range {
+                        self.process_primary(scratch, galaxies, &tree, i, periodic);
+                    }
                 },
-            },
-        )
+                finish,
+                merge(),
+            ),
+            // Leaf-blocked: the schedule partitions over *leaf blocks*,
+            // not raw primary indices, so each worker chunk is a set of
+            // whole leaves and scratch reuse follows the tree's memory
+            // layout (one candidate block per leaf, shared by all of
+            // its primaries).
+            TraversalKind::LeafBlocked => {
+                let leaves = tree.leaf_blocks();
+                schedule::run_partitioned(
+                    scheduling,
+                    leaves.len(),
+                    make_state,
+                    |scratch, range| {
+                        for li in range {
+                            self.process_leaf(
+                                scratch,
+                                galaxies,
+                                &tree,
+                                &leaves[li],
+                                n_primaries,
+                                periodic,
+                            );
+                        }
+                    },
+                    finish,
+                    merge(),
+                )
+            }
+        }
     }
 
     /// Allocate worker scratch sized for this engine's configuration,
@@ -241,6 +308,9 @@ impl Engine {
         if let Some(f) = flops {
             f.record(scratch.binned_pairs, scratch.candidate_pairs);
         }
+        // Sole owner of the ζ-side pair counter (besides
+        // [`ComputeScratch::partial`] for manual stage drivers): the
+        // stage methods only bump the scratch-side counter.
         scratch.zeta.binned_pairs = scratch.binned_pairs;
         scratch.zeta
     }
@@ -262,10 +332,24 @@ impl Engine {
         self.accumulate_zeta(scratch, &ctx);
     }
 
-    /// Stage 1 — resolve the primary's line-of-sight rotation and
-    /// gather candidate secondaries within Rmax into the scratch's
-    /// neighbor buffer. Returns `None` for a degenerate line of sight
+    /// Resolve the per-primary context (position, weight, line-of-sight
+    /// rotation). Returns `None` for a degenerate line of sight
     /// (primary at the observer), which skips the primary entirely.
+    fn primary_context(&self, galaxies: &[Galaxy], i: usize) -> Option<PrimaryContext> {
+        let primary = galaxies[i];
+        let rotation = self.config.line_of_sight.rotation_for(primary.pos)?;
+        Some(PrimaryContext {
+            index: i,
+            pos: primary.pos,
+            weight: primary.weight,
+            rotation,
+            rotate: rotation != Mat3::IDENTITY,
+        })
+    }
+
+    /// Stage 1 (per-primary traversal) — resolve the primary's context
+    /// and gather candidate secondaries within Rmax into the scratch's
+    /// neighbor buffer. Returns `None` for a degenerate line of sight.
     fn gather(
         &self,
         scratch: &mut ComputeScratch,
@@ -274,24 +358,150 @@ impl Engine {
         i: usize,
         periodic: Option<f64>,
     ) -> Option<PrimaryContext> {
-        let primary = galaxies[i];
-        let rotation = self.config.line_of_sight.rotation_for(primary.pos)?;
-        let t0 = Instant::now();
+        let ctx = self.primary_context(galaxies, i)?;
+        let t0 = now_if(scratch.instrument);
         let gathered = tree.gather_neighbors(
-            primary.pos,
+            ctx.pos,
             self.config.bins.rmax(),
             periodic,
             &mut scratch.neighbors,
         );
-        scratch.t_search += t0.elapsed().as_nanos() as u64;
+        scratch.t_search += nanos_since(t0);
         scratch.candidate_pairs += gathered as u64;
-        Some(PrimaryContext {
-            index: i,
-            pos: primary.pos,
-            weight: primary.weight,
-            rotation,
-            rotate: rotation != Mat3::IDENTITY,
-        })
+        Some(ctx)
+    }
+
+    /// Leaf-blocked counterpart of [`Engine::process_primary`]: gather
+    /// the candidate set of one whole leaf into the scratch's SoA
+    /// block, then run the bin→a_ℓm→ζ stages for every primary the
+    /// leaf owns. Ghost galaxies (`id ≥ n_primaries`) participate only
+    /// as candidates, never as primaries.
+    fn process_leaf(
+        &self,
+        scratch: &mut ComputeScratch,
+        galaxies: &[Galaxy],
+        tree: &Tree,
+        leaf: &LeafInfo,
+        n_primaries: usize,
+        periodic: Option<f64>,
+    ) {
+        // Leaves made entirely of halo ghosts (subset runs on
+        // boundary-heavy ranks) own no primaries — skip the walk and
+        // the block materialization outright.
+        if !(leaf.start..leaf.end).any(|slot| (tree.id_at(slot) as usize) < n_primaries) {
+            return;
+        }
+        let t0 = now_if(scratch.instrument);
+        let n_candidates =
+            scratch
+                .block
+                .fill(tree, leaf, self.config.bins.rmax(), periodic, galaxies) as u64;
+        scratch.t_search += nanos_since(t0);
+        for slot in leaf.start..leaf.end {
+            let i = tree.id_at(slot) as usize;
+            if i >= n_primaries {
+                continue; // ghosts never act as primaries
+            }
+            let Some(ctx) = self.primary_context(galaxies, i) else {
+                continue; // degenerate line of sight
+            };
+            // The block is shared by the whole leaf; each primary scans
+            // all of it, so it counts as that many candidate pairs.
+            scratch.candidate_pairs += n_candidates;
+            self.bin_and_bucket_blocked(scratch, &ctx, periodic);
+            self.assemble_alm(scratch);
+            self.accumulate_zeta(scratch, &ctx);
+        }
+    }
+
+    /// Reset the accumulation state a primary's stage 2 writes into.
+    fn begin_binning(&self, scratch: &mut ComputeScratch) {
+        scratch.acc.reset();
+        if let Some(b2) = &self.self_basis {
+            let nbins = self.config.bins.nbins();
+            scratch.self_sums[..nbins * b2.len()]
+                .iter_mut()
+                .for_each(|v| *v = 0.0);
+        }
+    }
+
+    /// Sweep partially filled buckets, complete deferred accumulation,
+    /// and fold the primary's counters/timings into the scratch.
+    fn end_binning(
+        &self,
+        scratch: &mut ComputeScratch,
+        t_start: Option<Instant>,
+        mut kernel_nanos: u64,
+        binned: u64,
+    ) {
+        // Final sweep of partially filled buckets, then complete any
+        // accumulation the backend deferred (the batched backend pools
+        // the sweep's ragged tails and drains them across buckets here).
+        let tk = now_if(scratch.instrument);
+        scratch
+            .acc
+            .flush_residual(self.basis.schedule(), &mut scratch.buckets);
+        scratch.acc.finish(self.basis.schedule());
+        kernel_nanos += nanos_since(tk);
+        scratch.binned_pairs += binned;
+        scratch.t_kernel += kernel_nanos;
+        scratch.t_bin += nanos_since(t_start).saturating_sub(kernel_nanos);
+    }
+
+    /// The per-pair tail every traversal mode shares: radial cut,
+    /// binning, line-of-sight rotation, normalization, bucket push with
+    /// kernel flush, and the degree-2ℓmax self-pair sums. `delta` and
+    /// `r2 = |delta|²` are computed by the caller (they differ only in
+    /// where the secondary's coordinates are loaded from), so both
+    /// traversals run bit-identical pair arithmetic.
+    #[inline(always)]
+    #[allow(clippy::too_many_arguments)]
+    fn bin_pair(
+        &self,
+        scratch: &mut ComputeScratch,
+        ctx: &PrimaryContext,
+        delta: Vec3,
+        r2: f64,
+        wj: f64,
+        binned: &mut u64,
+        kernel_nanos: &mut u64,
+    ) {
+        if r2 == 0.0 {
+            return; // coincident points: direction undefined
+        }
+        let r = r2.sqrt();
+        let Some(bin) = self.config.bins.bin_of(r) else {
+            return;
+        };
+        let d = if ctx.rotate {
+            ctx.rotation.mul_vec(delta)
+        } else {
+            delta
+        };
+        let inv_r = 1.0 / r;
+        let (ux, uy, uz) = (d.x * inv_r, d.y * inv_r, d.z * inv_r);
+        *binned += 1;
+        if scratch.buckets.push(bin, ux, uy, uz, wj) {
+            let tk = now_if(scratch.instrument);
+            let (dx, dy, dz, w) = scratch.buckets.slices(bin);
+            scratch
+                .acc
+                .flush_bucket(self.basis.schedule(), bin, dx, dy, dz, w);
+            scratch.buckets.clear_bin(bin);
+            *kernel_nanos += nanos_since(tk);
+        }
+        if let Some(b2) = &self.self_basis {
+            // Degenerate-triangle sums: weight w² at degree ≤ 2ℓmax.
+            let n2 = b2.len();
+            b2.accumulate_into(
+                ux,
+                uy,
+                uz,
+                wj * wj,
+                &mut scratch.self_scratch,
+                &mut scratch.self_sums[bin * n2..(bin + 1) * n2],
+            );
+        }
     }
 
     /// Stage 2 — rotate each gathered separation into the line-of-sight
@@ -305,14 +515,8 @@ impl Engine {
         ctx: &PrimaryContext,
         periodic: Option<f64>,
     ) {
-        let nbins = self.config.bins.nbins();
-        let t1 = Instant::now();
-        scratch.acc.reset();
-        if let Some(b2) = &self.self_basis {
-            scratch.self_sums[..nbins * b2.len()]
-                .iter_mut()
-                .for_each(|v| *v = 0.0);
-        }
+        let t1 = now_if(scratch.instrument);
+        self.begin_binning(scratch);
         let mut kernel_nanos = 0u64;
         let mut binned = 0u64;
         for idx in 0..scratch.neighbors.len() {
@@ -325,63 +529,126 @@ impl Engine {
                 None => galaxies[j].pos - ctx.pos,
             };
             let r2 = delta.norm_sq();
-            if r2 == 0.0 {
-                continue; // coincident points: direction undefined
-            }
-            let r = r2.sqrt();
-            let Some(bin) = self.config.bins.bin_of(r) else {
-                continue;
-            };
-            let d = if ctx.rotate {
-                ctx.rotation.mul_vec(delta)
-            } else {
-                delta
-            };
-            let inv_r = 1.0 / r;
-            let (ux, uy, uz) = (d.x * inv_r, d.y * inv_r, d.z * inv_r);
             let wj = galaxies[j].weight;
-            binned += 1;
-            if scratch.buckets.push(bin, ux, uy, uz, wj) {
-                let tk = Instant::now();
-                let (dx, dy, dz, w) = scratch.buckets.slices(bin);
-                scratch
-                    .acc
-                    .flush_bucket(self.basis.schedule(), bin, dx, dy, dz, w);
-                scratch.buckets.clear_bin(bin);
-                kernel_nanos += tk.elapsed().as_nanos() as u64;
-            }
-            if let Some(b2) = &self.self_basis {
-                // Degenerate-triangle sums: weight w² at degree ≤ 2ℓmax.
-                let n2 = b2.len();
-                b2.accumulate_into(
-                    ux,
-                    uy,
-                    uz,
-                    wj * wj,
-                    &mut scratch.self_scratch,
-                    &mut scratch.self_sums[bin * n2..(bin + 1) * n2],
-                );
-            }
+            self.bin_pair(scratch, ctx, delta, r2, wj, &mut binned, &mut kernel_nanos);
         }
-        // Final sweep of partially filled buckets, then complete any
-        // accumulation the backend deferred (the batched backend pools
-        // the sweep's ragged tails and drains them across buckets here).
-        let tk = Instant::now();
-        scratch
-            .acc
-            .flush_residual(self.basis.schedule(), &mut scratch.buckets);
-        scratch.acc.finish(self.basis.schedule());
-        kernel_nanos += tk.elapsed().as_nanos() as u64;
-        scratch.binned_pairs += binned;
-        scratch.zeta.binned_pairs = scratch.binned_pairs;
-        scratch.t_kernel += kernel_nanos;
-        scratch.t_bin += (t1.elapsed().as_nanos() as u64).saturating_sub(kernel_nanos);
+        self.end_binning(scratch, t1, kernel_nanos, binned);
+    }
+
+    /// Stage 2, leaf-blocked — the tight split loop over the leaf's SoA
+    /// candidate block: distance², the exact gather-radius cut (in the
+    /// tree's own precision, so the binned pair set matches per-primary
+    /// traversal exactly), then the shared sqrt → rotate → bin →
+    /// bucket tail. Coordinates stream from the contiguous block
+    /// instead of per-pair `galaxies[j]` gathers.
+    fn bin_and_bucket_blocked(
+        &self,
+        scratch: &mut ComputeScratch,
+        ctx: &PrimaryContext,
+        periodic: Option<f64>,
+    ) {
+        let t1 = now_if(scratch.instrument);
+        self.begin_binning(scratch);
+        let mut kernel_nanos = 0u64;
+        let mut binned = 0u64;
+
+        let rmax = self.config.bins.rmax();
+        // f64 trees accept candidates at distance² ≤ fl(rmax)·fl(rmax);
+        // mirror the same arithmetic per pair.
+        let rmax2 = rmax * rmax;
+        // f32 (mixed-precision) trees test f32 coordinates against an
+        // f32 radius; the gate below replays that test on the tree's
+        // own coordinates so no boundary pair is decided differently.
+        let mixed = scratch.block.mixed;
+        let r32 = rmax as f32;
+        let rmax2_32 = r32 * r32;
+        let c32 = [ctx.pos.x as f32, ctx.pos.y as f32, ctx.pos.z as f32];
+        // Periodic gates: the per-primary search shifts the query
+        // center by whole box lengths *first* (then rounds to the
+        // tree's precision and subtracts), so precompute this
+        // primary's per-axis image centers in both precisions and
+        // replay exactly that arithmetic — gating on the wrapped
+        // binning delta instead would round differently and could
+        // flip a boundary pair between the traversal modes.
+        let images32 = periodic.map(|l| {
+            let img = |c: f64| [(c - l) as f32, c as f32, (c + l) as f32];
+            [img(ctx.pos.x), img(ctx.pos.y), img(ctx.pos.z)]
+        });
+        let images64 = periodic.map(|l| {
+            let img = |c: f64| [c - l, c, c + l];
+            [img(ctx.pos.x), img(ctx.pos.y), img(ctx.pos.z)]
+        });
+
+        for idx in 0..scratch.block.ids.len() {
+            if scratch.block.ids[idx] as usize == ctx.index {
+                continue;
+            }
+            let p = Vec3::new(
+                scratch.block.x[idx],
+                scratch.block.y[idx],
+                scratch.block.z[idx],
+            );
+            let delta = match periodic {
+                Some(l) => p.periodic_delta(ctx.pos, l),
+                None => p - ctx.pos,
+            };
+            let r2 = delta.norm_sq();
+            // Minimum-image index per axis, recovered from the wrap the
+            // binning delta already applied (0 for open boundaries).
+            let (kx, ky, kz) = match periodic {
+                Some(l) => {
+                    let inv_l = 1.0 / l;
+                    let k = |d: f64| (d * inv_l).round().clamp(-1.0, 1.0) as i32;
+                    (
+                        k(p.x - ctx.pos.x - delta.x),
+                        k(p.y - ctx.pos.y - delta.y),
+                        k(p.z - ctx.pos.z - delta.z),
+                    )
+                }
+                None => (0, 0, 0),
+            };
+            // Gather gate: membership must reproduce what the
+            // per-primary tree search would have reported.
+            if mixed {
+                let (gx, gy, gz) = match &images32 {
+                    Some(img) => (
+                        scratch.block.xs[idx] - img[0][(kx + 1) as usize],
+                        scratch.block.ys[idx] - img[1][(ky + 1) as usize],
+                        scratch.block.zs[idx] - img[2][(kz + 1) as usize],
+                    ),
+                    None => (
+                        scratch.block.xs[idx] - c32[0],
+                        scratch.block.ys[idx] - c32[1],
+                        scratch.block.zs[idx] - c32[2],
+                    ),
+                };
+                if gx * gx + gy * gy + gz * gz > rmax2_32 {
+                    continue;
+                }
+            } else {
+                let g2 = match &images64 {
+                    Some(img) => {
+                        let gx = p.x - img[0][(kx + 1) as usize];
+                        let gy = p.y - img[1][(ky + 1) as usize];
+                        let gz = p.z - img[2][(kz + 1) as usize];
+                        gx * gx + gy * gy + gz * gz
+                    }
+                    None => r2,
+                };
+                if g2 > rmax2 {
+                    continue;
+                }
+            }
+            let wj = scratch.block.w[idx];
+            self.bin_pair(scratch, ctx, delta, r2, wj, &mut binned, &mut kernel_nanos);
+        }
+        self.end_binning(scratch, t1, kernel_nanos, binned);
     }
 
     /// Stage 3 — reduce the per-bin monomial sums out of the kernel
     /// accumulator and assemble the shell coefficients `a_ℓm`.
     fn assemble_alm(&self, scratch: &mut ComputeScratch) {
-        let t2 = Instant::now();
+        let t2 = now_if(scratch.instrument);
         // Guard for callers driving stages by hand: reduction must not
         // observe accumulation a backend is still deferring. A no-op
         // (idempotent) after the bin-and-bucket stage's own finish.
@@ -398,14 +665,14 @@ impl Engine {
                 &mut scratch.alm[bin * nlm..(bin + 1) * nlm],
             );
         }
-        scratch.t_assembly += t2.elapsed().as_nanos() as u64;
+        scratch.t_assembly += nanos_since(t2);
     }
 
     /// Stage 4 — accumulate the primary's ζ contribution from the shell
     /// coefficients, subtract the degenerate self-pair terms from
     /// diagonal bins when enabled, and fold in the primary's weight.
     fn accumulate_zeta(&self, scratch: &mut ComputeScratch, ctx: &PrimaryContext) {
-        let t3 = Instant::now();
+        let t3 = now_if(scratch.instrument);
         let nbins = self.config.bins.nbins();
         let nlm = lm_count(self.config.lmax);
         let wi = ctx.weight;
@@ -446,7 +713,7 @@ impl Engine {
         }
         scratch.zeta.total_primary_weight += wi;
         scratch.zeta.num_primaries += 1;
-        scratch.t_assembly += t3.elapsed().as_nanos() as u64;
+        scratch.t_assembly += nanos_since(t3);
     }
 }
 
@@ -653,8 +920,12 @@ mod tests {
     fn stages_compose_to_full_primary_processing() {
         // Drive the four stage methods by hand for one primary and
         // check the scratch partial matches a one-primary subset run.
+        // Pinned to per-primary traversal: the comparison is exact
+        // (== 0.0), so the subset run must accumulate pairs in the
+        // same order as the manually driven gather stage.
         let cat = small_catalog(50, 10.0, 31);
-        let config = EngineConfig::test_default(5.0, 2, 3);
+        let mut config = EngineConfig::test_default(5.0, 2, 3);
+        config.traversal = crate::traversal::TraversalChoice::Fixed(TraversalKind::PerPrimary);
         let engine = Engine::new(config);
         let want = engine.compute_subset(&cat.galaxies, 1);
 
@@ -681,5 +952,36 @@ mod tests {
         engine.assemble_alm(&mut scratch);
         engine.accumulate_zeta(&mut scratch, &ctx);
         assert_eq!(scratch.partial().max_difference(&want), 0.0);
+    }
+
+    #[test]
+    fn manual_stage_driving_reports_binned_pairs() {
+        // Regression for the duplicated `zeta.binned_pairs` bookkeeping:
+        // the counter is now copied onto the ζ partial only by
+        // `finish_scratch` and `ComputeScratch::partial`, so driving
+        // stages by hand (never reaching finish_scratch) must still
+        // observe the correct count after every primary.
+        let cat = small_catalog(40, 10.0, 37);
+        let mut config = EngineConfig::test_default(5.0, 1, 2);
+        config.traversal = crate::traversal::TraversalChoice::Fixed(TraversalKind::PerPrimary);
+        let engine = Engine::new(config);
+
+        let positions: Vec<Vec3> = cat.galaxies.iter().map(|g| g.pos).collect();
+        let tree = Tree::build(&positions, engine.config().precision);
+        let mut scratch = engine.new_scratch();
+        let mut want = 0u64;
+        for i in 0..3 {
+            let ctx = engine
+                .gather(&mut scratch, &cat.galaxies, &tree, i, None)
+                .unwrap();
+            engine.bin_and_bucket(&mut scratch, &cat.galaxies, &ctx, None);
+            engine.assemble_alm(&mut scratch);
+            engine.accumulate_zeta(&mut scratch, &ctx);
+            // Cumulative count over primaries 0..=i equals a subset run
+            // with i + 1 primaries.
+            want = engine.compute_subset(&cat.galaxies, i + 1).binned_pairs;
+            assert_eq!(scratch.partial().binned_pairs, want, "after primary {i}");
+        }
+        assert!(want > 0, "test catalog must produce pairs");
     }
 }

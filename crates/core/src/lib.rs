@@ -18,8 +18,10 @@
 //! * [`engine`] — the staged per-primary pipeline (gather →
 //!   bin/bucket → a_ℓm assembly → ζ accumulation), thread-parallel
 //!   over primaries (§3.3);
-//! * [`traversal`] — the precision-erased k-d tree and the neighbor
-//!   gather stage (mixed-precision search, §5.4);
+//! * [`traversal`] — the precision-erased k-d tree (mixed-precision
+//!   search, §5.4) and the two traversal modes behind one config knob:
+//!   per-primary gathering and the §3.2 node-to-node leaf-blocked walk
+//!   with SoA candidate blocks;
 //! * [`scratch`] — reusable per-worker compute state (buckets,
 //!   accumulators, ζ partials, instrumentation counters);
 //! * [`schedule`] — the shared chunk/map/reduce driver implementing
@@ -64,3 +66,4 @@ pub use kernel::{BackendChoice, BackendKind, KernelBackend};
 pub use result::{AnisotropicZeta, IsotropicZeta};
 pub use schedule::run_partitioned;
 pub use scratch::ComputeScratch;
+pub use traversal::{TraversalChoice, TraversalKind};

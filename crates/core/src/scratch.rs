@@ -16,13 +16,18 @@
 use crate::config::EngineConfig;
 use crate::kernel::{BackendKind, KernelAccumulator, KernelBackend, PairBuckets};
 use crate::result::AnisotropicZeta;
+use crate::traversal::CandidateBlock;
 use galactos_math::monomial::MonomialBasis;
 use galactos_math::{lm_count, Complex64};
 
 /// Working state for one compute worker.
 pub struct ComputeScratch {
-    /// Neighbor ids gathered for the current primary.
+    /// Neighbor ids gathered for the current primary (per-primary
+    /// traversal).
     pub(crate) neighbors: Vec<u32>,
+    /// Candidate SoA for the current primary leaf (leaf-blocked
+    /// traversal).
+    pub(crate) block: CandidateBlock,
     /// Per-bin pair buckets (pre-binning, §3.3.1).
     pub(crate) buckets: PairBuckets,
     /// Deferred-reduction multipole accumulator (§3.3.2).
@@ -39,6 +44,12 @@ pub struct ComputeScratch {
     pub(crate) zeta: AnisotropicZeta,
     pub(crate) binned_pairs: u64,
     pub(crate) candidate_pairs: u64,
+    /// Whether stage timings are being collected. When `false` (the
+    /// default — a run with no [`StageTimer`](crate::timing::
+    /// StageTimer)) the engine's stage methods skip every clock read,
+    /// so uninstrumented runs pay zero timing overhead on the hot
+    /// path; the `t_*` counters then stay 0.
+    pub(crate) instrument: bool,
     pub(crate) t_search: u64,
     pub(crate) t_bin: u64,
     pub(crate) t_kernel: u64,
@@ -63,6 +74,7 @@ impl ComputeScratch {
         let acc = backend.new_accumulator(nbins, nmono);
         ComputeScratch {
             neighbors: Vec::with_capacity(1024),
+            block: CandidateBlock::new(),
             buckets: PairBuckets::new(nbins, config.bucket_size),
             acc,
             sums: vec![0.0; nbins * nmono],
@@ -72,6 +84,7 @@ impl ComputeScratch {
             zeta: AnisotropicZeta::zeros(config.lmax, nbins),
             binned_pairs: 0,
             candidate_pairs: 0,
+            instrument: false,
             t_search: 0,
             t_bin: 0,
             t_kernel: 0,
@@ -79,10 +92,18 @@ impl ComputeScratch {
         }
     }
 
+    /// Enable (or disable) stage-timing collection for this worker.
+    /// Off by default: untimed runs perform no clock reads at all in
+    /// the per-pair and per-bucket hot paths.
+    pub fn set_instrumented(&mut self, on: bool) {
+        self.instrument = on;
+    }
+
     /// Return the scratch to its freshly-constructed state (buffers
     /// keep their capacity) so it can be reused for another run.
     pub fn reset(&mut self) {
         self.neighbors.clear();
+        self.block.clear();
         self.buckets.clear_all();
         self.acc.reset();
         self.sums.iter_mut().for_each(|v| *v = 0.0);
@@ -106,7 +127,13 @@ impl ComputeScratch {
 
     /// The ζ partial accumulated so far (primarily for tests and
     /// callers driving stages manually).
-    pub fn partial(&self) -> &AnisotropicZeta {
+    ///
+    /// The pair counter lives on the scratch while stages run and is
+    /// copied onto the ζ partial exactly once, here and in the
+    /// engine's end-of-worker `finish_scratch` — the stage methods
+    /// themselves never touch `zeta.binned_pairs`.
+    pub fn partial(&mut self) -> &AnisotropicZeta {
+        self.zeta.binned_pairs = self.binned_pairs;
         &self.zeta
     }
 

@@ -1,0 +1,300 @@
+//! The leaf-blocked candidate path: materialize, once per primary
+//! leaf, every secondary that can fall within Rmax of *some* primary
+//! in that leaf, as a reusable struct-of-arrays block.
+//!
+//! This is the paper's §3.2 node-to-node traversal turned into data
+//! layout: instead of one root descent and one id list per primary,
+//! the pruned walk ([`Tree::for_each_within_of_aabb`]) appends whole
+//! contiguous slot ranges within reach of the leaf's bounding box
+//! inflated by Rmax, and [`CandidateBlock::fill`] streams those ranges
+//! once — prefiltering each candidate against
+//! `r² ≤ (Rmax + leaf_radius)²` from the leaf center — into contiguous
+//! x/y/z/weight arrays. The engine's split loop then runs a tight
+//! distance²→cut→sqrt→rotate→bin pass over the SoA per primary, with
+//! no per-pair `galaxies[j]` gather and no tree descent at all.
+//!
+//! For mixed-precision trees the block also carries the tree's own
+//! `f32` coordinates of every candidate, so the split loop can apply
+//! the *same* single-precision acceptance test the per-primary search
+//! would have applied — both traversals bin exactly the same pairs,
+//! not merely approximately the same.
+
+use super::{LeafInfo, Tree};
+use galactos_catalog::Galaxy;
+use galactos_math::Vec3;
+
+/// Reusable SoA buffer of candidate secondaries for one primary leaf.
+///
+/// Owned by [`ComputeScratch`](crate::scratch::ComputeScratch); cleared
+/// and refilled per leaf, so its capacity warms up to the steady-state
+/// candidate count and stays allocated across leaves.
+#[derive(Default)]
+pub struct CandidateBlock {
+    /// Original galaxy index of each candidate.
+    pub(crate) ids: Vec<u32>,
+    /// Candidate positions (original `f64` catalog coordinates — the
+    /// binning arithmetic is identical to per-primary traversal).
+    pub(crate) x: Vec<f64>,
+    pub(crate) y: Vec<f64>,
+    pub(crate) z: Vec<f64>,
+    /// Candidate weights.
+    pub(crate) w: Vec<f64>,
+    /// Tree-precision (`f32`) coordinates, filled only for mixed-
+    /// precision trees; the split loop's acceptance gate runs on these
+    /// so blocked traversal reproduces the `f32` search exactly.
+    pub(crate) xs: Vec<f32>,
+    pub(crate) ys: Vec<f32>,
+    pub(crate) zs: Vec<f32>,
+    /// Whether `xs`/`ys`/`zs` are populated (mixed-precision tree).
+    pub(crate) mixed: bool,
+    /// Range scratch reused across fills.
+    ranges: Vec<(u32, u32)>,
+}
+
+impl CandidateBlock {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of candidates currently held.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// Candidate galaxy ids (parallel to the coordinate arrays).
+    #[inline]
+    pub fn ids(&self) -> &[u32] {
+        &self.ids
+    }
+
+    pub(crate) fn clear(&mut self) {
+        self.ids.clear();
+        self.x.clear();
+        self.y.clear();
+        self.z.clear();
+        self.w.clear();
+        self.xs.clear();
+        self.ys.clear();
+        self.zs.clear();
+    }
+
+    /// Gather the candidate set of `leaf` from `tree`: every galaxy
+    /// within `rmax` of any point of the leaf's bounding box (honoring
+    /// minimum-image wrapping when `periodic`), prefiltered per
+    /// candidate against `(rmax + leaf_radius)²` from the leaf center
+    /// with a conservative rounding margin. Returns the number of
+    /// candidates materialized.
+    ///
+    /// Periodic walks can cover a slot through more than one box image
+    /// (the inflated reach may exceed half the box); ranges are sorted
+    /// and coalesced first so every slot is materialized exactly once.
+    pub fn fill(
+        &mut self,
+        tree: &Tree,
+        leaf: &LeafInfo,
+        rmax: f64,
+        periodic: Option<f64>,
+        galaxies: &[Galaxy],
+    ) -> usize {
+        self.clear();
+        self.mixed = tree.is_mixed();
+
+        // 1. Node-to-node walk: contiguous slot ranges within reach.
+        let mut ranges = std::mem::take(&mut self.ranges);
+        ranges.clear();
+        tree.for_each_within_of_aabb(leaf.lo, leaf.hi, rmax, periodic, &mut |s, e| {
+            ranges.push((s, e))
+        });
+        if periodic.is_some() {
+            // Images may emit overlapping ranges; coalesce in place.
+            ranges.sort_unstable();
+            let mut out = 0;
+            for i in 0..ranges.len() {
+                let (s, e) = ranges[i];
+                if out > 0 && s <= ranges[out - 1].1 {
+                    ranges[out - 1].1 = ranges[out - 1].1.max(e);
+                } else {
+                    ranges[out] = (s, e);
+                    out += 1;
+                }
+            }
+            ranges.truncate(out);
+        }
+
+        // 2. Prefilter sphere: any galaxy within rmax of a primary in
+        // the leaf is within rmax + leaf_radius of the leaf center.
+        // The margin covers (a) mixed precision, where the f32 bbox can
+        // sit up to a rounding ulp inside the f64 primary positions,
+        // and (b) the gate boundary itself being evaluated in f32 by
+        // the split loop. Over-inclusion is only a perf cost — the
+        // per-pair gate decides membership — so err generously.
+        let center = leaf.center();
+        let reach = rmax + leaf.radius();
+        let margin = 1e-6 * (reach + center.norm().max(1.0));
+        let pr = reach + margin;
+        let pr2 = pr * pr;
+
+        // 3. Stream the deduped ranges into the SoA, prefiltering.
+        match tree {
+            Tree::F64(t) => {
+                for &(s, e) in &ranges {
+                    for slot in s..e {
+                        let id = t.id_at(slot as usize);
+                        let g = &galaxies[id as usize];
+                        let d = match periodic {
+                            Some(l) => g.pos.periodic_delta(center, l),
+                            None => g.pos - center,
+                        };
+                        if d.norm_sq() <= pr2 {
+                            self.push(id, g.pos, g.weight);
+                        }
+                    }
+                }
+            }
+            Tree::F32(t) => {
+                let coords = t.coords();
+                for &(s, e) in &ranges {
+                    for slot in s..e {
+                        let id = t.id_at(slot as usize);
+                        let g = &galaxies[id as usize];
+                        let d = match periodic {
+                            Some(l) => g.pos.periodic_delta(center, l),
+                            None => g.pos - center,
+                        };
+                        if d.norm_sq() <= pr2 {
+                            self.push(id, g.pos, g.weight);
+                            let c = coords[slot as usize];
+                            self.xs.push(c[0]);
+                            self.ys.push(c[1]);
+                            self.zs.push(c[2]);
+                        }
+                    }
+                }
+            }
+        }
+        self.ranges = ranges;
+        self.ids.len()
+    }
+
+    #[inline]
+    fn push(&mut self, id: u32, pos: Vec3, weight: f64) {
+        self.ids.push(id);
+        self.x.push(pos.x);
+        self.y.push(pos.y);
+        self.z.push(pos.z);
+        self.w.push(weight);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::TreePrecision;
+    use galactos_catalog::uniform_box;
+
+    fn fill_for_leaf(
+        precision: TreePrecision,
+        n: usize,
+        seed: u64,
+    ) -> (Vec<Galaxy>, Tree, Vec<LeafInfo>, CandidateBlock) {
+        let cat = uniform_box(n, 10.0, seed);
+        let positions: Vec<Vec3> = cat.galaxies.iter().map(|g| g.pos).collect();
+        let tree = Tree::build(&positions, precision);
+        let leaves = tree.leaf_blocks();
+        (cat.galaxies, tree, leaves, CandidateBlock::new())
+    }
+
+    /// The block must contain every candidate the per-primary gather
+    /// finds, for every primary in the leaf (superset property — the
+    /// split loop's gate shrinks it back to exactly the gather set).
+    #[test]
+    fn block_covers_per_primary_gather_for_every_leaf_member() {
+        for precision in [TreePrecision::Double, TreePrecision::Mixed] {
+            for periodic in [None, Some(10.0)] {
+                let rmax = 3.0;
+                let (galaxies, tree, leaves, mut block) = fill_for_leaf(precision, 300, 42);
+                let mut neighbors = Vec::new();
+                for leaf in &leaves {
+                    block.fill(&tree, leaf, rmax, periodic, &galaxies);
+                    let have: std::collections::BTreeSet<u32> =
+                        block.ids().iter().copied().collect();
+                    assert_eq!(
+                        have.len(),
+                        block.len(),
+                        "block must not contain duplicate candidates"
+                    );
+                    for slot in leaf.start..leaf.end {
+                        let i = tree.id_at(slot) as usize;
+                        tree.gather_neighbors(galaxies[i].pos, rmax, periodic, &mut neighbors);
+                        for &j in &neighbors {
+                            assert!(
+                                have.contains(&j),
+                                "candidate {j} of primary {i} missing from its leaf block \
+                                 ({precision:?}, periodic={periodic:?})"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mixed_blocks_carry_tree_precision_coords() {
+        let (galaxies, tree, leaves, mut block) = fill_for_leaf(TreePrecision::Mixed, 200, 7);
+        block.fill(&tree, &leaves[0], 2.0, None, &galaxies);
+        assert!(block.mixed);
+        assert_eq!(block.xs.len(), block.len());
+        for (k, &id) in block.ids().iter().enumerate() {
+            let p = galaxies[id as usize].pos;
+            assert_eq!(block.xs[k], p.x as f32);
+            assert_eq!(block.ys[k], p.y as f32);
+            assert_eq!(block.zs[k], p.z as f32);
+            // f64 coords stay the originals, not the f32 roundings.
+            assert_eq!(block.x[k], p.x);
+        }
+        let (galaxies, tree, leaves, mut block) = fill_for_leaf(TreePrecision::Double, 200, 7);
+        block.fill(&tree, &leaves[0], 2.0, None, &galaxies);
+        assert!(!block.mixed);
+        assert!(block.xs.is_empty());
+    }
+
+    #[test]
+    fn prefilter_prunes_far_candidates() {
+        // With a small rmax, the block for one leaf must not contain
+        // the whole catalog (the prefilter sphere has volume far below
+        // the box).
+        let (galaxies, tree, leaves, mut block) = fill_for_leaf(TreePrecision::Double, 2000, 11);
+        let n = block.fill(&tree, &leaves[0], 1.0, None, &galaxies);
+        assert!(n > 0);
+        assert!(
+            n < galaxies.len() / 2,
+            "prefilter kept {n} of {} candidates",
+            galaxies.len()
+        );
+        // Everything kept is inside the documented prefilter sphere.
+        let leaf = &leaves[0];
+        let pr = 1.0 + leaf.radius() + 1e-3;
+        for k in 0..n {
+            let p = Vec3::new(block.x[k], block.y[k], block.z[k]);
+            assert!(p.distance(leaf.center()) <= pr);
+        }
+    }
+
+    #[test]
+    fn block_reuse_resets_state() {
+        let (galaxies, tree, leaves, mut block) = fill_for_leaf(TreePrecision::Double, 400, 3);
+        let a = block.fill(&tree, &leaves[0], 2.5, None, &galaxies);
+        let ids_a: Vec<u32> = block.ids().to_vec();
+        let _ = block.fill(&tree, leaves.last().unwrap(), 2.5, None, &galaxies);
+        let again = block.fill(&tree, &leaves[0], 2.5, None, &galaxies);
+        assert_eq!(a, again);
+        assert_eq!(ids_a, block.ids());
+    }
+}

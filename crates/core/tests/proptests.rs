@@ -8,8 +8,31 @@ use galactos_core::engine::Engine;
 use galactos_core::kernel::{BackendChoice, BackendKind};
 use galactos_core::naive::seminaive_anisotropic;
 use galactos_core::result::AnisotropicZeta;
+use galactos_core::traversal::{TraversalChoice, TraversalKind};
 use galactos_math::{LineOfSight, Vec3};
 use proptest::prelude::*;
+
+/// The pre-reciprocal logarithmic lookup (binary search over the edge
+/// array + edge-exact correction), kept as the reference the fast
+/// `ln`-and-multiply path must match bit for bit.
+fn bin_of_by_search(bins: &RadialBins, r: f64) -> Option<usize> {
+    if r.is_nan() || r < bins.rmin() || r >= bins.rmax() {
+        return None;
+    }
+    let edges = bins.edges();
+    let guess = match edges.binary_search_by(|e| e.partial_cmp(&r).unwrap()) {
+        Ok(i) => i.min(bins.nbins() - 1),
+        Err(i) => i - 1,
+    };
+    let mut idx = guess;
+    while idx > 0 && r < edges[idx] {
+        idx -= 1;
+    }
+    while idx + 1 < bins.nbins() && r >= edges[idx + 1] {
+        idx += 1;
+    }
+    Some(idx)
+}
 
 fn arb_galaxies(max_n: usize) -> impl Strategy<Value = Vec<Galaxy>> {
     prop::collection::vec(
@@ -35,17 +58,21 @@ proptest! {
         nbins in 1usize..4,
         bucket in 1usize..40,
         backend_idx in 0usize..3,
+        traversal_idx in 0usize..2,
     ) {
         let backend = BackendKind::ALL[backend_idx];
+        let traversal = TraversalKind::ALL[traversal_idx];
         let mut config = base_config(lmax, nbins, 8.0);
         config.bucket_size = bucket;
         config.kernel_backend = BackendChoice::Fixed(backend);
+        config.traversal = TraversalChoice::Fixed(traversal);
         let engine = Engine::new(config.clone()).compute(&Catalog::new(galaxies.clone()));
         let oracle = seminaive_anisotropic(&galaxies, &config, None);
         let scale = oracle.max_abs().max(1.0);
         prop_assert!(
             engine.max_difference(&oracle) < 1e-8 * scale,
-            "diff {} (lmax={lmax} nbins={nbins} bucket={bucket} backend={backend:?})",
+            "diff {} (lmax={lmax} nbins={nbins} bucket={bucket} backend={backend:?} \
+             traversal={traversal:?})",
             engine.max_difference(&oracle)
         );
         prop_assert_eq!(engine.num_primaries, oracle.num_primaries);
@@ -118,6 +145,39 @@ proptest! {
         }
         prop_assert_eq!(bins.bin_of(rmin + width), None);
         prop_assert_eq!(bins.bin_of(rmin - 1e-9), None);
+    }
+
+    #[test]
+    fn log_bin_lookup_is_bit_equal_to_binary_search(
+        rmin in 1e-3f64..5.0,
+        ratio in 1.01f64..500.0,
+        nbins in 1usize..24,
+        samples in prop::collection::vec(-0.1f64..1.1, 40),
+    ) {
+        // The reciprocal fast path (one ln + multiply, no division)
+        // must reproduce the binary-search reference exactly —
+        // including out-of-range radii, exact edge hits, and the
+        // NaN→None behavior pinned since PR 3 — and linear spacing
+        // must stay untouched.
+        let log_bins = RadialBins::logarithmic(rmin, rmin * ratio, nbins);
+        let lin_bins = RadialBins::linear(rmin, rmin * ratio, nbins);
+        for bins in [&log_bins, &lin_bins] {
+            for &t in &samples {
+                let r = bins.rmin() + t * (bins.rmax() - bins.rmin());
+                prop_assert_eq!(bins.bin_of(r), bin_of_by_search(bins, r), "r={}", r);
+            }
+            // Every stored edge must hit the bin it opens (or None for
+            // the outermost edge) through both lookups.
+            for (i, &e) in bins.edges().iter().enumerate() {
+                prop_assert_eq!(bins.bin_of(e), bin_of_by_search(bins, e), "edge {}", i);
+                if i < bins.nbins() {
+                    prop_assert_eq!(bins.bin_of(e), Some(i));
+                }
+            }
+            prop_assert_eq!(bins.bin_of(f64::NAN), None);
+            prop_assert_eq!(bins.bin_of(f64::INFINITY), None);
+            prop_assert_eq!(bins.bin_of(f64::NEG_INFINITY), None);
+        }
     }
 
     #[test]

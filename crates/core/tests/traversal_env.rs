@@ -1,0 +1,38 @@
+//! The `GALACTOS_TRAVERSAL` resolution chain through a real engine.
+//! Environment mutation is process-global, so this lives in its own
+//! integration-test binary (its own process), mirroring
+//! `backend_env.rs`: the single test below is the only code running
+//! when the variable changes, which keeps `set_var` safe even at the
+//! libc level.
+
+use galactos_core::config::EngineConfig;
+use galactos_core::engine::Engine;
+use galactos_core::traversal::{detect_traversal, TraversalChoice, TraversalKind, TRAVERSAL_ENV};
+
+/// The full `Auto` chain: env override wins when valid, garbage falls
+/// back to detection, `Fixed` never reads the environment.
+#[test]
+fn auto_resolution_follows_env_then_detect() {
+    let mut cfg = EngineConfig::test_default(6.0, 2, 3);
+    cfg.traversal = TraversalChoice::Auto;
+    let engine_kind = |cfg: &EngineConfig| Engine::new(cfg.clone()).traversal_kind();
+
+    std::env::set_var(TRAVERSAL_ENV, "per-primary");
+    assert_eq!(engine_kind(&cfg), TraversalKind::PerPrimary);
+    std::env::set_var(TRAVERSAL_ENV, "Leaf_Blocked");
+    assert_eq!(engine_kind(&cfg), TraversalKind::LeafBlocked);
+
+    // Unparsable value: fall back to detection.
+    std::env::set_var(TRAVERSAL_ENV, "octree");
+    assert_eq!(engine_kind(&cfg), detect_traversal());
+
+    // A pinned choice beats the environment.
+    std::env::set_var(TRAVERSAL_ENV, "leaf-blocked");
+    cfg.traversal = TraversalChoice::Fixed(TraversalKind::PerPrimary);
+    assert_eq!(engine_kind(&cfg), TraversalKind::PerPrimary);
+
+    // Unset: detection again.
+    std::env::remove_var(TRAVERSAL_ENV);
+    cfg.traversal = TraversalChoice::Auto;
+    assert_eq!(engine_kind(&cfg), detect_traversal());
+}

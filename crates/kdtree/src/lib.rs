@@ -21,6 +21,11 @@
 //! * sphere **range queries** (visitor and collecting forms), **counting
 //!   queries**, **k-nearest-neighbor** queries and **periodic-box**
 //!   variants;
+//! * **node-to-node block queries** (paper §3.2): leaf enumeration
+//!   ([`KdTree::for_each_leaf`]) and a pruned walk that reports whole
+//!   contiguous slot *ranges* within reach of a query bounding box
+//!   ([`KdTree::for_each_within_of_aabb`]), so a caller can gather the
+//!   candidate secondaries of an entire leaf of primaries at once;
 //! * a brute-force reference searcher used by tests and benchmarks.
 
 pub mod brute;
@@ -30,4 +35,4 @@ pub mod tree;
 
 pub use brute::BruteForce;
 pub use scalar::Scalar;
-pub use tree::{KdTree, TreeConfig, TreeStats};
+pub use tree::{KdTree, LeafInfo, TreeConfig, TreeStats};

@@ -48,6 +48,42 @@ impl<S: Scalar> Node<S> {
         self.end - self.start
     }
 
+    /// Squared distance from the nearest point of this bbox to the
+    /// nearest point of the axis-aligned box `[qlo, qhi]` (zero when
+    /// they intersect).
+    #[inline]
+    fn min_dist_sq_to_aabb(&self, qlo: [S; 3], qhi: [S; 3]) -> S {
+        let mut acc = S::ZERO;
+        for ax in 0..3 {
+            let gap = if qlo[ax] > self.hi[ax] {
+                qlo[ax].sub(self.hi[ax])
+            } else if self.lo[ax] > qhi[ax] {
+                self.lo[ax].sub(qhi[ax])
+            } else {
+                S::ZERO
+            };
+            acc = acc.add(gap.mul(gap));
+        }
+        acc
+    }
+
+    /// Squared distance from the *farthest* point of this bbox to the
+    /// nearest point of `[qlo, qhi]` — when this is ≤ r², every point in
+    /// the subtree lies within `r` of the query box.
+    #[inline]
+    fn max_dist_sq_to_aabb(&self, qlo: [S; 3], qhi: [S; 3]) -> S {
+        let mut acc = S::ZERO;
+        for ax in 0..3 {
+            // Distance from v to [qlo, qhi] is max(0, qlo−v, v−qhi),
+            // maximized over v ∈ [lo, hi] at an endpoint.
+            let a = qlo[ax].sub(self.lo[ax]); // farthest-below endpoint
+            let b = self.hi[ax].sub(qhi[ax]); // farthest-above endpoint
+            let gap = a.fmax(b).fmax(S::ZERO);
+            acc = acc.add(gap.mul(gap));
+        }
+        acc
+    }
+
     /// Squared distance from `p` to the nearest point of the bbox.
     #[inline]
     fn min_dist_sq(&self, p: [S; 3]) -> S {
@@ -76,6 +112,56 @@ impl<S: Scalar> Node<S> {
             acc = acc.add(d.mul(d));
         }
         acc
+    }
+}
+
+/// One leaf of the tree as seen by block-traversal callers: the
+/// contiguous range of reordered point *slots* it owns and its tight
+/// bounding box (converted to `f64` regardless of tree precision).
+///
+/// Slots index the tree's leaf-contiguous storage; map a slot back to
+/// the original point with [`KdTree::id_at`]. Leaves partition
+/// `0..len()` exactly, so iterating leaves visits every point once.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LeafInfo {
+    pub start: u32,
+    pub end: u32,
+    pub lo: Vec3,
+    pub hi: Vec3,
+}
+
+impl LeafInfo {
+    /// Number of points in this leaf.
+    #[inline]
+    pub fn len(&self) -> usize {
+        (self.end - self.start) as usize
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// Center of the leaf's bounding box.
+    #[inline]
+    pub fn center(&self) -> Vec3 {
+        Vec3::new(
+            0.5 * (self.lo.x + self.hi.x),
+            0.5 * (self.lo.y + self.hi.y),
+            0.5 * (self.lo.z + self.hi.z),
+        )
+    }
+
+    /// Half the bbox diagonal: every point of the leaf is within this
+    /// radius of [`LeafInfo::center`].
+    #[inline]
+    pub fn radius(&self) -> f64 {
+        let d = Vec3::new(
+            self.hi.x - self.lo.x,
+            self.hi.y - self.lo.y,
+            self.hi.z - self.lo.z,
+        );
+        0.5 * d.norm()
     }
 }
 
@@ -338,28 +424,106 @@ impl<S: Scalar> KdTree<S> {
             "periodic query requires radius <= box_len/2"
         );
         // Query the 27 images of the center whose sphere can reach [0, L)^3.
-        for ix in -1i32..=1 {
-            for iy in -1i32..=1 {
-                for iz in -1i32..=1 {
-                    let shifted = Vec3::new(
-                        center.x + ix as f64 * box_len,
-                        center.y + iy as f64 * box_len,
-                        center.z + iz as f64 * box_len,
-                    );
-                    // Skip images that cannot intersect the box.
-                    if shifted.x + radius < 0.0
-                        || shifted.x - radius > box_len
-                        || shifted.y + radius < 0.0
-                        || shifted.y - radius > box_len
-                        || shifted.z + radius < 0.0
-                        || shifted.z - radius > box_len
-                    {
-                        continue;
-                    }
-                    self.for_each_within(shifted, radius, f);
-                }
+        for_each_reachable_image(center, center, radius, box_len, &mut |slo, _shi| {
+            self.for_each_within(slo, radius, f)
+        });
+    }
+
+    /// Visit every leaf in ascending slot order. Leaves partition the
+    /// slot space `0..len()`, so this enumerates every point exactly
+    /// once; block-traversal drivers use it to walk primaries one whole
+    /// leaf at a time (paper §3.2's node-to-node formulation).
+    pub fn for_each_leaf<F: FnMut(LeafInfo)>(&self, f: &mut F) {
+        // Nodes are stored in preorder with the left subtree first, so a
+        // linear scan yields leaves in ascending `start` order.
+        for n in &self.nodes {
+            if matches!(n.kind, NodeKind::Leaf) {
+                f(LeafInfo {
+                    start: n.start,
+                    end: n.end,
+                    lo: Vec3::new(n.lo[0].to_f64(), n.lo[1].to_f64(), n.lo[2].to_f64()),
+                    hi: Vec3::new(n.hi[0].to_f64(), n.hi[1].to_f64(), n.hi[2].to_f64()),
+                });
             }
         }
+    }
+
+    /// Collect every leaf (ascending slot order) into a vector.
+    pub fn collect_leaves(&self) -> Vec<LeafInfo> {
+        let mut out = Vec::new();
+        self.for_each_leaf(&mut |leaf| out.push(leaf));
+        out
+    }
+
+    /// Node-to-node pruned walk (paper §3.2): visit contiguous slot
+    /// ranges `(start, end)` that together cover **every** point within
+    /// `radius` of the axis-aligned box `[lo, hi]` — the query leaf's
+    /// bounding box inflated by Rmax. Subtrees whose bounding box is
+    /// farther than `radius` from the query box are pruned via the
+    /// box-to-box minimum distance; subtrees entirely within `radius`
+    /// are emitted as one whole range without descending further.
+    ///
+    /// The union of emitted ranges is a *superset* of the exact result
+    /// (whole leaves are emitted unfiltered); callers are expected to
+    /// prefilter per point. Ranges are disjoint and ascending.
+    pub fn for_each_within_of_aabb<F: FnMut(u32, u32)>(
+        &self,
+        lo: Vec3,
+        hi: Vec3,
+        radius: f64,
+        f: &mut F,
+    ) {
+        if self.nodes.is_empty() {
+            return;
+        }
+        let qlo = Self::to_s(lo);
+        let qhi = Self::to_s(hi);
+        let r = S::from_f64(radius);
+        self.aabb_rec(0, qlo, qhi, r.mul(r), f);
+    }
+
+    fn aabb_rec<F: FnMut(u32, u32)>(&self, node: u32, qlo: [S; 3], qhi: [S; 3], r2: S, f: &mut F) {
+        let n = &self.nodes[node as usize];
+        if n.min_dist_sq_to_aabb(qlo, qhi) > r2 {
+            return;
+        }
+        // Marked-tree fast path: the whole subtree is within reach of
+        // the query box — emit its range without descending.
+        if n.max_dist_sq_to_aabb(qlo, qhi) <= r2 {
+            f(n.start, n.end);
+            return;
+        }
+        match n.kind {
+            NodeKind::Leaf => f(n.start, n.end),
+            NodeKind::Internal { left, right, .. } => {
+                self.aabb_rec(left, qlo, qhi, r2, f);
+                self.aabb_rec(right, qlo, qhi, r2, f);
+            }
+        }
+    }
+
+    /// Periodic variant of [`KdTree::for_each_within_of_aabb`]: covers
+    /// every point whose *minimum-image* distance to the box `[lo, hi]`
+    /// is within `radius`, by walking the images of the query box that
+    /// can reach `[0, box_len)³`.
+    ///
+    /// Unlike the per-point periodic query, the effective reach
+    /// (`radius` + query-box diagonal) may exceed half the box, so the
+    /// same point can be covered through more than one image: emitted
+    /// ranges may **overlap across images** (within one image they are
+    /// disjoint and ascending). Callers must deduplicate — e.g. by
+    /// coalescing ranges — before treating slots as unique.
+    pub fn for_each_within_of_aabb_periodic<F: FnMut(u32, u32)>(
+        &self,
+        lo: Vec3,
+        hi: Vec3,
+        radius: f64,
+        box_len: f64,
+        f: &mut F,
+    ) {
+        for_each_reachable_image(lo, hi, radius, box_len, &mut |slo, shi| {
+            self.for_each_within_of_aabb(slo, shi, radius, f)
+        });
     }
 
     /// Internal accessors for the kNN module.
@@ -390,6 +554,45 @@ impl<S: Scalar> KdTree<S> {
     #[inline]
     pub(crate) fn convert_point(p: Vec3) -> [S; 3] {
         Self::to_s(p)
+    }
+}
+
+/// Visit each of the 27 periodic images of the box `[lo, hi]` whose
+/// inflation by `radius` can reach `[0, box_len]³`, passing the shifted
+/// corners (for a point query, pass `lo == hi`). The image enumeration
+/// and the can-reach skip test live only here, shared by the per-point
+/// and box-query periodic walks so both traversal modes always cover
+/// identical images.
+fn for_each_reachable_image<F: FnMut(Vec3, Vec3)>(
+    lo: Vec3,
+    hi: Vec3,
+    radius: f64,
+    box_len: f64,
+    f: &mut F,
+) {
+    for ix in -1i32..=1 {
+        for iy in -1i32..=1 {
+            for iz in -1i32..=1 {
+                let shift = Vec3::new(
+                    ix as f64 * box_len,
+                    iy as f64 * box_len,
+                    iz as f64 * box_len,
+                );
+                let slo = lo + shift;
+                let shi = hi + shift;
+                // Skip images whose inflated box cannot reach [0, L]³.
+                if shi.x + radius < 0.0
+                    || slo.x - radius > box_len
+                    || shi.y + radius < 0.0
+                    || slo.y - radius > box_len
+                    || shi.z + radius < 0.0
+                    || slo.z - radius > box_len
+                {
+                    continue;
+                }
+                f(slo, shi);
+            }
+        }
     }
 }
 
@@ -539,6 +742,133 @@ mod tests {
             want.sort_unstable();
             assert_eq!(got, want);
         }
+    }
+
+    #[test]
+    fn leaves_partition_slot_space() {
+        let pts = random_points(777, 30.0, 13);
+        let tree = KdTree::<f64>::build(&pts, TreeConfig { leaf_size: 16 });
+        let leaves = tree.collect_leaves();
+        assert_eq!(leaves.len(), tree.stats().num_leaves);
+        // Ascending, contiguous, covering 0..len exactly once.
+        let mut next = 0u32;
+        let mut seen = vec![false; pts.len()];
+        for leaf in &leaves {
+            assert_eq!(leaf.start, next, "leaves must tile the slot space");
+            assert!(leaf.len() >= 1 && leaf.len() <= 16);
+            for slot in leaf.start..leaf.end {
+                let id = tree.id_at(slot as usize) as usize;
+                assert!(!seen[id], "point {id} in two leaves");
+                seen[id] = true;
+                // Every point sits inside its leaf bbox and radius.
+                let p = pts[id];
+                assert!(p.x >= leaf.lo.x && p.x <= leaf.hi.x);
+                assert!(p.y >= leaf.lo.y && p.y <= leaf.hi.y);
+                assert!(p.z >= leaf.lo.z && p.z <= leaf.hi.z);
+                assert!(p.distance(leaf.center()) <= leaf.radius() + 1e-12);
+            }
+            next = leaf.end;
+        }
+        assert_eq!(next as usize, pts.len());
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn aabb_walk_covers_brute_force_union() {
+        // Every point within `r` of ANY point in the query box must be
+        // covered by some emitted range (superset semantics).
+        let pts = random_points(600, 50.0, 17);
+        let tree = KdTree::<f64>::build(&pts, TreeConfig { leaf_size: 8 });
+        for (qlo, qhi, r) in [
+            (
+                Vec3::new(10.0, 10.0, 10.0),
+                Vec3::new(14.0, 12.0, 16.0),
+                6.0,
+            ),
+            (Vec3::new(0.0, 0.0, 0.0), Vec3::new(50.0, 50.0, 50.0), 1.0),
+            (
+                Vec3::new(48.0, 48.0, 48.0),
+                Vec3::new(49.0, 49.0, 49.0),
+                3.0,
+            ),
+            (
+                Vec3::new(-20.0, -20.0, -20.0),
+                Vec3::new(-10.0, -10.0, -10.0),
+                4.0,
+            ),
+        ] {
+            let mut covered = vec![false; pts.len()];
+            let mut last_end = 0u32;
+            tree.for_each_within_of_aabb(qlo, qhi, r, &mut |start, end| {
+                assert!(start >= last_end, "ranges must be disjoint ascending");
+                last_end = end;
+                for slot in start..end {
+                    covered[tree.id_at(slot as usize) as usize] = true;
+                }
+            });
+            for (i, &p) in pts.iter().enumerate() {
+                // Distance from p to the query box.
+                let dx = (qlo.x - p.x).max(p.x - qhi.x).max(0.0);
+                let dy = (qlo.y - p.y).max(p.y - qhi.y).max(0.0);
+                let dz = (qlo.z - p.z).max(p.z - qhi.z).max(0.0);
+                let d2 = dx * dx + dy * dy + dz * dz;
+                if d2 <= r * r {
+                    assert!(covered[i], "point {i} within {r} of box but not covered");
+                }
+                // Pruning sanity: points far outside reach are dropped
+                // (allowing leaf-granularity over-coverage).
+                if !covered[i] {
+                    assert!(d2 > r * r, "covered set must be a superset only");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn aabb_walk_periodic_covers_minimum_image_union() {
+        let box_len = 20.0;
+        let pts = random_points(400, box_len, 19);
+        let tree = KdTree::<f64>::build(&pts, TreeConfig { leaf_size: 8 });
+        let qlo = Vec3::new(0.5, 17.0, 9.0);
+        let qhi = Vec3::new(2.5, 19.5, 11.0);
+        let r = 4.0;
+        let mut covered = vec![false; pts.len()];
+        tree.for_each_within_of_aabb_periodic(qlo, qhi, r, box_len, &mut |start, end| {
+            for slot in start..end {
+                covered[tree.id_at(slot as usize) as usize] = true;
+            }
+        });
+        // Brute force: min over the 27 images of the query box.
+        for (i, &p) in pts.iter().enumerate() {
+            let mut best = f64::INFINITY;
+            for ix in -1i32..=1 {
+                for iy in -1i32..=1 {
+                    for iz in -1i32..=1 {
+                        let s = Vec3::new(
+                            ix as f64 * box_len,
+                            iy as f64 * box_len,
+                            iz as f64 * box_len,
+                        );
+                        let dx = (qlo.x + s.x - p.x).max(p.x - (qhi.x + s.x)).max(0.0);
+                        let dy = (qlo.y + s.y - p.y).max(p.y - (qhi.y + s.y)).max(0.0);
+                        let dz = (qlo.z + s.z - p.z).max(p.z - (qhi.z + s.z)).max(0.0);
+                        best = best.min(dx * dx + dy * dy + dz * dz);
+                    }
+                }
+            }
+            if best <= r * r {
+                assert!(covered[i], "point {i} within periodic reach but missed");
+            }
+        }
+    }
+
+    #[test]
+    fn aabb_walk_on_empty_tree_is_silent() {
+        let tree = KdTree::<f64>::build(&[], TreeConfig::default());
+        assert!(tree.collect_leaves().is_empty());
+        tree.for_each_within_of_aabb(Vec3::ZERO, Vec3::splat(1.0), 5.0, &mut |_, _| {
+            panic!("no ranges expected")
+        });
     }
 
     #[test]

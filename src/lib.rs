@@ -53,6 +53,7 @@ pub mod prelude {
     pub use galactos_core::kernel::{BackendChoice, BackendKind};
     pub use galactos_core::pipeline::{compute_distributed, compute_distributed_sharded};
     pub use galactos_core::result::{AnisotropicZeta, IsotropicZeta};
+    pub use galactos_core::traversal::{TraversalChoice, TraversalKind};
     pub use galactos_math::{LineOfSight, Vec3};
     pub use galactos_mocks::{BaoSpectrum, PowerLawSpectrum, PowerSpectrum};
 }

@@ -1,6 +1,7 @@
 //! Engine configuration.
 
 use crate::bins::RadialBins;
+use crate::estimator::EstimatorChoice;
 use crate::kernel::backend::BackendChoice;
 use crate::traversal::TraversalChoice;
 use galactos_math::LineOfSight;
@@ -77,6 +78,21 @@ pub struct EngineConfig {
     /// reassociation (≤ 1e-9 relative; enforced by the equivalence
     /// suite and CI's bench-smoke gate).
     pub traversal: TraversalChoice,
+    /// Which *estimator* evaluates ζ — the exact tree traversal or the
+    /// FFT grid (`galactos-grid`), whose cost scales with mesh size
+    /// instead of pair count. [`EstimatorChoice::Auto`] (the default)
+    /// honors the `GALACTOS_ESTIMATOR` environment variable (`tree`,
+    /// `grid`, `grid:<mesh>`) and otherwise picks the tree;
+    /// [`EstimatorChoice::Grid`] pins the mesh path with explicit
+    /// [`GridConfig`](galactos_grid::GridConfig) parameters. Resolved
+    /// once at [`Engine::new`](crate::engine::Engine::new). The grid
+    /// path requires a periodic catalog and a fixed line of sight, and
+    /// its answer converges to the tree's as the mesh is refined (the
+    /// convergence gate — relative ζ difference decreasing across mesh
+    /// resolutions, tightest ≤ 1e-2 — is enforced by the
+    /// `grid_equivalence` tests and the `grid_estimator` bench).
+    /// Distributed/subset entry points always run the tree.
+    pub estimator: EstimatorChoice,
 }
 
 impl EngineConfig {
@@ -94,6 +110,7 @@ impl EngineConfig {
             subtract_self_pairs: true,
             kernel_backend: BackendChoice::Auto,
             traversal: TraversalChoice::Auto,
+            estimator: EstimatorChoice::Auto,
         }
     }
 
@@ -109,6 +126,7 @@ impl EngineConfig {
             subtract_self_pairs: false,
             kernel_backend: BackendChoice::Auto,
             traversal: TraversalChoice::Auto,
+            estimator: EstimatorChoice::Auto,
         }
     }
 
@@ -117,6 +135,9 @@ impl EngineConfig {
         assert!(self.lmax <= 12, "lmax > 12 is untested and very slow");
         assert!(self.bucket_size >= 1, "bucket_size must be positive");
         assert!(self.bins.nbins() >= 1);
+        if let EstimatorChoice::Grid(grid) = &self.estimator {
+            grid.validate();
+        }
     }
 }
 
@@ -135,6 +156,7 @@ mod tests {
         assert_eq!(c.scheduling, Scheduling::Dynamic);
         assert_eq!(c.kernel_backend, BackendChoice::Auto);
         assert_eq!(c.traversal, TraversalChoice::Auto);
+        assert_eq!(c.estimator, EstimatorChoice::Auto);
         c.validate();
     }
 

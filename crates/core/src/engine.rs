@@ -24,6 +24,7 @@
 //! independent work for each thread".
 
 use crate::config::{EngineConfig, Scheduling};
+use crate::estimator::{EstimatorKind, ResolvedEstimator};
 use crate::flops::FlopCounter;
 use crate::kernel::{BackendKind, KernelBackend};
 use crate::result::AnisotropicZeta;
@@ -68,6 +69,10 @@ pub struct Engine {
     /// [`TraversalChoice`](crate::traversal::TraversalChoice) resolved
     /// once, like the backend.
     traversal: TraversalKind,
+    /// The estimator [`Engine::compute`] dispatches to — the configured
+    /// [`EstimatorChoice`](crate::estimator::EstimatorChoice) resolved
+    /// once, like the backend and the traversal.
+    estimator: ResolvedEstimator,
     /// Degree-2ℓmax machinery for the self-pair (degenerate triangle)
     /// correction; present only when enabled.
     self_basis: Option<MonomialBasis>,
@@ -92,6 +97,7 @@ impl Engine {
         let ylm = YlmTable::new(config.lmax, &basis);
         let backend = config.kernel_backend.resolve().backend();
         let traversal = config.traversal.resolve();
+        let estimator = config.estimator.resolve();
         let (self_basis, self_table) = if config.subtract_self_pairs {
             let b2 = MonomialBasis::new(2 * config.lmax);
             let t2 = YlmPairProductTable::new(config.lmax, &b2);
@@ -105,6 +111,7 @@ impl Engine {
             ylm,
             backend,
             traversal,
+            estimator,
             self_basis,
             self_table,
         }
@@ -127,8 +134,16 @@ impl Engine {
         self.traversal
     }
 
+    /// The estimator this engine resolved at construction.
+    #[inline]
+    pub fn estimator_kind(&self) -> EstimatorKind {
+        self.estimator.kind()
+    }
+
     /// Compute the anisotropic 3PCF of a catalog (every galaxy acts as a
-    /// primary; periodic boxes use minimum-image separations).
+    /// primary; periodic boxes use minimum-image separations),
+    /// dispatching to the resolved estimator — the tree traversal or
+    /// the FFT grid.
     pub fn compute(&self, catalog: &Catalog) -> AnisotropicZeta {
         self.compute_instrumented(catalog, None, None)
     }
@@ -136,6 +151,8 @@ impl Engine {
     /// [`Engine::compute`] with an explicit scheduling policy, ignoring
     /// the configured one. Lets ablations compare schedules on one
     /// engine instead of rebuilding the (ℓmax-sized) tables per run.
+    /// Always runs the tree path — primary scheduling is a traversal
+    /// concept with no grid counterpart.
     pub fn compute_with_scheduling(
         &self,
         catalog: &Catalog,
@@ -152,7 +169,11 @@ impl Engine {
         )
     }
 
-    /// [`Engine::compute`] with stage timing and FLOP counting.
+    /// [`Engine::compute`] with stage timing and FLOP counting. The
+    /// grid estimator maps its stages onto the timer (painting →
+    /// tree-build, kernels/FFTs → multipole, ζ contraction → assembly)
+    /// and leaves the FLOP counter untouched (it never enumerates
+    /// pairs).
     pub fn compute_instrumented(
         &self,
         catalog: &Catalog,
@@ -160,6 +181,9 @@ impl Engine {
         flops: Option<&FlopCounter>,
     ) -> AnisotropicZeta {
         self.check_periodic(catalog);
+        if let ResolvedEstimator::Grid(grid) = &self.estimator {
+            return self.compute_grid(catalog, grid, timer);
+        }
         self.run(
             &catalog.galaxies,
             catalog.len(),
@@ -198,7 +222,9 @@ impl Engine {
     /// primaries; the remainder participate as secondaries only. This is
     /// the per-rank entry point of the distributed pipeline ("ignoring
     /// secondary galaxies that are in the k-d tree because of halo
-    /// exchange").
+    /// exchange"). Always runs the tree path: rank-local subsets are
+    /// open point sets, which the periodic-convolution grid estimator
+    /// cannot represent.
     pub fn compute_subset(&self, galaxies: &[Galaxy], n_primaries: usize) -> AnisotropicZeta {
         assert!(n_primaries <= galaxies.len());
         self.run(
@@ -209,6 +235,57 @@ impl Engine {
             None,
             None,
         )
+    }
+
+    /// The gridded estimator path: paint → FFT shell convolutions → ζ
+    /// contraction, all inside `galactos-grid`, with this engine's
+    /// radial binning, line-of-sight rotation and self-pair setting.
+    ///
+    /// Panics unless the catalog is periodic and the line of sight
+    /// uniform — the two geometric assumptions of the periodic
+    /// convolution formulation. `binned_pairs` stays 0 on the result:
+    /// the grid path never enumerates pairs.
+    fn compute_grid(
+        &self,
+        catalog: &Catalog,
+        grid: &galactos_grid::GridConfig,
+        timer: Option<&StageTimer>,
+    ) -> AnisotropicZeta {
+        assert!(
+            catalog.periodic.is_some(),
+            "the grid estimator requires a periodic catalog \
+             (EstimatorChoice::Grid / GALACTOS_ESTIMATOR=grid on survey data: use the tree)"
+        );
+        assert!(
+            self.config.line_of_sight.is_uniform(),
+            "the grid estimator requires a fixed (plane-parallel) line of sight"
+        );
+        let rotation = self
+            .config
+            .line_of_sight
+            .rotation_for(Vec3::ZERO)
+            .expect("a fixed line of sight always has a rotation");
+        let rotation = (rotation != Mat3::IDENTITY).then_some(rotation);
+        let bins = &self.config.bins;
+        let mut zeta = AnisotropicZeta::zeros(self.config.lmax, bins.nbins());
+        let timings = galactos_grid::accumulate_zeta_multipoles(
+            catalog,
+            grid,
+            self.config.lmax,
+            bins.nbins(),
+            rotation,
+            &|r| bins.bin_of(r),
+            self.config.subtract_self_pairs,
+            &mut |l, lp, m, b1, b2, v| zeta.add_to(l, lp, m, b1, b2, v),
+        );
+        zeta.total_primary_weight = catalog.total_weight();
+        zeta.num_primaries = catalog.len() as u64;
+        if let Some(t) = timer {
+            t.add(Stage::TreeBuild, timings.paint_nanos);
+            t.add(Stage::Multipole, timings.field_nanos);
+            t.add(Stage::Assembly, timings.zeta_nanos);
+        }
+        zeta
     }
 
     fn run(

@@ -18,6 +18,12 @@
 //! * [`engine`] — the staged per-primary pipeline (gather →
 //!   bin/bucket → a_ℓm assembly → ζ accumulation), thread-parallel
 //!   over primaries (§3.3);
+//! * [`estimator`] — the estimator-selection knob dispatching
+//!   [`Engine::compute`](engine::Engine::compute) between the tree
+//!   traversal and the FFT-based gridded a_ℓm estimator of
+//!   `galactos-grid` (mass assignment + Fourier-space shell
+//!   convolutions), whose cost scales with mesh size instead of pair
+//!   count;
 //! * [`traversal`] — the precision-erased k-d tree (mixed-precision
 //!   search, §5.4) and the two traversal modes behind one config knob:
 //!   per-primary gathering and the §3.2 node-to-node leaf-blocked walk
@@ -46,6 +52,7 @@ pub mod bins;
 pub mod config;
 pub mod edge;
 pub mod engine;
+pub mod estimator;
 pub mod flops;
 pub mod isotropic;
 pub mod kernel;
@@ -62,6 +69,8 @@ pub mod xismu;
 pub use bins::RadialBins;
 pub use config::{EngineConfig, Scheduling, TreePrecision};
 pub use engine::Engine;
+pub use estimator::{EstimatorChoice, EstimatorKind};
+pub use galactos_grid::{GridConfig, MassAssignment};
 pub use kernel::{BackendChoice, BackendKind, KernelBackend};
 pub use result::{AnisotropicZeta, IsotropicZeta};
 pub use schedule::run_partitioned;

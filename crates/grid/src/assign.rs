@@ -1,0 +1,214 @@
+//! Periodic mass-assignment schemes: NGP, CIC and TSC.
+//!
+//! A particle at position `x` in a periodic box of side `L` deposits
+//! its weight onto a mesh of `n³` cells of side `H = L/n` whose centers
+//! sit at `(i + ½)·H` (the same convention as the mocks' CIC sampler).
+//! The three classic schemes are the B-spline family of increasing
+//! order: nearest grid point (order 1, one cell), cloud in cell
+//! (order 2, 2³ cells, trilinear) and triangular shaped cloud
+//! (order 3, 3³ cells). All three conserve the particle's total weight
+//! exactly (per-axis weights sum to 1 by construction) and wrap
+//! periodically, so a particle at `L − ε` contributes to cell 0.
+//!
+//! In Fourier space each scheme multiplies the true density modes by
+//! the window `W(k) = Π_a sinc(π m_a / n)^p` (`p` = the order,
+//! `m_a` = the signed mode index); [`MassAssignment::fourier_window`]
+//! evaluates it so the estimator can optionally deconvolve.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// The mass-assignment scheme painting particles onto the mesh.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum MassAssignment {
+    /// Nearest grid point: all weight into the containing cell.
+    Ngp,
+    /// Cloud in cell: trilinear weights over the 2³ nearest cells.
+    #[default]
+    Cic,
+    /// Triangular shaped cloud: quadratic B-spline over 3³ cells.
+    Tsc,
+}
+
+/// Maximum number of cells per axis any scheme touches.
+pub const MAX_SUPPORT: usize = 3;
+
+impl MassAssignment {
+    /// Every scheme, lowest order first.
+    pub const ALL: [MassAssignment; 3] = [
+        MassAssignment::Ngp,
+        MassAssignment::Cic,
+        MassAssignment::Tsc,
+    ];
+
+    /// Stable lowercase name (also the accepted parse/env spelling).
+    pub fn name(self) -> &'static str {
+        match self {
+            MassAssignment::Ngp => "ngp",
+            MassAssignment::Cic => "cic",
+            MassAssignment::Tsc => "tsc",
+        }
+    }
+
+    /// B-spline order `p`: the exponent of the per-axis `sinc` window.
+    pub fn order(self) -> u32 {
+        match self {
+            MassAssignment::Ngp => 1,
+            MassAssignment::Cic => 2,
+            MassAssignment::Tsc => 3,
+        }
+    }
+
+    /// Per-axis deposit: cell indices (wrapped into `0..n`) and weights
+    /// for a particle at `g` cells from the center of cell 0 (i.e.
+    /// `g = x/H − ½`). Returns the cell/weight pairs and their count;
+    /// the weights always sum to exactly 1 in real arithmetic.
+    #[inline]
+    pub fn axis_weights(
+        self,
+        g: f64,
+        n: usize,
+    ) -> ([usize; MAX_SUPPORT], [f64; MAX_SUPPORT], usize) {
+        let n_i = n as i64;
+        let wrap = |i: i64| i.rem_euclid(n_i) as usize;
+        match self {
+            MassAssignment::Ngp => {
+                // Nearest center = the cell containing the particle.
+                let i = (g + 0.5).floor() as i64;
+                ([wrap(i), 0, 0], [1.0, 0.0, 0.0], 1)
+            }
+            MassAssignment::Cic => {
+                let i0 = g.floor() as i64;
+                let f = g - g.floor();
+                ([wrap(i0), wrap(i0 + 1), 0], [1.0 - f, f, 0.0], 2)
+            }
+            MassAssignment::Tsc => {
+                // Nearest cell i, signed offset ds ∈ [−½, ½).
+                let i = (g + 0.5).floor() as i64;
+                let ds = g - i as f64;
+                let wl = 0.5 * (0.5 - ds) * (0.5 - ds);
+                let wc = 0.75 - ds * ds;
+                let wr = 0.5 * (0.5 + ds) * (0.5 + ds);
+                ([wrap(i - 1), wrap(i), wrap(i + 1)], [wl, wc, wr], 3)
+            }
+        }
+    }
+
+    /// The per-axis Fourier window `sinc(π·m/n)^p` for signed mode `m`
+    /// on an `n`-cell axis (`sinc(0) = 1`; the window never vanishes on
+    /// the grid, so deconvolution — dividing the density modes by the
+    /// product over axes — is always well defined).
+    #[inline]
+    pub fn fourier_window(self, m: i64, n: usize) -> f64 {
+        if m == 0 {
+            return 1.0;
+        }
+        let x = std::f64::consts::PI * m as f64 / n as f64;
+        (x.sin() / x).powi(self.order() as i32)
+    }
+}
+
+impl fmt::Display for MassAssignment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Error for an unknown mass-assignment name.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseAssignmentError(String);
+
+impl fmt::Display for ParseAssignmentError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unknown mass assignment {:?} (expected one of: ngp, cic, tsc)",
+            self.0
+        )
+    }
+}
+
+impl std::error::Error for ParseAssignmentError {}
+
+impl FromStr for MassAssignment {
+    type Err = ParseAssignmentError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "ngp" => Ok(MassAssignment::Ngp),
+            "cic" => Ok(MassAssignment::Cic),
+            "tsc" => Ok(MassAssignment::Tsc),
+            _ => Err(ParseAssignmentError(s.to_string())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_parse_back() {
+        for a in MassAssignment::ALL {
+            assert_eq!(a.name().parse::<MassAssignment>().unwrap(), a);
+            assert_eq!(format!("{a}"), a.name());
+        }
+        assert!("cloud".parse::<MassAssignment>().is_err());
+        assert_eq!(MassAssignment::default(), MassAssignment::Cic);
+    }
+
+    #[test]
+    fn axis_weights_sum_to_one_and_wrap() {
+        let n = 8;
+        for a in MassAssignment::ALL {
+            for &g in &[0.0, 0.49, 3.2, 6.999, 7.5, -0.3] {
+                let (cells, weights, count) = a.axis_weights(g, n);
+                let sum: f64 = weights[..count].iter().sum();
+                assert!((sum - 1.0).abs() < 1e-15, "{a} g={g}: sum {sum}");
+                for &c in &cells[..count] {
+                    assert!(c < n, "{a} g={g}: cell {c}");
+                }
+            }
+        }
+        // A particle just inside the upper box face (g ≈ n − 0.5 − ε)
+        // must spread onto cell 0 for CIC and TSC.
+        for a in [MassAssignment::Cic, MassAssignment::Tsc] {
+            let (cells, weights, count) = a.axis_weights(7.6, n);
+            let w0: f64 = (0..count)
+                .filter(|&i| cells[i] == 0)
+                .map(|i| weights[i])
+                .sum();
+            assert!(w0 > 0.0, "{a}: no weight wrapped to cell 0");
+        }
+    }
+
+    #[test]
+    fn ngp_picks_containing_cell() {
+        let n = 8;
+        // x/H = 3.7 → cell 3; g = 3.2.
+        let (cells, _, count) = MassAssignment::Ngp.axis_weights(3.2, n);
+        assert_eq!((cells[0], count), (3, 1));
+        // x/H = 7.9 → cell 7 (not wrapped past the face).
+        let (cells, _, _) = MassAssignment::Ngp.axis_weights(7.4, n);
+        assert_eq!(cells[0], 7);
+    }
+
+    #[test]
+    fn window_is_one_at_dc_and_below_one_elsewhere() {
+        for a in MassAssignment::ALL {
+            assert_eq!(a.fourier_window(0, 16), 1.0);
+            let mut prev = 1.0;
+            for m in 1..=8 {
+                let w = a.fourier_window(m, 16);
+                assert!(w > 0.0 && w < prev, "{a} m={m}: {w} vs {prev}");
+                prev = w;
+                // Even in m.
+                assert_eq!(a.fourier_window(-m, 16), w);
+            }
+        }
+        // Higher order ⇒ stronger suppression.
+        let near_ny = |a: MassAssignment| a.fourier_window(7, 16);
+        assert!(near_ny(MassAssignment::Ngp) > near_ny(MassAssignment::Cic));
+        assert!(near_ny(MassAssignment::Cic) > near_ny(MassAssignment::Tsc));
+    }
+}

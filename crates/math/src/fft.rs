@@ -1,14 +1,28 @@
 //! In-house complex FFT: iterative radix-2 Cooley–Tukey, 1-D and 3-D.
 //!
 //! Built from scratch (no external FFT crate) for the Gaussian random
-//! field generator. Sizes must be powers of two. The 3-D transform is
+//! field generator in `galactos-mocks`, and promoted into the math
+//! crate once the gridded a_ℓm estimator (`galactos-grid`) became a
+//! second consumer. Sizes must be powers of two. The 3-D transform is
 //! applied axis by axis with rayon parallelism over independent lines.
 //!
-//! Conventions: `forward` computes `X_k = Σ_j x_j e^{-2πijk/N}` (no
-//! normalization); `inverse` includes the `1/N` factor so that
-//! `inverse(forward(x)) == x`.
+//! # Conventions
+//!
+//! Stated once, here, for every consumer:
+//!
+//! * `forward` computes `X_k = Σ_j x_j e^{−2πijk/N}` (negative sign in
+//!   the exponent, **no** normalization);
+//! * `inverse` uses the positive sign and includes the `1/N` factor
+//!   (or `1/N³` for [`Mesh3::fft3`]), so `inverse(forward(x)) == x`;
+//! * with these conventions the circular convolution theorem reads
+//!   `FFT(f ∗ g) = FFT(f) · FFT(g)` with no extra scale factor, which
+//!   is the identity the gridded estimator's shell convolutions rely
+//!   on, and Parseval's theorem reads `Σ|x_j|² = (1/N)·Σ|X_k|²`.
+//!
+//! Mesh indices map to frequencies through [`signed_mode`]: index
+//! `i ≤ n/2` is mode `+i`, larger indices alias to negative modes.
 
-use galactos_math::Complex64;
+use crate::complex::Complex64;
 use rayon::prelude::*;
 
 /// Direction of a transform.
@@ -16,6 +30,19 @@ use rayon::prelude::*;
 pub enum Direction {
     Forward,
     Inverse,
+}
+
+/// Reverse the low `bits` bits of `i` (the Cooley–Tukey input
+/// permutation). Operates on full `usize` words, so transforms are not
+/// silently limited to `n ≤ 2³²` the way the original `u32`-based
+/// reversal was.
+///
+/// `bits` must be in `1..=usize::BITS` and `i < 2^bits`.
+#[inline]
+pub fn bit_reverse(i: usize, bits: u32) -> usize {
+    debug_assert!((1..=usize::BITS).contains(&bits));
+    debug_assert!(bits == usize::BITS || i < (1usize << bits));
+    i.reverse_bits() >> (usize::BITS - bits)
 }
 
 /// In-place 1-D FFT of a power-of-two-length buffer.
@@ -31,8 +58,7 @@ pub fn fft_inplace(data: &mut [Complex64], dir: Direction) {
     // Bit-reversal permutation.
     let bits = n.trailing_zeros();
     for i in 0..n {
-        let j = (i as u32).reverse_bits() >> (32 - bits);
-        let j = j as usize;
+        let j = bit_reverse(i, bits);
         if i < j {
             data.swap(i, j);
         }
@@ -69,6 +95,17 @@ pub fn fft_inplace(data: &mut [Complex64], dir: Direction) {
     }
 }
 
+/// Map a mesh index to its signed frequency: `0..=n/2` stay, the upper
+/// half aliases to negative frequencies.
+#[inline]
+pub fn signed_mode(i: usize, n: usize) -> i64 {
+    if i <= n / 2 {
+        i as i64
+    } else {
+        i as i64 - n as i64
+    }
+}
+
 /// A cubic complex mesh of side `n` (so `n³` cells), row-major
 /// `(i, j, k) → (i·n + j)·n + k`.
 #[derive(Clone, Debug)]
@@ -93,6 +130,24 @@ impl Mesh3 {
             n,
             data: values.iter().map(|&v| Complex64::real(v)).collect(),
         }
+    }
+
+    /// Real-to-complex convenience: embed a real field and transform it
+    /// forward in one call (the first step of every mesh estimator).
+    pub fn forward_real(n: usize, values: &[f64]) -> Self {
+        let mut mesh = Mesh3::from_real(n, values);
+        mesh.fft3(Direction::Forward);
+        mesh
+    }
+
+    /// Complex-to-real convenience: inverse-transform and keep the real
+    /// parts. The imaginary parts are *discarded*, not checked — they
+    /// are round-off only when the spectrum is (numerically) Hermitian,
+    /// as for cross-correlations of real fields; use [`Mesh3::max_imag`]
+    /// first when that property is worth asserting.
+    pub fn inverse_real(mut self) -> Vec<f64> {
+        self.fft3(Direction::Inverse);
+        self.to_real()
     }
 
     #[inline]
@@ -135,6 +190,25 @@ impl Mesh3 {
     #[inline]
     pub fn data_mut(&mut self) -> &mut [Complex64] {
         &mut self.data
+    }
+
+    /// Pointwise product `self[c] *= other[c]` — the k-space side of the
+    /// convolution theorem.
+    pub fn pointwise_mul(&mut self, other: &Mesh3) {
+        assert_eq!(self.n, other.n, "mesh side mismatch");
+        for (a, b) in self.data.iter_mut().zip(other.data.iter()) {
+            *a *= *b;
+        }
+    }
+
+    /// Pointwise conjugated product `self[c] = conj(self[c]) · other[c]`
+    /// — the k-space side of the cross-correlation theorem
+    /// (`R(u) = Σ_x f(x) g(x+u)` has spectrum `conj(f̂)·ĝ`).
+    pub fn pointwise_conj_mul(&mut self, other: &Mesh3) {
+        assert_eq!(self.n, other.n, "mesh side mismatch");
+        for (a, b) in self.data.iter_mut().zip(other.data.iter()) {
+            *a = a.conj() * *b;
+        }
     }
 
     /// Real parts of all cells.
@@ -265,6 +339,31 @@ mod tests {
     }
 
     #[test]
+    fn linearity() {
+        // FFT(α·x + β·y) = α·FFT(x) + β·FFT(y), both directions.
+        let n = 128;
+        let x = random_signal(n, 17);
+        let y = random_signal(n, 18);
+        let (alpha, beta) = (Complex64::new(0.7, -1.3), Complex64::new(-2.1, 0.4));
+        for dir in [Direction::Forward, Direction::Inverse] {
+            let mut combined: Vec<Complex64> = x
+                .iter()
+                .zip(y.iter())
+                .map(|(&a, &b)| alpha * a + beta * b)
+                .collect();
+            fft_inplace(&mut combined, dir);
+            let mut fx = x.clone();
+            let mut fy = y.clone();
+            fft_inplace(&mut fx, dir);
+            fft_inplace(&mut fy, dir);
+            for i in 0..n {
+                let want = alpha * fx[i] + beta * fy[i];
+                assert!(combined[i].dist_inf(want) < 1e-10, "{dir:?} bin {i}");
+            }
+        }
+    }
+
+    #[test]
     fn parseval_theorem() {
         let signal = random_signal(512, 5);
         let time_energy: f64 = signal.iter().map(|c| c.norm_sq()).sum();
@@ -306,6 +405,63 @@ mod tests {
     }
 
     #[test]
+    fn bit_reverse_handles_wide_words() {
+        // Regression: the original permutation reversed `i as u32`, so
+        // any transform with n > 2³² would have permuted with truncated
+        // indices. The helper must reverse within exactly `bits` bits
+        // for widths past 32 (pure index arithmetic — no 2³²-element
+        // buffer needed to pin the behavior).
+        assert_eq!(bit_reverse(0b1, 3), 0b100);
+        assert_eq!(bit_reverse(0b110, 3), 0b011);
+        for bits in [8u32, 16, 31, 33, 40, 48, 63] {
+            assert_eq!(bit_reverse(1, bits), 1usize << (bits - 1), "bits={bits}");
+            assert_eq!(bit_reverse(1usize << (bits - 1), bits), 1, "bits={bits}");
+            assert_eq!(bit_reverse(0, bits), 0);
+            let all = (1usize << bits) - 1;
+            assert_eq!(bit_reverse(all, bits), all, "bits={bits}");
+            // Involution on a spread of values.
+            for i in [3usize, 5, 1 << (bits / 2), (1 << bits) - 2] {
+                assert_eq!(bit_reverse(bit_reverse(i, bits), bits), i, "bits={bits}");
+            }
+        }
+        if usize::BITS == 64 {
+            assert_eq!(bit_reverse(1, 64), 1usize << 63);
+        }
+    }
+
+    #[test]
+    fn large_transform_roundtrip() {
+        // The largest 1-D size the test host comfortably affords
+        // (2²⁰ complex values = 16 MiB): exercises the usize-based
+        // permutation well past the small sizes the oracle covers, and
+        // cross-checks one representative spike against the analytic
+        // transform of a pure tone.
+        let n = 1usize << 20;
+        let freq = 123_457;
+        let signal: Vec<Complex64> = (0..n)
+            .map(|j| {
+                Complex64::cis(2.0 * std::f64::consts::PI * (freq as f64 * j as f64) / n as f64)
+            })
+            .collect();
+        let mut buf = signal.clone();
+        fft_inplace(&mut buf, Direction::Forward);
+        assert!((buf[freq].abs() - n as f64).abs() < 1e-4 * n as f64);
+        fft_inplace(&mut buf, Direction::Inverse);
+        for (i, (a, b)) in buf.iter().zip(signal.iter()).enumerate().step_by(4097) {
+            assert!(a.dist_inf(*b) < 1e-8, "index {i}");
+        }
+    }
+
+    #[test]
+    fn signed_modes() {
+        assert_eq!(signed_mode(0, 8), 0);
+        assert_eq!(signed_mode(3, 8), 3);
+        assert_eq!(signed_mode(4, 8), 4);
+        assert_eq!(signed_mode(5, 8), -3);
+        assert_eq!(signed_mode(7, 8), -1);
+    }
+
+    #[test]
     fn mesh_roundtrip_3d() {
         let n = 16;
         let mut rng = ChaCha8Rng::seed_from_u64(7);
@@ -320,6 +476,57 @@ mod tests {
             assert!((a - b).abs() < 1e-10);
         }
         assert!(mesh.max_imag() < 1e-10);
+    }
+
+    #[test]
+    fn forward_real_and_inverse_real_roundtrip() {
+        let n = 8;
+        let mut rng = ChaCha8Rng::seed_from_u64(23);
+        let values: Vec<f64> = (0..n * n * n)
+            .map(|_| rng.random_range(-1.0..1.0))
+            .collect();
+        let mesh = Mesh3::forward_real(n, &values);
+        let back = mesh.inverse_real();
+        for (a, b) in back.iter().zip(values.iter()) {
+            assert!((a - b).abs() < 1e-11);
+        }
+    }
+
+    #[test]
+    fn pointwise_products_implement_convolution_and_correlation() {
+        // Convolution theorem: IFFT(f̂·ĝ)[x] = Σ_y f(y)·g(x−y) (cyclic);
+        // correlation theorem: IFFT(conj(f̂)·ĝ)[u] = Σ_x f(x)·g(x+u).
+        let n = 4usize;
+        let total = n * n * n;
+        let mut rng = ChaCha8Rng::seed_from_u64(29);
+        let f: Vec<f64> = (0..total).map(|_| rng.random_range(-1.0..1.0)).collect();
+        let g: Vec<f64> = (0..total).map(|_| rng.random_range(-1.0..1.0)).collect();
+        let idx = |i: usize, j: usize, k: usize| (i * n + j) * n + k;
+
+        let ghat = Mesh3::forward_real(n, &g);
+        let mut conv = Mesh3::forward_real(n, &f);
+        conv.pointwise_mul(&ghat);
+        let conv = conv.inverse_real();
+        let mut corr = Mesh3::forward_real(n, &f);
+        corr.pointwise_conj_mul(&ghat);
+        let corr = corr.inverse_real();
+
+        for (xi, xj, xk) in [(0usize, 0usize, 0usize), (1, 3, 2), (3, 1, 0)] {
+            let mut want_conv = 0.0;
+            let mut want_corr = 0.0;
+            for yi in 0..n {
+                for yj in 0..n {
+                    for yk in 0..n {
+                        let fv = f[idx(yi, yj, yk)];
+                        want_conv +=
+                            fv * g[idx((xi + n - yi) % n, (xj + n - yj) % n, (xk + n - yk) % n)];
+                        want_corr += fv * g[idx((yi + xi) % n, (yj + xj) % n, (yk + xk) % n)];
+                    }
+                }
+            }
+            assert!((conv[idx(xi, xj, xk)] - want_conv).abs() < 1e-10);
+            assert!((corr[idx(xi, xj, xk)] - want_corr).abs() < 1e-10);
+        }
     }
 
     #[test]

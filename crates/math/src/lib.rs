@@ -5,6 +5,8 @@
 //!
 //! * 3-vector / bounding-box geometry ([`vec3`]),
 //! * complex arithmetic ([`complex`]),
+//! * a radix-2 complex FFT, 1-D and 3-D, shared by the mock generators
+//!   and the gridded a_ℓm estimator ([`fft`]),
 //! * factorial / binomial tables ([`factorial`]),
 //! * Legendre polynomials and associated Legendre functions ([`legendre`]),
 //! * complex spherical harmonics evaluated directly ([`sphharm`]),
@@ -25,6 +27,7 @@
 
 pub mod complex;
 pub mod factorial;
+pub mod fft;
 pub mod legendre;
 pub mod linalg;
 pub mod monomial;
@@ -36,6 +39,7 @@ pub mod wigner;
 pub mod ylm;
 
 pub use complex::Complex64;
+pub use fft::Mesh3;
 pub use monomial::{Axis, MonomialBasis, UpdateStep};
 pub use rotation::{LineOfSight, Mat3};
 pub use vec3::{Aabb, Vec3};

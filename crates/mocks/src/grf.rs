@@ -238,16 +238,9 @@ impl GaussianField {
     }
 }
 
-/// Map a mesh index to its signed frequency: `0..n/2` stay, the upper
-/// half aliases to negative frequencies.
-#[inline]
-pub fn signed_mode(i: usize, n: usize) -> i64 {
-    if i <= n / 2 {
-        i as i64
-    } else {
-        i as i64 - n as i64
-    }
-}
+/// Map a mesh index to its signed frequency (re-export of
+/// [`galactos_math::fft::signed_mode`], which moved with the FFT).
+pub use galactos_math::fft::signed_mode;
 
 #[cfg(test)]
 mod tests {

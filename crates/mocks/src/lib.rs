@@ -5,8 +5,12 @@
 //! generated from scratch but exercise the same code paths and carry the
 //! same statistical features the science output depends on:
 //!
-//! * [`fft`] — an in-house radix-2 complex FFT (1-D and 3-D, rayon-
-//!   parallel over mesh lines); no external FFT dependency.
+//! * [`fft`] — re-export of [`galactos_math::fft`], the in-house
+//!   radix-2 complex FFT (1-D and 3-D, rayon-parallel over mesh lines;
+//!   no external FFT dependency). It started life here for the GRF
+//!   generator and was promoted into the math crate when the gridded
+//!   a_ℓm estimator became a second consumer; the re-export keeps every
+//!   `galactos_mocks::fft::…` path working.
 //! * [`pk`] — model power spectra: power laws and a phenomenological
 //!   BAO-wiggle spectrum (smooth transfer shape × damped sinusoid), the
 //!   knob that puts the paper's Figure 1 BAO features into our mocks.
@@ -25,7 +29,6 @@
 //!   (reproduces the construction of the paper's Table 1).
 
 pub mod cluster_process;
-pub mod fft;
 pub mod grf;
 pub mod lognormal;
 pub mod pk;
@@ -34,7 +37,8 @@ pub mod scaled;
 pub mod soneira_peebles;
 pub mod zeldovich;
 
-pub use fft::Mesh3;
+pub use galactos_math::fft;
+pub use galactos_math::fft::Mesh3;
 pub use grf::GaussianField;
 pub use lognormal::LognormalMock;
 pub use pk::{BaoSpectrum, PowerLawSpectrum, PowerSpectrum};

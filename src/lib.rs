@@ -31,13 +31,14 @@
 //!
 //! The crates are re-exported under their subsystem names:
 //! [`math`], [`simd`], [`kdtree`], [`cluster`], [`domain`], [`catalog`],
-//! [`mocks`], [`core`], [`analysis`].
+//! [`mocks`], [`grid`], [`core`], [`analysis`].
 
 pub use galactos_analysis as analysis;
 pub use galactos_catalog as catalog;
 pub use galactos_cluster as cluster;
 pub use galactos_core as core;
 pub use galactos_domain as domain;
+pub use galactos_grid as grid;
 pub use galactos_kdtree as kdtree;
 pub use galactos_math as math;
 pub use galactos_mocks as mocks;
@@ -50,10 +51,12 @@ pub mod prelude {
     pub use galactos_core::bins::RadialBins;
     pub use galactos_core::config::{EngineConfig, Scheduling, TreePrecision};
     pub use galactos_core::engine::Engine;
+    pub use galactos_core::estimator::{EstimatorChoice, EstimatorKind};
     pub use galactos_core::kernel::{BackendChoice, BackendKind};
     pub use galactos_core::pipeline::{compute_distributed, compute_distributed_sharded};
     pub use galactos_core::result::{AnisotropicZeta, IsotropicZeta};
     pub use galactos_core::traversal::{TraversalChoice, TraversalKind};
+    pub use galactos_grid::{GridConfig, MassAssignment};
     pub use galactos_math::{LineOfSight, Vec3};
     pub use galactos_mocks::{BaoSpectrum, PowerLawSpectrum, PowerSpectrum};
 }

@@ -16,6 +16,15 @@
 //!    growing catalog sizes: tree cost grows with the pair count, grid
 //!    cost is dominated by the (N-independent) FFTs, so the table
 //!    records the first N where the grid wins outright.
+//! 3. **thread scaling** — one grid point run on a one-thread pool and
+//!    on the host pool. On multi-core hosts the parallel run must not
+//!    be slower than serial (speedup ≥ 0.9 passes; single-core hosts
+//!    pass trivially) — a cheap regression tripwire for the parallel
+//!    paint/FFT/contraction pipeline.
+//!
+//! The v2 schema records the pool width (`threads`) and, for every grid
+//! run, the native per-stage breakdown (paint / FFT fields / ζ
+//! contraction / self-pair correction seconds).
 //!
 //! Usage: `grid_estimator [--smoke] [--out PATH]`
 //! (`--smoke` shrinks meshes and catalogs to CI scale.)
@@ -27,7 +36,7 @@ use galactos_bench::BENCH_SEED;
 use galactos_core::config::EngineConfig;
 use galactos_core::engine::Engine;
 use galactos_core::estimator::EstimatorChoice;
-use galactos_core::{AnisotropicZeta, GridConfig, RadialBins};
+use galactos_core::{AnisotropicZeta, GridConfig, GridTimings, RadialBins};
 use std::time::Instant;
 
 /// The convergence gate: tightest-mesh relative ζ difference.
@@ -69,7 +78,7 @@ impl Params {
                 lmax: 4,
                 nbins: 5,
                 meshes: vec![32, 64, 128],
-                crossover_n: vec![4000, 16_000, 64_000],
+                crossover_n: vec![4000, 8000, 16_000, 64_000],
                 crossover_mesh: 64,
             }
         }
@@ -105,16 +114,33 @@ fn rel_diff(got: &AnisotropicZeta, want: &AnisotropicZeta) -> f64 {
 struct TimedRun {
     secs: f64,
     zeta: AnisotropicZeta,
+    /// Native stage breakdown — present on grid runs only.
+    timings: Option<GridTimings>,
 }
 
 fn run_engine(config: &EngineConfig, catalog: &galactos_catalog::Catalog) -> TimedRun {
     let engine = Engine::new(config.clone());
     let t = Instant::now();
-    let zeta = engine.compute(catalog);
+    let (zeta, timings) = engine.compute_with_grid_timings(catalog, None);
     TimedRun {
         secs: t.elapsed().as_secs_f64(),
         zeta,
+        timings,
     }
+}
+
+fn secs(nanos: u64) -> f64 {
+    nanos as f64 * 1e-9
+}
+
+/// JSON object of a grid run's native stage breakdown.
+fn stages_json(t: &GridTimings) -> Json {
+    Json::obj([
+        ("paint_secs", Json::Num(secs(t.paint_nanos))),
+        ("fft_secs", Json::Num(secs(t.field_nanos))),
+        ("contract_secs", Json::Num(secs(t.zeta_nanos))),
+        ("selfpair_secs", Json::Num(secs(t.selfpair_nanos))),
+    ])
 }
 
 fn main() {
@@ -145,20 +171,40 @@ fn main() {
         c.estimator = EstimatorChoice::Grid(GridConfig::with_mesh(mesh));
         let run = run_engine(&c, &cat);
         let diff = rel_diff(&run.zeta, &tree.zeta);
-        convergence.push((mesh, run.secs, diff));
+        let timings = run.timings.expect("grid run reports stage timings");
+        convergence.push((mesh, run.secs, diff, timings));
     }
     print_table(
-        &["mesh", "secs", "rel diff vs tree"],
+        &[
+            "mesh",
+            "secs",
+            "paint",
+            "fft",
+            "contract",
+            "selfpair",
+            "rel diff vs tree",
+        ],
         &convergence
             .iter()
-            .map(|&(mesh, secs, diff)| {
-                vec![mesh.to_string(), fmt_secs(secs), format!("{diff:.3e}")]
+            .map(|&(mesh, total, diff, t)| {
+                vec![
+                    mesh.to_string(),
+                    fmt_secs(total),
+                    fmt_secs(secs(t.paint_nanos)),
+                    fmt_secs(secs(t.field_nanos)),
+                    fmt_secs(secs(t.zeta_nanos)),
+                    fmt_secs(secs(t.selfpair_nanos)),
+                    format!("{diff:.3e}"),
+                ]
             })
             .collect::<Vec<_>>(),
     );
 
     let monotone = convergence.windows(2).all(|w| w[1].2 < w[0].2);
-    let tightest = convergence.last().map(|&(_, _, d)| d).unwrap_or(f64::NAN);
+    let tightest = convergence
+        .last()
+        .map(|&(_, _, d, _)| d)
+        .unwrap_or(f64::NAN);
     let gate_pass = monotone && tightest <= CONVERGENCE_TOL;
 
     // ---- Crossover table ----------------------------------------------
@@ -203,11 +249,38 @@ fn main() {
         ),
     }
 
+    // ---- Thread scaling sanity point ----------------------------------
+    // One grid point, serial pool vs host pool. The parallel pipeline
+    // must never *lose* to serial on a multi-core host (0.9 allows
+    // scheduling noise); single-core hosts pass trivially.
+    let host_threads = rayon::current_num_threads();
+    let mut scaling_cfg = config.clone();
+    scaling_cfg.estimator = EstimatorChoice::Grid(GridConfig::with_mesh(params.crossover_mesh));
+    let serial_pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(1)
+        .build()
+        .expect("thread pool");
+    let serial = serial_pool.install(|| run_engine(&scaling_cfg, &cat));
+    let parallel = run_engine(&scaling_cfg, &cat);
+    let scaling_speedup = serial.secs / parallel.secs;
+    let scaling_pass = host_threads <= 1 || scaling_speedup >= 0.9;
+    println!(
+        "thread scaling (mesh {}, {} galaxies): serial {} vs {} threads {} — {:.2}x ({})",
+        params.crossover_mesh,
+        params.galaxies,
+        fmt_secs(serial.secs),
+        host_threads,
+        fmt_secs(parallel.secs),
+        scaling_speedup,
+        if scaling_pass { "pass" } else { "FAIL" },
+    );
+
     // ---- JSON ----------------------------------------------------------
     let grid_defaults = GridConfig::default();
     let json = Json::obj([
-        ("schema", Json::str("galactos grid-estimator benchmark v1")),
+        ("schema", Json::str("galactos grid-estimator benchmark v2")),
         ("smoke", Json::Bool(params.smoke)),
+        ("threads", Json::Int(host_threads as u64)),
         (
             "config",
             Json::obj([
@@ -237,10 +310,11 @@ fn main() {
             Json::Arr(
                 convergence
                     .iter()
-                    .map(|&(mesh, secs, diff)| {
+                    .map(|&(mesh, total, diff, t)| {
                         Json::obj([
                             ("mesh", Json::Int(mesh as u64)),
-                            ("secs", Json::Num(secs)),
+                            ("secs", Json::Num(total)),
+                            ("stages", stages_json(&t)),
                             ("rel_diff_vs_tree", Json::Num(diff)),
                         ])
                     })
@@ -283,16 +357,39 @@ fn main() {
                 ),
             ]),
         ),
+        (
+            "thread_scaling",
+            Json::obj([
+                ("galaxies", Json::Int(params.galaxies as u64)),
+                ("mesh", Json::Int(params.crossover_mesh as u64)),
+                ("threads", Json::Int(host_threads as u64)),
+                ("serial_secs", Json::Num(serial.secs)),
+                ("parallel_secs", Json::Num(parallel.secs)),
+                ("speedup", Json::Num(scaling_speedup)),
+                ("pass", Json::Bool(scaling_pass)),
+            ]),
+        ),
     ]);
     std::fs::write(&params.out, json.to_pretty())
         .unwrap_or_else(|e| panic!("writing {}: {e}", params.out));
     println!("\nwrote {}", params.out);
 
+    let mut failed = false;
     if !gate_pass {
         eprintln!(
             "FAIL: convergence gate (monotone decrease, tightest <= {CONVERGENCE_TOL:e}) \
              not met: monotone={monotone}, tightest={tightest:.3e}"
         );
+        failed = true;
+    }
+    if !scaling_pass {
+        eprintln!(
+            "FAIL: thread-scaling gate ({host_threads} threads vs serial) regressed: \
+             speedup {scaling_speedup:.2}x < 0.9x"
+        );
+        failed = true;
+    }
+    if failed {
         std::process::exit(1);
     }
 }

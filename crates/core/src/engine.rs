@@ -182,7 +182,7 @@ impl Engine {
     ) -> AnisotropicZeta {
         self.check_periodic(catalog);
         if let ResolvedEstimator::Grid(grid) = &self.estimator {
-            return self.compute_grid(catalog, grid, timer);
+            return self.compute_grid(catalog, grid, timer).0;
         }
         self.run(
             &catalog.galaxies,
@@ -192,6 +192,32 @@ impl Engine {
             timer,
             flops,
         )
+    }
+
+    /// [`Engine::compute_instrumented`] exposing the grid estimator's
+    /// native stage breakdown alongside the result. On the tree path
+    /// the second element is `None`; on the grid path it carries the
+    /// raw [`galactos_grid::GridTimings`] (paint / field / contraction
+    /// / self-pair nanos) that the [`StageTimer`] mapping aggregates.
+    pub fn compute_with_grid_timings(
+        &self,
+        catalog: &Catalog,
+        timer: Option<&StageTimer>,
+    ) -> (AnisotropicZeta, Option<galactos_grid::GridTimings>) {
+        self.check_periodic(catalog);
+        if let ResolvedEstimator::Grid(grid) = &self.estimator {
+            let (zeta, timings) = self.compute_grid(catalog, grid, timer);
+            return (zeta, Some(timings));
+        }
+        let zeta = self.run(
+            &catalog.galaxies,
+            catalog.len(),
+            catalog.periodic,
+            self.config.scheduling,
+            timer,
+            None,
+        );
+        (zeta, None)
     }
 
     fn check_periodic(&self, catalog: &Catalog) {
@@ -250,7 +276,7 @@ impl Engine {
         catalog: &Catalog,
         grid: &galactos_grid::GridConfig,
         timer: Option<&StageTimer>,
-    ) -> AnisotropicZeta {
+    ) -> (AnisotropicZeta, galactos_grid::GridTimings) {
         assert!(
             catalog.periodic.is_some(),
             "the grid estimator requires a periodic catalog \
@@ -283,9 +309,12 @@ impl Engine {
         if let Some(t) = timer {
             t.add(Stage::TreeBuild, timings.paint_nanos);
             t.add(Stage::Multipole, timings.field_nanos);
-            t.add(Stage::Assembly, timings.zeta_nanos);
+            // Assembly covers both the ζ contraction and the self-pair
+            // correction; the split is visible through
+            // [`Engine::compute_with_grid_timings`].
+            t.add(Stage::Assembly, timings.zeta_nanos + timings.selfpair_nanos);
         }
-        zeta
+        (zeta, timings)
     }
 
     fn run(
@@ -527,10 +556,14 @@ impl Engine {
 
     /// The per-pair tail every traversal mode shares: radial cut,
     /// binning, line-of-sight rotation, normalization, bucket push with
-    /// kernel flush, and the degree-2ℓmax self-pair sums. `delta` and
-    /// `r2 = |delta|²` are computed by the caller (they differ only in
-    /// where the secondary's coordinates are loaded from), so both
-    /// traversals run bit-identical pair arithmetic.
+    /// kernel flush, and the degree-2ℓmax self-pair sums. `delta`,
+    /// `r = |delta|` and `inv_r = 1/r` are computed by the caller (they
+    /// differ only in where the secondary's coordinates are loaded from
+    /// and whether the sqrt/divide ran in a vector lane — both ops are
+    /// correctly rounded, so lanes and scalars produce the same float),
+    /// so both traversals run bit-identical pair arithmetic. For
+    /// coincident points `inv_r` may be `inf`; the `r == 0` cut returns
+    /// before it is read.
     #[inline(always)]
     #[allow(clippy::too_many_arguments)]
     fn bin_pair(
@@ -538,15 +571,15 @@ impl Engine {
         scratch: &mut ComputeScratch,
         ctx: &PrimaryContext,
         delta: Vec3,
-        r2: f64,
+        r: f64,
+        inv_r: f64,
         wj: f64,
         binned: &mut u64,
         kernel_nanos: &mut u64,
     ) {
-        if r2 == 0.0 {
+        if r == 0.0 {
             return; // coincident points: direction undefined
         }
-        let r = r2.sqrt();
         let Some(bin) = self.config.bins.bin_of(r) else {
             return;
         };
@@ -555,7 +588,6 @@ impl Engine {
         } else {
             delta
         };
-        let inv_r = 1.0 / r;
         let (ux, uy, uz) = (d.x * inv_r, d.y * inv_r, d.z * inv_r);
         *binned += 1;
         if scratch.buckets.push(bin, ux, uy, uz, wj) {
@@ -605,19 +637,32 @@ impl Engine {
                 Some(l) => galaxies[j].pos.periodic_delta(ctx.pos, l),
                 None => galaxies[j].pos - ctx.pos,
             };
-            let r2 = delta.norm_sq();
+            let r = delta.norm_sq().sqrt();
             let wj = galaxies[j].weight;
-            self.bin_pair(scratch, ctx, delta, r2, wj, &mut binned, &mut kernel_nanos);
+            self.bin_pair(
+                scratch,
+                ctx,
+                delta,
+                r,
+                1.0 / r,
+                wj,
+                &mut binned,
+                &mut kernel_nanos,
+            );
         }
         self.end_binning(scratch, t1, kernel_nanos, binned);
     }
 
-    /// Stage 2, leaf-blocked — the tight split loop over the leaf's SoA
-    /// candidate block: distance², the exact gather-radius cut (in the
-    /// tree's own precision, so the binned pair set matches per-primary
-    /// traversal exactly), then the shared sqrt → rotate → bin →
-    /// bucket tail. Coordinates stream from the contiguous block
-    /// instead of per-pair `galaxies[j]` gathers.
+    /// Stage 2, leaf-blocked — Phase A
+    /// ([`CandidateBlock::select_pairs`]) runs the distance² prefilter,
+    /// the exact gather-radius cut (in the tree's own precision, so the
+    /// binned pair set matches per-primary traversal exactly) and the
+    /// separation square root and reciprocal in [`galactos_simd`] lanes
+    /// over the SoA block, compacting survivors into staging arrays;
+    /// Phase B streams
+    /// the survivors through the shared rotate → bin → bucket tail.
+    /// Each lane replicates the scalar arithmetic bit-exactly, so the
+    /// accumulated ζ is identical to the former scalar split loop.
     fn bin_and_bucket_blocked(
         &self,
         scratch: &mut ComputeScratch,
@@ -629,95 +674,31 @@ impl Engine {
         let mut kernel_nanos = 0u64;
         let mut binned = 0u64;
 
-        let rmax = self.config.bins.rmax();
-        // f64 trees accept candidates at distance² ≤ fl(rmax)·fl(rmax);
-        // mirror the same arithmetic per pair.
-        let rmax2 = rmax * rmax;
-        // f32 (mixed-precision) trees test f32 coordinates against an
-        // f32 radius; the gate below replays that test on the tree's
-        // own coordinates so no boundary pair is decided differently.
-        let mixed = scratch.block.mixed;
-        let r32 = rmax as f32;
-        let rmax2_32 = r32 * r32;
-        let c32 = [ctx.pos.x as f32, ctx.pos.y as f32, ctx.pos.z as f32];
-        // Periodic gates: the per-primary search shifts the query
-        // center by whole box lengths *first* (then rounds to the
-        // tree's precision and subtracts), so precompute this
-        // primary's per-axis image centers in both precisions and
-        // replay exactly that arithmetic — gating on the wrapped
-        // binning delta instead would round differently and could
-        // flip a boundary pair between the traversal modes.
-        let images32 = periodic.map(|l| {
-            let img = |c: f64| [(c - l) as f32, c as f32, (c + l) as f32];
-            [img(ctx.pos.x), img(ctx.pos.y), img(ctx.pos.z)]
-        });
-        let images64 = periodic.map(|l| {
-            let img = |c: f64| [c - l, c, c + l];
-            [img(ctx.pos.x), img(ctx.pos.y), img(ctx.pos.z)]
-        });
-
-        for idx in 0..scratch.block.ids.len() {
-            if scratch.block.ids[idx] as usize == ctx.index {
-                continue;
-            }
-            let p = Vec3::new(
-                scratch.block.x[idx],
-                scratch.block.y[idx],
-                scratch.block.z[idx],
+        let n_sel = scratch.block.select_pairs(
+            ctx.pos,
+            ctx.index as u32,
+            periodic,
+            self.config.bins.rmax(),
+        );
+        for s in 0..n_sel {
+            let delta = Vec3::new(
+                scratch.block.sel_dx[s],
+                scratch.block.sel_dy[s],
+                scratch.block.sel_dz[s],
             );
-            let delta = match periodic {
-                Some(l) => p.periodic_delta(ctx.pos, l),
-                None => p - ctx.pos,
-            };
-            let r2 = delta.norm_sq();
-            // Minimum-image index per axis, recovered from the wrap the
-            // binning delta already applied (0 for open boundaries).
-            let (kx, ky, kz) = match periodic {
-                Some(l) => {
-                    let inv_l = 1.0 / l;
-                    let k = |d: f64| (d * inv_l).round().clamp(-1.0, 1.0) as i32;
-                    (
-                        k(p.x - ctx.pos.x - delta.x),
-                        k(p.y - ctx.pos.y - delta.y),
-                        k(p.z - ctx.pos.z - delta.z),
-                    )
-                }
-                None => (0, 0, 0),
-            };
-            // Gather gate: membership must reproduce what the
-            // per-primary tree search would have reported.
-            if mixed {
-                let (gx, gy, gz) = match &images32 {
-                    Some(img) => (
-                        scratch.block.xs[idx] - img[0][(kx + 1) as usize],
-                        scratch.block.ys[idx] - img[1][(ky + 1) as usize],
-                        scratch.block.zs[idx] - img[2][(kz + 1) as usize],
-                    ),
-                    None => (
-                        scratch.block.xs[idx] - c32[0],
-                        scratch.block.ys[idx] - c32[1],
-                        scratch.block.zs[idx] - c32[2],
-                    ),
-                };
-                if gx * gx + gy * gy + gz * gz > rmax2_32 {
-                    continue;
-                }
-            } else {
-                let g2 = match &images64 {
-                    Some(img) => {
-                        let gx = p.x - img[0][(kx + 1) as usize];
-                        let gy = p.y - img[1][(ky + 1) as usize];
-                        let gz = p.z - img[2][(kz + 1) as usize];
-                        gx * gx + gy * gy + gz * gz
-                    }
-                    None => r2,
-                };
-                if g2 > rmax2 {
-                    continue;
-                }
-            }
-            let wj = scratch.block.w[idx];
-            self.bin_pair(scratch, ctx, delta, r2, wj, &mut binned, &mut kernel_nanos);
+            let r = scratch.block.sel_r[s];
+            let inv_r = scratch.block.sel_inv_r[s];
+            let wj = scratch.block.sel_w[s];
+            self.bin_pair(
+                scratch,
+                ctx,
+                delta,
+                r,
+                inv_r,
+                wj,
+                &mut binned,
+                &mut kernel_nanos,
+            );
         }
         self.end_binning(scratch, t1, kernel_nanos, binned);
     }

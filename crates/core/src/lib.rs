@@ -69,8 +69,10 @@ pub mod xismu;
 pub use bins::RadialBins;
 pub use config::{EngineConfig, Scheduling, TreePrecision};
 pub use engine::Engine;
-pub use estimator::{EstimatorChoice, EstimatorKind};
-pub use galactos_grid::{GridConfig, MassAssignment};
+pub use estimator::{
+    recommended_estimator, EstimatorChoice, EstimatorKind, GRID_CROSSOVER_GALAXIES,
+};
+pub use galactos_grid::{GridConfig, GridTimings, MassAssignment};
 pub use kernel::{BackendChoice, BackendKind, KernelBackend};
 pub use result::{AnisotropicZeta, IsotropicZeta};
 pub use schedule::run_partitioned;

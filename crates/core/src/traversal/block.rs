@@ -22,6 +22,7 @@
 use super::{LeafInfo, Tree};
 use galactos_catalog::Galaxy;
 use galactos_math::Vec3;
+use galactos_simd::{F64x8, F64_LANES};
 
 /// Reusable SoA buffer of candidate secondaries for one primary leaf.
 ///
@@ -49,6 +50,19 @@ pub struct CandidateBlock {
     pub(crate) mixed: bool,
     /// Range scratch reused across fills.
     ranges: Vec<(u32, u32)>,
+    /// Per-primary selection staging filled by
+    /// [`CandidateBlock::select_pairs`]: the binning delta, separation,
+    /// and weight of every candidate that passed the gather gate, in
+    /// candidate order.
+    pub(crate) sel_dx: Vec<f64>,
+    pub(crate) sel_dy: Vec<f64>,
+    pub(crate) sel_dz: Vec<f64>,
+    pub(crate) sel_r: Vec<f64>,
+    /// Reciprocal separations `1/r`, filled lane-wise after compaction
+    /// (`F64x8::recip` divides per lane, so each entry is bit-identical
+    /// to the scalar `1.0 / r` the per-primary path computes).
+    pub(crate) sel_inv_r: Vec<f64>,
+    pub(crate) sel_w: Vec<f64>,
 }
 
 impl CandidateBlock {
@@ -190,6 +204,212 @@ impl CandidateBlock {
         self.z.push(pos.z);
         self.w.push(weight);
     }
+
+    /// Phase A of the blocked split loop, vectorized over the SoA in
+    /// [`F64_LANES`]-wide chunks: compute each candidate's minimum-image
+    /// binning delta and distance², replay the gather-radius acceptance
+    /// test in the tree's own precision (`f32` lanes for mixed trees),
+    /// and compact the survivors — delta, separation `r = √r²`, weight —
+    /// into the `sel_*` staging arrays in candidate order. The engine
+    /// then runs the scalar bin→bucket→kernel tail over the survivors
+    /// only.
+    ///
+    /// Every lane replicates the scalar arithmetic exactly (same
+    /// operations, same association, `sqrt` is correctly rounded), so
+    /// the staged pair set and all staged floats are bit-identical to
+    /// the per-candidate scalar loop — which is what keeps blocked
+    /// traversal's binned pair set equal to per-primary traversal.
+    pub(crate) fn select_pairs(
+        &mut self,
+        center: Vec3,
+        skip_id: u32,
+        periodic: Option<f64>,
+        rmax: f64,
+    ) -> usize {
+        self.sel_dx.clear();
+        self.sel_dy.clear();
+        self.sel_dz.clear();
+        self.sel_r.clear();
+        self.sel_w.clear();
+
+        let n = self.ids.len();
+        // f64 trees accept candidates at distance² ≤ fl(rmax)·fl(rmax).
+        let rmax2 = rmax * rmax;
+        // f32 (mixed-precision) trees test f32 coordinates against an
+        // f32 radius; the gate replays that test on the tree's own
+        // coordinates so no boundary pair is decided differently.
+        let r32 = rmax as f32;
+        let rmax2_32 = r32 * r32;
+        let c32 = [center.x as f32, center.y as f32, center.z as f32];
+        // Periodic gates: the per-primary search shifts the query center
+        // by whole box lengths *first* (then rounds to the tree's
+        // precision and subtracts), so precompute this primary's
+        // per-axis image centers in both precisions and replay exactly
+        // that arithmetic.
+        let images32 = periodic.map(|l| {
+            let img = |c: f64| [(c - l) as f32, c as f32, (c + l) as f32];
+            [img(center.x), img(center.y), img(center.z)]
+        });
+        let images64 = periodic.map(|l| {
+            let img = |c: f64| [c - l, c, c + l];
+            [img(center.x), img(center.y), img(center.z)]
+        });
+
+        // The primary's own slot (ids are unique per block, so at most
+        // one): found once here so the compaction loop below never
+        // touches `ids` — it just clears that lane from the keep mask.
+        let skip_pos = self.ids.iter().position(|&id| id == skip_id);
+
+        let mut start = 0;
+        while start < n {
+            let lanes = (n - start).min(F64_LANES);
+            let mut dx = [0.0f64; F64_LANES];
+            let mut dy = [0.0f64; F64_LANES];
+            let mut dz = [0.0f64; F64_LANES];
+            // Minimum-image index per axis (+1-biased for the image
+            // tables), recovered from the wrap the binning delta
+            // applied; stays 1 (= no shift) for open boundaries.
+            let mut kx = [1usize; F64_LANES];
+            let mut ky = [1usize; F64_LANES];
+            let mut kz = [1usize; F64_LANES];
+            match periodic {
+                Some(l) => {
+                    let inv_l = 1.0 / l;
+                    // Same per-axis formula as `Vec3::periodic_delta`.
+                    let wrap = |d: f64| {
+                        let mut d = d % l;
+                        if d > 0.5 * l {
+                            d -= l;
+                        } else if d < -0.5 * l {
+                            d += l;
+                        }
+                        d
+                    };
+                    let img_of =
+                        |raw: f64, d: f64| (((raw - d) * inv_l).round().clamp(-1.0, 1.0)) as i32;
+                    for i in 0..lanes {
+                        let c = start + i;
+                        let (rx, ry, rz) = (
+                            self.x[c] - center.x,
+                            self.y[c] - center.y,
+                            self.z[c] - center.z,
+                        );
+                        dx[i] = wrap(rx);
+                        dy[i] = wrap(ry);
+                        dz[i] = wrap(rz);
+                        kx[i] = (img_of(rx, dx[i]) + 1) as usize;
+                        ky[i] = (img_of(ry, dy[i]) + 1) as usize;
+                        kz[i] = (img_of(rz, dz[i]) + 1) as usize;
+                    }
+                }
+                None => {
+                    for i in 0..lanes {
+                        let c = start + i;
+                        dx[i] = self.x[c] - center.x;
+                        dy[i] = self.y[c] - center.y;
+                        dz[i] = self.z[c] - center.z;
+                    }
+                }
+            }
+            // Distance² lanes: (dx·dx + dy·dy) + dz·dz, the same
+            // association as `Vec3::norm_sq`.
+            let vx = F64x8::from_array(dx);
+            let vy = F64x8::from_array(dy);
+            let vz = F64x8::from_array(dz);
+            let r2 = vx * vx + vy * vy + vz * vz;
+
+            // Gather gate per lane: squared gate distances into a flat
+            // array first (branch-free, vectorizable), mask second.
+            let mut keep = if self.mixed {
+                let mut g = [f32::INFINITY; F64_LANES];
+                match &images32 {
+                    Some(img) => {
+                        for i in 0..lanes {
+                            let c = start + i;
+                            let gx = self.xs[c] - img[0][kx[i]];
+                            let gy = self.ys[c] - img[1][ky[i]];
+                            let gz = self.zs[c] - img[2][kz[i]];
+                            g[i] = gx * gx + gy * gy + gz * gz;
+                        }
+                    }
+                    None => {
+                        for (i, gi) in g.iter_mut().enumerate().take(lanes) {
+                            let c = start + i;
+                            let gx = self.xs[c] - c32[0];
+                            let gy = self.ys[c] - c32[1];
+                            let gz = self.zs[c] - c32[2];
+                            *gi = gx * gx + gy * gy + gz * gz;
+                        }
+                    }
+                }
+                let mut mask = 0u8;
+                for (i, &gi) in g.iter().enumerate() {
+                    mask |= ((gi <= rmax2_32) as u8) << i;
+                }
+                mask
+            } else {
+                match &images64 {
+                    Some(img) => {
+                        let mut g = [f64::INFINITY; F64_LANES];
+                        for i in 0..lanes {
+                            let c = start + i;
+                            let gx = self.x[c] - img[0][kx[i]];
+                            let gy = self.y[c] - img[1][ky[i]];
+                            let gz = self.z[c] - img[2][kz[i]];
+                            g[i] = gx * gx + gy * gy + gz * gz;
+                        }
+                        F64x8::from_array(g).le_mask(F64x8::splat(rmax2))
+                    }
+                    None => r2.le_mask(F64x8::splat(rmax2)),
+                }
+            };
+            if lanes < F64_LANES {
+                keep &= (1u8 << lanes) - 1; // tail: zero lanes never pass
+            }
+            if let Some(p) = skip_pos {
+                if (start..start + lanes).contains(&p) {
+                    keep &= !(1u8 << (p - start)); // never pair with self
+                }
+            }
+
+            // Compact survivors; sqrt only for them (`f64::sqrt` is
+            // correctly rounded, so per-survivor scalar sqrt and a
+            // full-width vector sqrt produce identical bits — skipping
+            // rejected lanes is free).
+            let r2a = r2.to_array();
+            for i in 0..lanes {
+                if keep & (1 << i) != 0 {
+                    self.sel_dx.push(dx[i]);
+                    self.sel_dy.push(dy[i]);
+                    self.sel_dz.push(dz[i]);
+                    self.sel_r.push(r2a[i].sqrt());
+                    self.sel_w.push(self.w[start + i]);
+                }
+            }
+            start += lanes;
+        }
+
+        // Batch the unit-vector reciprocals over the survivor list so
+        // the scalar binning tail never stalls on a divide: `recip`
+        // divides per lane (IEEE correctly rounded), so every entry is
+        // the exact bits of the scalar `1.0 / r`. Coincident pairs
+        // (r = 0) produce `inf` here and are dropped by the tail's
+        // existing `r == 0` check before the value is ever read.
+        let kept = self.sel_r.len();
+        self.sel_inv_r.clear();
+        self.sel_inv_r.resize(kept, 0.0);
+        let mut i = 0;
+        while i + F64_LANES <= kept {
+            F64x8::from_slice(&self.sel_r[i..])
+                .recip()
+                .write_to(&mut self.sel_inv_r[i..]);
+            i += F64_LANES;
+        }
+        for j in i..kept {
+            self.sel_inv_r[j] = 1.0 / self.sel_r[j];
+        }
+        kept
+    }
 }
 
 #[cfg(test)]
@@ -296,5 +516,145 @@ mod tests {
         let again = block.fill(&tree, &leaves[0], 2.5, None, &galaxies);
         assert_eq!(a, again);
         assert_eq!(ids_a, block.ids());
+    }
+
+    /// Scalar reference of the blocked Phase A: per-candidate wrapped
+    /// delta, minimum-image gather gate in the tree's precision, and
+    /// `√r²`, all in plain scalar arithmetic. `select_pairs` must stage
+    /// bit-identical floats in the same order.
+    fn select_pairs_reference(
+        block: &CandidateBlock,
+        center: Vec3,
+        skip_id: u32,
+        periodic: Option<f64>,
+        rmax: f64,
+    ) -> Vec<(u64, u64, u64, u64, u64)> {
+        let rmax2 = rmax * rmax;
+        let r32 = rmax as f32;
+        let rmax2_32 = r32 * r32;
+        let c32 = [center.x as f32, center.y as f32, center.z as f32];
+        let mut out = Vec::new();
+        for c in 0..block.ids.len() {
+            let p = Vec3::new(block.x[c], block.y[c], block.z[c]);
+            let delta = match periodic {
+                Some(l) => p.periodic_delta(center, l),
+                None => p - center,
+            };
+            let r2 = delta.norm_sq();
+            let (kx, ky, kz) = match periodic {
+                Some(l) => {
+                    let inv_l = 1.0 / l;
+                    let k = |d: f64| (d * inv_l).round().clamp(-1.0, 1.0) as i32;
+                    (
+                        k(p.x - center.x - delta.x),
+                        k(p.y - center.y - delta.y),
+                        k(p.z - center.z - delta.z),
+                    )
+                }
+                None => (0, 0, 0),
+            };
+            let pass = if block.mixed {
+                let (gx, gy, gz) = match periodic {
+                    Some(l) => (
+                        block.xs[c] - (center.x + kx as f64 * l) as f32,
+                        block.ys[c] - (center.y + ky as f64 * l) as f32,
+                        block.zs[c] - (center.z + kz as f64 * l) as f32,
+                    ),
+                    None => (
+                        block.xs[c] - c32[0],
+                        block.ys[c] - c32[1],
+                        block.zs[c] - c32[2],
+                    ),
+                };
+                gx * gx + gy * gy + gz * gz <= rmax2_32
+            } else {
+                let g2 = match periodic {
+                    Some(l) => {
+                        let gx = p.x - (center.x + kx as f64 * l);
+                        let gy = p.y - (center.y + ky as f64 * l);
+                        let gz = p.z - (center.z + kz as f64 * l);
+                        gx * gx + gy * gy + gz * gz
+                    }
+                    None => r2,
+                };
+                g2 <= rmax2
+            };
+            if pass && block.ids[c] != skip_id {
+                out.push((
+                    delta.x.to_bits(),
+                    delta.y.to_bits(),
+                    delta.z.to_bits(),
+                    r2.sqrt().to_bits(),
+                    block.w[c].to_bits(),
+                ));
+            }
+        }
+        out
+    }
+
+    /// The vectorized Phase A must stage exactly the scalar survivors —
+    /// same pairs, same order, bit-identical deltas/separations/weights
+    /// — for both tree precisions and both boundary modes, across lane
+    /// tails (candidate counts not divisible by [`F64_LANES`]).
+    #[test]
+    fn select_pairs_matches_scalar_reference() {
+        for precision in [TreePrecision::Double, TreePrecision::Mixed] {
+            for periodic in [None, Some(10.0)] {
+                let rmax = 3.0;
+                let (galaxies, tree, leaves, mut block) = fill_for_leaf(precision, 300, 42);
+                let mut staged_any = false;
+                for leaf in &leaves {
+                    block.fill(&tree, leaf, rmax, periodic, &galaxies);
+                    for slot in leaf.start..leaf.end {
+                        let i = tree.id_at(slot) as usize;
+                        let center = galaxies[i].pos;
+                        let want = select_pairs_reference(&block, center, i as u32, periodic, rmax);
+                        let n = block.select_pairs(center, i as u32, periodic, rmax);
+                        assert_eq!(
+                            n,
+                            want.len(),
+                            "survivor count mismatch ({precision:?}, periodic={periodic:?})"
+                        );
+                        for (s, w) in want.iter().enumerate() {
+                            let got = (
+                                block.sel_dx[s].to_bits(),
+                                block.sel_dy[s].to_bits(),
+                                block.sel_dz[s].to_bits(),
+                                block.sel_r[s].to_bits(),
+                                block.sel_w[s].to_bits(),
+                            );
+                            assert_eq!(
+                                got, *w,
+                                "staged pair {s} differs \
+                                 ({precision:?}, periodic={periodic:?})"
+                            );
+                            assert_eq!(
+                                block.sel_inv_r[s].to_bits(),
+                                (1.0 / block.sel_r[s]).to_bits(),
+                                "staged reciprocal {s} differs from scalar 1/r \
+                                 ({precision:?}, periodic={periodic:?})"
+                            );
+                        }
+                        staged_any |= n > 0;
+                    }
+                }
+                assert!(staged_any, "test catalog produced no surviving pairs");
+            }
+        }
+    }
+
+    /// `select_pairs` must skip the primary itself even when its own
+    /// slot sits inside the candidate block.
+    #[test]
+    fn select_pairs_skips_the_primary() {
+        let (galaxies, tree, leaves, mut block) = fill_for_leaf(TreePrecision::Double, 200, 9);
+        let leaf = &leaves[0];
+        block.fill(&tree, leaf, 4.0, None, &galaxies);
+        let i = tree.id_at(leaf.start) as usize;
+        assert!(block.ids().contains(&(i as u32)));
+        let n = block.select_pairs(galaxies[i].pos, i as u32, None, 4.0);
+        assert!(n > 0);
+        // No staged pair may have the primary's zero separation.
+        assert!(block.sel_r.iter().all(|&r| r > 0.0));
     }
 }

@@ -178,3 +178,47 @@ fn grid_reports_zero_binned_pairs_and_stage_timings() {
     assert!(timer.get(Stage::Multipole) > 0, "field stage not timed");
     assert!(timer.get(Stage::Assembly) > 0, "zeta stage not timed");
 }
+
+#[test]
+fn grid_timings_map_exactly_onto_stage_timer() {
+    // The native GridTimings breakdown must reconcile with the
+    // StageTimer mapping *exactly*: paint → TreeBuild, fields →
+    // Multipole, contraction + self-pair correction → Assembly, with
+    // the self-pair cost reported on its own (not folded into
+    // zeta_nanos).
+    use galactos_core::timing::{Stage, StageTimer};
+    let cat = uniform_box(300, 12.0, 99);
+    let mut config = EngineConfig::test_default(4.0, 2, 2);
+    config.subtract_self_pairs = true;
+    config.estimator = EstimatorChoice::Grid(GridConfig::with_mesh(16));
+    let engine = Engine::new(config.clone());
+    let timer = StageTimer::new();
+    let (zeta, timings) = engine.compute_with_grid_timings(&cat, Some(&timer));
+    let timings = timings.expect("grid path must report native timings");
+    assert_eq!(zeta.binned_pairs, 0);
+    assert_eq!(timer.get(Stage::TreeBuild), timings.paint_nanos);
+    assert_eq!(timer.get(Stage::Multipole), timings.field_nanos);
+    assert_eq!(
+        timer.get(Stage::Assembly),
+        timings.zeta_nanos + timings.selfpair_nanos
+    );
+    assert!(
+        timings.selfpair_nanos > 0,
+        "self-pair correction ran but reported zero time"
+    );
+    assert!(timings.paint_nanos > 0 && timings.field_nanos > 0 && timings.zeta_nanos > 0);
+
+    // With the correction disabled the self-pair share must be zero.
+    let mut no_sub = config.clone();
+    no_sub.subtract_self_pairs = false;
+    let (_, t2) = Engine::new(no_sub).compute_with_grid_timings(&cat, None);
+    assert_eq!(t2.unwrap().selfpair_nanos, 0);
+
+    // Tree path: the result matches the plain entry point and no grid
+    // timings are fabricated.
+    config.estimator = EstimatorChoice::Tree;
+    let tree_engine = Engine::new(config);
+    let (tree_zeta, none) = tree_engine.compute_with_grid_timings(&cat, None);
+    assert!(none.is_none());
+    assert_eq!(tree_zeta.max_difference(&tree_engine.compute(&cat)), 0.0);
+}

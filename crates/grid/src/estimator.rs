@@ -101,13 +101,17 @@ impl GridConfig {
 }
 
 /// Wall-clock breakdown of one estimator run, for the engine's stage
-/// timer (painting ~ tree build, fields ~ multipole kernel, ζ ~
-/// assembly).
+/// timer (painting ~ tree build, fields ~ multipole kernel, ζ
+/// contraction + self-pair correction ~ assembly).
 #[derive(Clone, Copy, Debug, Default)]
 pub struct GridTimings {
     pub paint_nanos: u64,
     pub field_nanos: u64,
     pub zeta_nanos: u64,
+    /// Self-pair correction (`w²` mesh, correlation FFTs, harmonic
+    /// assembly) — kept separate from `zeta_nanos` so the contraction
+    /// cost is visible on its own.
+    pub selfpair_nanos: u64,
 }
 
 /// One cell of the radial-shell kernel support: flat mesh index, radial
@@ -160,40 +164,64 @@ pub fn accumulate_zeta_multipoles(
     let nhat = density.fourier(cfg.deconvolve);
 
     // Primary side: the painted (real-space) field; only occupied cells
-    // contribute to the ζ inner products.
-    let occupied: Vec<(u32, f64)> = density
-        .data()
-        .iter()
-        .enumerate()
-        .filter(|(_, &w)| w != 0.0)
-        .map(|(i, &w)| (i as u32, w))
-        .collect();
+    // contribute to the ζ inner products. Indices and weights are kept
+    // in separate arrays so the contraction below runs over flat f64
+    // streams.
+    let mut occupied: Vec<u32> = Vec::new();
+    let mut wocc: Vec<f64> = Vec::new();
+    for (i, &w) in density.data().iter().enumerate() {
+        if w != 0.0 {
+            occupied.push(i as u32);
+            wocc.push(w);
+        }
+    }
 
     // Radial-shell support: every cell whose minimum-image displacement
     // from the origin lands in a bin, with its rotated unit direction.
-    let mut shells: Vec<ShellCell> = Vec::new();
-    for i in 0..n {
-        let dx = signed_mode(i, n) as f64 * h;
-        for j in 0..n {
-            let dy = signed_mode(j, n) as f64 * h;
-            for k in 0..n {
-                let dz = signed_mode(k, n) as f64 * h;
-                let mut d = Vec3::new(dx, dy, dz);
-                if let Some(rot) = &rotation {
-                    d = rot.mul_vec(d);
+    // Built one i-plane per task; the ordered reduction concatenates
+    // planes in index order, so the table is identical to a serial scan.
+    let shells: Vec<ShellCell> = (0..n)
+        .into_par_iter()
+        .map(|i| {
+            let dx = signed_mode(i, n) as f64 * h;
+            let mut plane_cells = Vec::new();
+            for j in 0..n {
+                let dy = signed_mode(j, n) as f64 * h;
+                for k in 0..n {
+                    let dz = signed_mode(k, n) as f64 * h;
+                    let mut d = Vec3::new(dx, dy, dz);
+                    if let Some(rot) = &rotation {
+                        d = rot.mul_vec(d);
+                    }
+                    let r = d.norm();
+                    if r == 0.0 {
+                        continue; // zero separation: direction undefined
+                    }
+                    let Some(bin) = bin_of(r) else { continue };
+                    plane_cells.push(ShellCell {
+                        idx: ((i * n + j) * n + k) as u32,
+                        bin: bin as u16,
+                        u: [d.x / r, d.y / r, d.z / r],
+                    });
                 }
-                let r = d.norm();
-                if r == 0.0 {
-                    continue; // zero separation: direction undefined
-                }
-                let Some(bin) = bin_of(r) else { continue };
-                shells.push(ShellCell {
-                    idx: ((i * n + j) * n + k) as u32,
-                    bin: bin as u16,
-                    u: [d.x / r, d.y / r, d.z / r],
-                });
             }
-        }
+            plane_cells
+        })
+        .reduce(Vec::new, |mut a, mut b| {
+            a.append(&mut b);
+            a
+        });
+
+    // Bucket the shell cells by radial bin once: each kernel field
+    // only touches the cells of its own bin, so the per-field fill
+    // below never scans the other bins' support.
+    let mut shells_by_bin: Vec<Vec<ShellCell>> = (0..nbins).map(|_| Vec::new()).collect();
+    for cell in &shells {
+        shells_by_bin[cell.bin as usize].push(ShellCell {
+            idx: cell.idx,
+            bin: cell.bin,
+            u: cell.u,
+        });
     }
 
     let basis = MonomialBasis::new(lmax);
@@ -204,83 +232,111 @@ pub fn accumulate_zeta_multipoles(
 
     // Process one m at a time: the ζ couplings never mix different m,
     // so only the (ℓmax+1−m)·nbins fields of the current m need to be
-    // resident at once.
+    // resident at once — and each field task drops its full mesh as
+    // soon as the occupied-cell values are gathered, so at most one
+    // mesh per worker thread is live beyond `nhat`.
     for m in 0..=lmax {
         let ls: Vec<usize> = (m..=lmax).collect();
-        let nfields = ls.len() * nbins;
+        let nl = ls.len();
+        let nfields = nl * nbins;
         let tf = Instant::now();
-        let mut fields: Vec<Mesh3> = (0..nfields).map(|_| Mesh3::zeros(n)).collect();
 
-        // Reflected kernels g(u) = K(−u): one monomial evaluation per
-        // shell cell covers every ℓ of this m.
-        {
+        // One task per (ℓ, bin) field: fill the reflected kernel
+        // g(u) = K(−u) over the bin's shell cells, convolve with the
+        // density via two *serial* FFTs (the parallelism lives at the
+        // field level; nested spawning would oversubscribe), and keep
+        // only the occupied-cell values as split re/im streams. The
+        // ordered reduction concatenates fields in index order.
+        let build_field = |fi: usize| -> (Vec<f64>, Vec<f64>) {
+            let li = fi / nbins;
+            let bin = fi % nbins;
+            let l = ls[li];
+            let mut mesh = Mesh3::zeros(n);
             let mut vals = vec![0.0f64; basis.len()];
-            for cell in &shells {
+            for cell in &shells_by_bin[bin] {
                 // Evaluate at −û (the reflection that turns the
                 // cross-correlation into a plain convolution).
                 basis.eval_into(-cell.u[0], -cell.u[1], -cell.u[2], &mut vals);
-                for (li, &l) in ls.iter().enumerate() {
-                    let mut acc = Complex64::ZERO;
-                    for t in ylm.terms(l, m) {
-                        acc += t.coeff * vals[t.monomial as usize];
-                    }
-                    let mesh = &mut fields[li * nbins + cell.bin as usize];
-                    mesh.data_mut()[cell.idx as usize] = acc;
+                let mut acc = Complex64::ZERO;
+                for t in ylm.terms(l, m) {
+                    acc += t.coeff * vals[t.monomial as usize];
                 }
+                mesh.data_mut()[cell.idx as usize] = acc;
             }
-        }
-
-        // kernel → k-space, multiply by the density modes, back: each
-        // field becomes A_ℓm,b(x) on the mesh.
-        for mesh in fields.iter_mut() {
-            mesh.fft3(Direction::Forward);
+            mesh.fft3_serial(Direction::Forward);
             mesh.pointwise_mul(&nhat);
-            mesh.fft3(Direction::Inverse);
-        }
+            mesh.fft3_serial(Direction::Inverse);
+            let mut re = Vec::with_capacity(occupied.len());
+            let mut im = Vec::with_capacity(occupied.len());
+            for &c in &occupied {
+                let v = mesh.data()[c as usize];
+                re.push(v.re);
+                im.push(v.im);
+            }
+            (re, im)
+        };
+        let fields: Vec<(Vec<f64>, Vec<f64>)> = (0..nfields)
+            .into_par_iter()
+            .map(|fi| vec![build_field(fi)])
+            .reduce(Vec::new, |mut a, mut b| {
+                a.append(&mut b);
+                a
+            });
         timings.field_nanos += tf.elapsed().as_nanos() as u64;
 
         // ζ^m_{ℓℓ'}(b₁,b₂) = Σ_occupied n(x)·A_ℓm,b₁(x)·conj(A_ℓ'm,b₂(x)).
         // The cell weight is real, so swapping the two fields conjugates
-        // the sum (term by term, bit-exactly): only the upper triangle
-        // in the flat field index is contracted; mirrors are filled by
-        // conjugation, halving the dominant per-m inner-product work.
+        // the sum (term by term, bit-exactly): only the nf·(nf+1)/2
+        // upper-triangle pairs in the flat field index are dispatched —
+        // in real blocks, not one-combo chunks, and with no no-op mirror
+        // tasks — then mirrors are filled by conjugation.
         let tz = Instant::now();
-        let nl = ls.len();
-        let decode = |combo: usize| {
+        let tri: Vec<(u32, u32)> = (0..nfields as u32)
+            .flat_map(|f1| (f1..nfields as u32).map(move |f2| (f1, f2)))
+            .collect();
+        let mut upper = vec![Complex64::ZERO; tri.len()];
+        const COMBO_BLOCK: usize = 4;
+        let tri_ref = &tri;
+        let fields_ref = &fields;
+        let wocc_ref = &wocc;
+        upper
+            .par_chunks_mut(COMBO_BLOCK)
+            .enumerate()
+            .for_each(|(blk, out)| {
+                for (o, slot) in out.iter_mut().enumerate() {
+                    let (f1, f2) = tri_ref[blk * COMBO_BLOCK + o];
+                    let (a_re, a_im) = &fields_ref[f1 as usize];
+                    let (b_re, b_im) = &fields_ref[f2 as usize];
+                    let mut acc_re = 0.0f64;
+                    let mut acc_im = 0.0f64;
+                    // Same floats as `w · f1·conj(f2)` accumulated with
+                    // complex ops: the sign-flip identities
+                    // `x − (−y) ≡ x + y` and `(−p) + q ≡ q − p` are
+                    // exact in IEEE arithmetic.
+                    for c in 0..wocc_ref.len() {
+                        let re_p = a_re[c] * b_re[c] + a_im[c] * b_im[c];
+                        let im_p = a_im[c] * b_re[c] - a_re[c] * b_im[c];
+                        acc_re += wocc_ref[c] * re_p;
+                        acc_im += wocc_ref[c] * im_p;
+                    }
+                    *slot = Complex64::new(acc_re, acc_im);
+                }
+            });
+        // Triangular index of the ordered pair f1 ≤ f2 (row f1 starts
+        // after Σ_{r<f1} (nfields − r) entries).
+        let tidx = |f1: usize, f2: usize| f1 * (2 * nfields - f1 + 1) / 2 + (f2 - f1);
+        for combo in 0..nfields * nfields {
             let b2 = combo % nbins;
             let rest = combo / nbins;
             let b1 = rest % nbins;
             let rest = rest / nbins;
-            (rest / nl, b1, rest % nl, b2) // (li, b1, lj, b2)
-        };
-        let ncombo = nl * nl * nbins * nbins;
-        let mut results = vec![Complex64::ZERO; ncombo];
-        results
-            .par_chunks_mut(1)
-            .enumerate()
-            .for_each(|(combo, out)| {
-                let (li, b1, lj, b2) = decode(combo);
-                if li * nbins + b1 > lj * nbins + b2 {
-                    return; // lower triangle: filled from the mirror below
-                }
-                let f1 = fields[li * nbins + b1].data();
-                let f2 = fields[lj * nbins + b2].data();
-                let mut acc = Complex64::ZERO;
-                for &(cell, w) in &occupied {
-                    let c = cell as usize;
-                    acc += w * (f1[c] * f2[c].conj());
-                }
-                out[0] = acc;
-            });
-        for combo in 0..ncombo {
-            let (li, b1, lj, b2) = decode(combo);
-            if li * nbins + b1 > lj * nbins + b2 {
-                let mirror = ((lj * nl + li) * nbins + b2) * nbins + b1;
-                results[combo] = results[mirror].conj();
-            }
-        }
-        for (combo, &value) in results.iter().enumerate() {
-            let (li, b1, lj, b2) = decode(combo);
+            let (li, lj) = (rest / nl, rest % nl);
+            let (f1, f2) = (li * nbins + b1, lj * nbins + b2);
+            let value = if f1 <= f2 {
+                upper[tidx(f1, f2)]
+            } else {
+                upper[tidx(f2, f1)].conj()
+            };
             sink(ls[li], ls[lj], m, b1, b2, value);
         }
         timings.zeta_nanos += tz.elapsed().as_nanos() as u64;
@@ -288,7 +344,7 @@ pub fn accumulate_zeta_multipoles(
     if subtract_self_pairs {
         let ts = Instant::now();
         subtract_self_pair_terms(catalog, cfg, lmax, nbins, &density, &shells, sink);
-        timings.zeta_nanos += ts.elapsed().as_nanos() as u64;
+        timings.selfpair_nanos += ts.elapsed().as_nanos() as u64;
     }
     timings
 }
@@ -325,25 +381,45 @@ fn subtract_self_pair_terms(
     let basis2 = MonomialBasis::new(2 * lmax);
     let table = YlmPairProductTable::new(lmax, &basis2);
     let nmono = basis2.len();
-    let mut sums = vec![0.0f64; nbins * nmono];
-    let mut scratch = vec![0.0f64; nmono];
-    for cell in shells {
-        let w = r_u[cell.idx as usize];
-        if w == 0.0 {
-            continue;
-        }
-        // The pair direction is the *unreflected* û (primary at x,
-        // secondary at x + u).
-        let b = cell.bin as usize;
-        basis2.accumulate_into(
-            cell.u[0],
-            cell.u[1],
-            cell.u[2],
-            w,
-            &mut scratch,
-            &mut sums[b * nmono..(b + 1) * nmono],
+    // Per-bin monomial sums, accumulated in fixed-size shell chunks and
+    // merged in chunk order — the decomposition does not depend on the
+    // thread count, so the result is bit-stable across pool sizes.
+    const SELF_CHUNK: usize = 4096;
+    let basis2_ref = &basis2;
+    let r_u_ref = &r_u;
+    let sums: Vec<f64> = shells
+        .par_chunks(SELF_CHUNK)
+        .map(|chunk| {
+            let mut local = vec![0.0f64; nbins * nmono];
+            let mut scratch = vec![0.0f64; nmono];
+            for cell in chunk {
+                let w = r_u_ref[cell.idx as usize];
+                if w == 0.0 {
+                    continue;
+                }
+                // The pair direction is the *unreflected* û (primary at
+                // x, secondary at x + u).
+                let b = cell.bin as usize;
+                basis2_ref.accumulate_into(
+                    cell.u[0],
+                    cell.u[1],
+                    cell.u[2],
+                    w,
+                    &mut scratch,
+                    &mut local[b * nmono..(b + 1) * nmono],
+                );
+            }
+            local
+        })
+        .reduce(
+            || vec![0.0f64; nbins * nmono],
+            |mut a, b| {
+                for (x, y) in a.iter_mut().zip(b.iter()) {
+                    *x += *y;
+                }
+                a
+            },
         );
-    }
     for b in 0..nbins {
         let s = &sums[b * nmono..(b + 1) * nmono];
         for l in 0..=lmax {

@@ -6,6 +6,7 @@ use crate::assign::MassAssignment;
 use galactos_catalog::{Catalog, Galaxy};
 use galactos_math::fft::{signed_mode, Mesh3};
 use galactos_math::Complex64;
+use rayon::prelude::*;
 
 /// A real-valued weight field on an `n³` periodic mesh (row-major,
 /// [`Mesh3`] layout), painted from a catalog with one of the
@@ -35,12 +36,19 @@ impl DensityMesh {
 
     /// Paint with an arbitrary per-galaxy weight (the self-pair
     /// correction paints `w²` through the same deposit path).
+    ///
+    /// Painting is parallelized by *slab ownership*: the mesh is split
+    /// into contiguous blocks of x-planes, and every worker scans the
+    /// whole catalog but deposits only into cells its slab owns. Each
+    /// cell is therefore accumulated in catalog order by exactly one
+    /// thread, making the result bit-identical to a serial painting
+    /// for every thread count and slab size.
     pub fn paint_with(
         catalog: &Catalog,
         n: usize,
         assignment: MassAssignment,
         interlace: bool,
-        weight: impl Fn(&Galaxy) -> f64,
+        weight: impl Fn(&Galaxy) -> f64 + Sync,
     ) -> Self {
         let box_len = catalog
             .periodic
@@ -49,16 +57,26 @@ impl DensityMesh {
             n.is_power_of_two() && n >= 2,
             "mesh side must be a power of two >= 2, got {n}"
         );
-        let mut data = vec![0.0f64; n * n * n];
-        let mut shifted = interlace.then(|| vec![0.0f64; n * n * n]);
         let inv_h = n as f64 / box_len;
-        for g in &catalog.galaxies {
-            let w = weight(g);
-            deposit(&mut data, n, assignment, g.pos, inv_h, 0.0, w);
-            if let Some(sh) = shifted.as_mut() {
-                deposit(sh, n, assignment, g.pos, inv_h, 0.5, w);
-            }
-        }
+        let planes_per_slab = n.div_ceil(rayon::current_num_threads()).max(1);
+        let slab_cells = planes_per_slab * n * n;
+        let galaxies = &catalog.galaxies;
+        let weight = &weight;
+        let paint_field = |shift: f64| {
+            let mut field = vec![0.0f64; n * n * n];
+            field
+                .par_chunks_mut(slab_cells)
+                .enumerate()
+                .for_each(|(s, slab)| {
+                    let i0 = s * planes_per_slab;
+                    for g in galaxies {
+                        deposit_slab(slab, i0, n, assignment, g.pos, inv_h, shift, weight(g));
+                    }
+                });
+            field
+        };
+        let data = paint_field(0.0);
+        let shifted = interlace.then(|| paint_field(0.5));
         DensityMesh {
             n,
             box_len,
@@ -110,25 +128,32 @@ impl DensityMesh {
         let mut mesh = Mesh3::forward_real(n, &self.data);
         if let Some(sh) = &self.shifted {
             let second = Mesh3::forward_real(n, sh);
-            for i in 0..n {
-                let mi = signed_mode(i, n);
-                for j in 0..n {
-                    let mj = signed_mode(j, n);
-                    for k in 0..n {
-                        let mk = signed_mode(k, n);
-                        // The second painting sampled every particle at
-                        // x + H/2 per axis, so its ideal modes carry
-                        // e^{−ik·s}; multiplying by e^{+ik·s} realigns
-                        // them while flipping the sign of the odd alias
-                        // images, which then cancel in the average.
-                        let phase = std::f64::consts::PI * (mi + mj + mk) as f64 / n as f64;
-                        let idx = mesh.index(i, j, k);
-                        let combined =
-                            0.5 * (mesh.data()[idx] + Complex64::cis(phase) * second.data()[idx]);
-                        mesh.data_mut()[idx] = combined;
+            let second = &second;
+            // Cell-wise combine: parallel over i-planes (no reduction,
+            // so trivially thread-count invariant).
+            mesh.data_mut()
+                .par_chunks_mut(n * n)
+                .enumerate()
+                .for_each(|(i, plane)| {
+                    let mi = signed_mode(i, n);
+                    for j in 0..n {
+                        let mj = signed_mode(j, n);
+                        for k in 0..n {
+                            let mk = signed_mode(k, n);
+                            // The second painting sampled every particle
+                            // at x + H/2 per axis, so its ideal modes
+                            // carry e^{−ik·s}; multiplying by e^{+ik·s}
+                            // realigns them while flipping the sign of
+                            // the odd alias images, which then cancel in
+                            // the average.
+                            let phase = std::f64::consts::PI * (mi + mj + mk) as f64 / n as f64;
+                            let idx = j * n + k;
+                            let gidx = (i * n + j) * n + k;
+                            plane[idx] =
+                                0.5 * (plane[idx] + Complex64::cis(phase) * second.data()[gidx]);
+                        }
                     }
-                }
-            }
+                });
         }
         if deconvolve {
             let a = self.assignment;
@@ -136,26 +161,36 @@ impl DensityMesh {
             let win: Vec<f64> = (0..n)
                 .map(|i| a.fourier_window(signed_mode(i, n), n))
                 .collect();
-            for i in 0..n {
-                for j in 0..n {
-                    let wij = win[i] * win[j];
-                    let base = mesh.index(i, j, 0);
-                    let line = &mut mesh.data_mut()[base..base + n];
-                    for (v, wk) in line.iter_mut().zip(win.iter()) {
-                        *v = *v * (1.0 / (wij * wk));
+            let win = &win;
+            mesh.data_mut()
+                .par_chunks_mut(n * n)
+                .enumerate()
+                .for_each(|(i, plane)| {
+                    for j in 0..n {
+                        let wij = win[i] * win[j];
+                        let line = &mut plane[j * n..j * n + n];
+                        for (v, wk) in line.iter_mut().zip(win.iter()) {
+                            *v = *v * (1.0 / (wij * wk));
+                        }
                     }
-                }
-            }
+                });
         }
         mesh
     }
 }
 
-/// Deposit weight `w` for a particle at `pos` onto `data`, with the
+/// Deposit weight `w` for a particle at `pos` into `slab`, the block of
+/// x-planes `[i0, i0 + slab.len()/n²)` of an `n³` mesh, with the
 /// particle coordinate shifted by `shift` cells per axis (0 for the
-/// primary painting, ½ for the interlaced one).
-fn deposit(
-    data: &mut [f64],
+/// primary painting, ½ for the interlaced one). Contributions to
+/// planes outside the slab are dropped — the slab-ownership rule of
+/// [`DensityMesh::paint_with`]. The weight products are formed exactly
+/// as in a whole-mesh deposit, so restricting to a slab changes no
+/// float.
+#[allow(clippy::too_many_arguments)]
+fn deposit_slab(
+    slab: &mut [f64],
+    i0: usize,
     n: usize,
     assignment: MassAssignment,
     pos: galactos_math::Vec3,
@@ -163,20 +198,29 @@ fn deposit(
     shift: f64,
     w: f64,
 ) {
+    let nplanes = slab.len() / (n * n);
     // Position in cell units relative to the center of cell 0.
     let gx = pos.x * inv_h - 0.5 + shift;
+    let (ci, wi, ni) = assignment.axis_weights(gx, n);
+    // Cheap ownership pre-check before touching the other axes: most
+    // galaxies deposit nowhere near a given slab.
+    if !(0..ni).any(|a| (i0..i0 + nplanes).contains(&ci[a])) {
+        return;
+    }
     let gy = pos.y * inv_h - 0.5 + shift;
     let gz = pos.z * inv_h - 0.5 + shift;
-    let (ci, wi, ni) = assignment.axis_weights(gx, n);
     let (cj, wj, nj) = assignment.axis_weights(gy, n);
     let (ck, wk, nk) = assignment.axis_weights(gz, n);
     for a in 0..ni {
-        let base_i = ci[a] * n;
+        if !(i0..i0 + nplanes).contains(&ci[a]) {
+            continue;
+        }
+        let base_i = (ci[a] - i0) * n;
         for b in 0..nj {
             let base_ij = (base_i + cj[b]) * n;
             let wab = w * wi[a] * wj[b];
             for c in 0..nk {
-                data[base_ij + ck[c]] += wab * wk[c];
+                slab[base_ij + ck[c]] += wab * wk[c];
             }
         }
     }

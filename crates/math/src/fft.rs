@@ -3,8 +3,13 @@
 //! Built from scratch (no external FFT crate) for the Gaussian random
 //! field generator in `galactos-mocks`, and promoted into the math
 //! crate once the gridded a_ℓm estimator (`galactos-grid`) became a
-//! second consumer. Sizes must be powers of two. The 3-D transform is
-//! applied axis by axis with rayon parallelism over independent lines.
+//! second consumer. Sizes must be powers of two. The 3-D transform
+//! fuses the z and y axes into one pass per i-plane (contiguous line
+//! FFTs, then an in-place column FFT over the plane's stride-n axis)
+//! and finishes with a column FFT of stride n² over the whole mesh —
+//! no transpose scratch, no per-line allocation; parallelism is one
+//! task per plane and per column block, with fixed decompositions so
+//! every thread count produces bit-identical output.
 //!
 //! # Conventions
 //!
@@ -45,17 +50,44 @@ pub fn bit_reverse(i: usize, bits: u32) -> usize {
     i.reverse_bits() >> (usize::BITS - bits)
 }
 
-/// In-place 1-D FFT of a power-of-two-length buffer.
-pub fn fft_inplace(data: &mut [Complex64], dir: Direction) {
-    let n = data.len();
-    assert!(
-        n.is_power_of_two(),
-        "FFT length must be a power of two, got {n}"
-    );
-    if n <= 1 {
-        return;
+/// Precompute the stage-major twiddle table of a size-`n` radix-2 FFT:
+/// for each butterfly length `len = 2, 4, …, n` (half `h = len/2`) the
+/// entries `w[h−1 + off] = e^{sign·2πi·off/len}`, `off < h` — `n−1`
+/// values in total, shared by every 1-D line of a 3-D transform. Each
+/// twiddle comes from one `sin_cos` call instead of the serial
+/// `w *= wlen` recurrence, which is both more accurate and removes the
+/// loop-carried dependency from the butterfly inner loop.
+pub fn twiddle_table(n: usize, dir: Direction) -> Vec<Complex64> {
+    let sign = match dir {
+        Direction::Forward => -1.0,
+        Direction::Inverse => 1.0,
+    };
+    let mut w = Vec::with_capacity(n.saturating_sub(1));
+    let mut len = 2;
+    while len <= n {
+        let ang = sign * 2.0 * std::f64::consts::PI / len as f64;
+        for off in 0..len / 2 {
+            w.push(Complex64::cis(ang * off as f64));
+        }
+        len <<= 1;
     }
-    // Bit-reversal permutation.
+    w
+}
+
+/// Any cell carrying signal? Skipping all-zero lines/planes is exact
+/// (the transform of zero is zero and scaling preserves it) and makes
+/// the forward transforms of the sparse shell kernels — whose support
+/// is a ball covering a fraction of the mesh — substantially cheaper.
+#[inline]
+fn has_signal(data: &[Complex64]) -> bool {
+    data.iter().any(|v| v.re != 0.0 || v.im != 0.0)
+}
+
+/// In-place 1-D FFT of a contiguous line with a precomputed
+/// [`twiddle_table`] of matching size and direction.
+fn fft_line(data: &mut [Complex64], tw: &[Complex64], dir: Direction) {
+    let n = data.len();
+    debug_assert_eq!(tw.len(), n - 1);
     let bits = n.trailing_zeros();
     for i in 0..n {
         let j = bit_reverse(i, bits);
@@ -63,25 +95,17 @@ pub fn fft_inplace(data: &mut [Complex64], dir: Direction) {
             data.swap(i, j);
         }
     }
-    // Butterflies.
-    let sign = match dir {
-        Direction::Forward => -1.0,
-        Direction::Inverse => 1.0,
-    };
     let mut len = 2;
     while len <= n {
-        let ang = sign * 2.0 * std::f64::consts::PI / len as f64;
-        let wlen = Complex64::cis(ang);
         let half = len / 2;
+        let stage = &tw[half - 1..len - 1];
         let mut start = 0;
         while start < n {
-            let mut w = Complex64::ONE;
-            for off in 0..half {
+            for (off, &w) in stage.iter().enumerate() {
                 let a = data[start + off];
                 let b = data[start + off + half] * w;
                 data[start + off] = a + b;
                 data[start + off + half] = a - b;
-                w *= wlen;
             }
             start += len;
         }
@@ -93,6 +117,129 @@ pub fn fft_inplace(data: &mut [Complex64], dir: Direction) {
             *v = *v * inv_n;
         }
     }
+}
+
+/// In-place 1-D FFT of a power-of-two-length buffer.
+pub fn fft_inplace(data: &mut [Complex64], dir: Direction) {
+    let n = data.len();
+    assert!(
+        n.is_power_of_two(),
+        "FFT length must be a power of two, got {n}"
+    );
+    if n <= 1 {
+        return;
+    }
+    let tw = twiddle_table(n, dir);
+    fft_line(data, &tw, dir);
+}
+
+/// FFT along the *row* axis of a strided view: `rows` logical rows of
+/// stride `row_stride`, transforming columns `c0..c1` simultaneously.
+/// One pass over the butterfly schedule applies each butterfly to the
+/// whole column block at once, so the inner loop streams two contiguous
+/// `c1−c0`-wide runs per butterfly — the strided y/x axes of
+/// [`Mesh3::fft3`] need no gather/scatter transpose and no per-line
+/// scratch at all.
+///
+/// # Safety
+/// Every access is `base[r·row_stride + c]` for `r < rows`,
+/// `c ∈ [c0, c1)`; the caller must guarantee those indices are in
+/// bounds and that no other thread touches columns `[c0, c1)` of the
+/// same view concurrently (disjoint column blocks never alias).
+unsafe fn fft_cols_raw(
+    base: *mut Complex64,
+    rows: usize,
+    row_stride: usize,
+    c0: usize,
+    c1: usize,
+    tw: &[Complex64],
+    dir: Direction,
+) {
+    debug_assert!(rows.is_power_of_two() && rows >= 2);
+    let bits = rows.trailing_zeros();
+    // SAFETY (all blocks): indices stay under `rows`/`[c0, c1)` per the
+    // caller contract.
+    unsafe {
+        // Bit-reversal permutation: swap whole row segments.
+        for i in 0..rows {
+            let j = bit_reverse(i, bits);
+            if i < j {
+                let (ri, rj) = (base.add(i * row_stride), base.add(j * row_stride));
+                for c in c0..c1 {
+                    std::ptr::swap(ri.add(c), rj.add(c));
+                }
+            }
+        }
+        let mut len = 2;
+        while len <= rows {
+            let half = len / 2;
+            let stage = &tw[half - 1..len - 1];
+            let mut start = 0;
+            while start < rows {
+                for (off, &w) in stage.iter().enumerate() {
+                    let ra = base.add((start + off) * row_stride);
+                    let rb = base.add((start + off + half) * row_stride);
+                    for c in c0..c1 {
+                        let a = *ra.add(c);
+                        let b = *rb.add(c) * w;
+                        *ra.add(c) = a + b;
+                        *rb.add(c) = a - b;
+                    }
+                }
+                start += len;
+            }
+            len <<= 1;
+        }
+        if dir == Direction::Inverse {
+            let inv_n = 1.0 / rows as f64;
+            for r in 0..rows {
+                let row = base.add(r * row_stride);
+                for c in c0..c1 {
+                    *row.add(c) = *row.add(c) * inv_n;
+                }
+            }
+        }
+    }
+}
+
+/// Column-block width of the strided-axis passes: bounds the per-stage
+/// working set (`2 rows × 256 × 16 B = 8 KiB` streamed per butterfly)
+/// and is the unit of x-axis parallelism. Fixed — not a function of the
+/// thread count — so the parallel decomposition, and therefore every
+/// float, is identical for every pool size.
+const COL_BLOCK: usize = 256;
+
+/// Shared mutable mesh view handed to workers operating on disjoint
+/// column blocks of the x-axis pass (the same pattern as the vendored
+/// rayon's `DisjointChunks`: each block index is claimed exactly once).
+struct DisjointCols {
+    base: *mut Complex64,
+}
+
+unsafe impl Sync for DisjointCols {}
+
+/// Do columns `[c0, c1)` of the strided view carry any signal?
+///
+/// # Safety
+/// Same index contract as [`fft_cols_raw`], for reads.
+unsafe fn col_signal(
+    base: *const Complex64,
+    rows: usize,
+    row_stride: usize,
+    c0: usize,
+    c1: usize,
+) -> bool {
+    for r in 0..rows {
+        // SAFETY: in-bounds per the caller contract.
+        let row = unsafe { base.add(r * row_stride) };
+        for c in c0..c1 {
+            let v = unsafe { *row.add(c) };
+            if v.re != 0.0 || v.im != 0.0 {
+                return true;
+            }
+        }
+    }
+    false
 }
 
 /// Map a mesh index to its signed frequency: `0..=n/2` stay, the upper
@@ -222,58 +369,100 @@ impl Mesh3 {
         self.data.iter().map(|c| c.im.abs()).fold(0.0, f64::max)
     }
 
-    /// In-place 3-D FFT: 1-D transforms along z, then y, then x, with
-    /// rayon parallelism across independent lines.
+    /// In-place 3-D FFT.
+    ///
+    /// The z and y axes are fused into one pass per i-plane (a plane
+    /// fits cache): each contiguous z-line is transformed in place,
+    /// then the plane's stride-`n` y-axis is handled by a *column FFT*
+    /// — the radix-2 butterfly schedule runs once over row indices
+    /// while every butterfly streams a block of up to 256 contiguous
+    /// columns, so the strided axes need no gather/scatter transpose
+    /// and no scratch allocation at all. The x axis runs the same
+    /// column FFT with row stride `n²` across the whole mesh in
+    /// disjoint column blocks. Parallelism is one task per i-plane
+    /// (z+y) and one per column block (x); both decompositions are
+    /// fixed rather than thread-count-derived, so output is
+    /// bit-identical for every pool size. All-zero lines and column
+    /// blocks are skipped — exact, and a large win for the sparse
+    /// shell-kernel meshes the gridded estimator transforms.
     pub fn fft3(&mut self, dir: Direction) {
+        self.fft3_impl(dir, true);
+    }
+
+    /// Serial [`Mesh3::fft3`]: identical floats, no worker threads.
+    /// For use inside already-parallel regions — the grid estimator
+    /// transforms many independent field meshes concurrently, one
+    /// whole mesh per task, and nested spawning would oversubscribe.
+    pub fn fft3_serial(&mut self, dir: Direction) {
+        self.fft3_impl(dir, false);
+    }
+
+    fn fft3_impl(&mut self, dir: Direction, parallel: bool) {
         let n = self.n;
-        // Axis z: lines are contiguous.
-        self.data
-            .par_chunks_mut(n)
-            .for_each(|line| fft_inplace(line, dir));
-        // Axis y: stride n within each i-plane.
-        {
-            let data = &mut self.data;
-            data.par_chunks_mut(n * n).for_each(|plane| {
-                let mut line = vec![Complex64::ZERO; n];
-                for k in 0..n {
-                    for j in 0..n {
-                        line[j] = plane[j * n + k];
-                    }
-                    fft_inplace(&mut line, dir);
-                    for j in 0..n {
-                        plane[j * n + k] = line[j];
+        if n <= 1 {
+            return;
+        }
+        let n2 = n * n;
+        let tw = twiddle_table(n, dir);
+        let tw = &tw;
+
+        // Fused z+y pass over one i-plane.
+        let zy_plane = |plane: &mut [Complex64]| {
+            for line in plane.chunks_mut(n) {
+                if has_signal(line) {
+                    fft_line(line, tw, dir);
+                }
+            }
+            let base = plane.as_mut_ptr();
+            let mut c0 = 0;
+            while c0 < n {
+                let c1 = (c0 + COL_BLOCK).min(n);
+                // SAFETY: the plane is exclusively borrowed and every
+                // access is r·n + c with r < n, c < n.
+                unsafe {
+                    if col_signal(base, n, n, c0, c1) {
+                        fft_cols_raw(base, n, n, c0, c1, tw, dir);
                     }
                 }
-            });
+                c0 = c1;
+            }
+        };
+        if parallel {
+            self.data.par_chunks_mut(n2).for_each(zy_plane);
+        } else {
+            for plane in self.data.chunks_mut(n2) {
+                zy_plane(plane);
+            }
         }
-        // Axis x: stride n² — process (j, k) columns in parallel chunks.
-        {
-            let n2 = n * n;
-            let data = std::mem::take(&mut self.data);
-            let data = std::sync::Arc::new(data);
-            let mut out = vec![Complex64::ZERO; n2 * n];
-            out.par_chunks_mut(n)
-                .enumerate()
-                .for_each(|(col, out_line)| {
-                    // col enumerates (j, k) pairs: col = j*n + k
-                    let mut line = vec![Complex64::ZERO; n];
-                    for i in 0..n {
-                        line[i] = data[i * n2 + col];
-                    }
-                    fft_inplace(&mut line, dir);
-                    out_line.copy_from_slice(&line);
-                });
-            // Scatter back: out is organized as [(j,k) major][i]
-            let mut new_data = vec![Complex64::ZERO; n2 * n];
-            new_data
-                .par_chunks_mut(n2)
-                .enumerate()
-                .for_each(|(i, plane)| {
-                    for col in 0..n2 {
-                        plane[col] = out[col * n + i];
-                    }
-                });
-            self.data = new_data;
+
+        // x pass over disjoint column blocks of the whole mesh. The
+        // raw view is created after the z+y borrows end so it stays
+        // valid for the whole pass.
+        let n_blocks = n2.div_ceil(COL_BLOCK);
+        let view = DisjointCols {
+            base: self.data.as_mut_ptr(),
+        };
+        // Capture the `Sync` wrapper itself, not its raw-pointer field
+        // (edition-2021 closures capture disjoint fields by default).
+        let view = &view;
+        let x_block = |b: usize| {
+            let c0 = b * COL_BLOCK;
+            let c1 = (c0 + COL_BLOCK).min(n2);
+            // SAFETY: block `b` touches only indices i·n² + c with
+            // i < n, c ∈ [c0, c1) ⊆ [0, n²) — in bounds, and disjoint
+            // across block indices, each claimed exactly once.
+            unsafe {
+                if col_signal(view.base, n, n2, c0, c1) {
+                    fft_cols_raw(view.base, n, n2, c0, c1, tw, dir);
+                }
+            }
+        };
+        if parallel {
+            (0..n_blocks).into_par_iter().for_each(x_block);
+        } else {
+            for b in 0..n_blocks {
+                x_block(b);
+            }
         }
     }
 }
@@ -600,6 +789,100 @@ mod tests {
         }
         for (a, b) in mesh.data().iter().zip(ref_data.iter()) {
             assert!(a.dist_inf(*b) < 1e-9);
+        }
+    }
+
+    #[test]
+    fn twiddle_table_matches_recurrence_targets() {
+        // Stage with half h lives at base offset h−1 and holds
+        // e^{sign·2πi·off/(2h)}.
+        for n in [2usize, 8, 64] {
+            let tw = twiddle_table(n, Direction::Forward);
+            assert_eq!(tw.len(), n - 1);
+            let mut len = 2;
+            while len <= n {
+                let half = len / 2;
+                for off in 0..half {
+                    let want =
+                        Complex64::cis(-2.0 * std::f64::consts::PI * off as f64 / len as f64);
+                    assert!(tw[half - 1 + off].dist_inf(want) < 1e-15, "n={n} len={len}");
+                }
+                len <<= 1;
+            }
+        }
+    }
+
+    fn random_mesh(n: usize, seed: u64) -> Mesh3 {
+        let mut mesh = Mesh3::zeros(n);
+        let vals = random_signal(n * n * n, seed);
+        mesh.data_mut().copy_from_slice(&vals);
+        mesh
+    }
+
+    #[test]
+    fn fft3_serial_and_parallel_are_bit_identical() {
+        for dir in [Direction::Forward, Direction::Inverse] {
+            let mut a = random_mesh(16, 41);
+            let mut b = a.clone();
+            a.fft3(dir);
+            b.fft3_serial(dir);
+            for (x, y) in a.data().iter().zip(b.data().iter()) {
+                assert_eq!(x.re.to_bits(), y.re.to_bits(), "{dir:?}");
+                assert_eq!(x.im.to_bits(), y.im.to_bits(), "{dir:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn fft3_is_bit_stable_across_thread_counts() {
+        // The plane/column-block decomposition is fixed, so every pool
+        // size must produce the same floats to the last bit.
+        let reference = {
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(1)
+                .build()
+                .unwrap();
+            let mut m = random_mesh(16, 43);
+            pool.install(|| m.fft3(Direction::Forward));
+            m
+        };
+        for threads in [2usize, 4, 0] {
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .unwrap();
+            let mut m = random_mesh(16, 43);
+            pool.install(|| m.fft3(Direction::Forward));
+            for (x, y) in m.data().iter().zip(reference.data().iter()) {
+                assert_eq!(x.re.to_bits(), y.re.to_bits(), "threads={threads}");
+                assert_eq!(x.im.to_bits(), y.im.to_bits(), "threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_mesh_transform_matches_dense_path() {
+        // Zero-line/zero-block skipping must be exact: a mesh whose
+        // support touches a few cells transforms to the same spectrum
+        // as the analytic sum over its support.
+        let n = 8usize;
+        let mut mesh = Mesh3::zeros(n);
+        let support = [
+            (0usize, 0usize, 0usize, 1.5),
+            (2, 5, 7, -0.75),
+            (7, 1, 3, 0.25),
+        ];
+        for &(i, j, k, v) in &support {
+            mesh.set(i, j, k, Complex64::real(v));
+        }
+        mesh.fft3(Direction::Forward);
+        for (a, b, c) in [(0usize, 0usize, 0usize), (1, 2, 3), (7, 7, 7), (4, 0, 6)] {
+            let mut want = Complex64::ZERO;
+            for &(i, j, k, v) in &support {
+                let ang = -2.0 * std::f64::consts::PI * (a * i + b * j + c * k) as f64 / n as f64;
+                want += Complex64::cis(ang).scale(v);
+            }
+            assert!(mesh.get(a, b, c).dist_inf(want) < 1e-12);
         }
     }
 }

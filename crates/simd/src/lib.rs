@@ -131,6 +131,20 @@ impl F64x8 {
         }
         F64x8(out)
     }
+
+    /// Bitmask of lanes where `self[i] <= other[i]` (bit `i` set when
+    /// true) — the vector compare feeding the blocked split loop's
+    /// gather-radius cut. Each lane's comparison is exactly the scalar
+    /// `<=`, so masked selection decides membership identically to a
+    /// scalar loop.
+    #[inline(always)]
+    pub fn le_mask(self, other: F64x8) -> u8 {
+        let mut m = 0u8;
+        for i in 0..F64_LANES {
+            m |= ((self.0[i] <= other.0[i]) as u8) << i;
+        }
+        m
+    }
 }
 
 impl Add for F64x8 {
@@ -310,6 +324,18 @@ impl F32x16 {
     pub fn count_le(self, threshold: f32) -> usize {
         self.0.iter().filter(|&&v| v <= threshold).count()
     }
+
+    /// Bitmask of lanes where `self[i] <= other[i]` (bit `i` set when
+    /// true) — the single-precision counterpart of
+    /// [`F64x8::le_mask`], for mixed-precision gather gates.
+    #[inline(always)]
+    pub fn le_mask(self, other: F32x16) -> u16 {
+        let mut m = 0u16;
+        for i in 0..16 {
+            m |= ((self.0[i] <= other.0[i]) as u16) << i;
+        }
+        m
+    }
 }
 
 impl Add for F32x16 {
@@ -430,6 +456,23 @@ mod tests {
         let fma = a.mul_add(F32x16::splat(2.0), F32x16::splat(1.0));
         assert_eq!(fma.0[0], 3.0);
         assert_eq!(fma.0[15], 1.0);
+    }
+
+    #[test]
+    fn le_mask_matches_scalar_compares() {
+        let a = F64x8::from_array([1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0]);
+        let t = F64x8::splat(4.0);
+        assert_eq!(a.le_mask(t), 0b0000_1111);
+        assert_eq!(a.le_mask(F64x8::splat(0.0)), 0);
+        assert_eq!(a.le_mask(F64x8::splat(100.0)), 0xff);
+        // Boundary lanes: <= keeps the exact-equality lane.
+        assert_eq!(F64x8::splat(4.0).le_mask(t), 0xff);
+        // NaN compares false in every lane.
+        assert_eq!(F64x8::splat(f64::NAN).le_mask(t), 0);
+
+        let b = F32x16::from_slice_padded(&[0.5; 4]);
+        assert_eq!(b.le_mask(F32x16::splat(0.4)), 0xfff0); // zero-pad lanes pass
+        assert_eq!(b.le_mask(F32x16::splat(0.6)), 0xffff);
     }
 
     #[test]

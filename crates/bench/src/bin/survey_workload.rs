@@ -1,0 +1,335 @@
+//! `survey_workload` — the end-to-end survey-realism baseline.
+//!
+//! Exercises the full real-survey path on a mock cut-sky footprint and
+//! writes `BENCH_survey.json` so its trajectory can be tracked PR over
+//! PR:
+//!
+//! 1. **ingest** — materialize the mock data as a sky CSV
+//!    (`ra,dec,z,weight`), read it back through
+//!    `galactos_catalog::sky::read_sky_csv` + the fiducial cosmology,
+//!    and gate on the Cartesian round-trip error (≤ 1e-6 h⁻¹ Mpc).
+//! 2. **randoms** — mask-driven random generation at `randfact ×` the
+//!    data size via `SurveyGeometry::sample_randoms_for`.
+//! 3. **compute** — the edge-corrected estimator, staged (D−R engine
+//!    run, randoms-only window run, per-bin-pair solve) and through
+//!    the `SurveyCompute` entry point. Two gates, both of which make
+//!    the process exit nonzero on failure (what CI's bench-smoke job
+//!    relies on):
+//!    * *equivalence*: the entry point's D−R multipoles match a plain
+//!      engine run over the same combined catalog to ≤ 1e-9 relative;
+//!    * *solver identity*: the trivial-window correction equals the
+//!      algebraic `N_ℓ/R₀` rescaling to ≤ 1e-12.
+//!
+//! Usage: `survey_workload [--smoke] [--out PATH]`
+//! (`--smoke` shrinks the catalogs to CI scale.)
+
+use galactos_bench::json::Json;
+use galactos_bench::tables::{fmt_secs, print_table};
+use galactos_bench::BENCH_SEED;
+use galactos_catalog::sky::{read_sky_csv, write_sky_csv};
+use galactos_catalog::{Cap, Catalog, SurveyGeometry};
+use galactos_core::edge::edge_corrected;
+use galactos_core::{Engine, SurveyCompute, SurveyConfig};
+use galactos_math::cosmology::FiducialCosmology;
+use galactos_math::Vec3;
+use std::time::Instant;
+
+/// Equivalence gate: survey-path D−R multipoles vs plain engine run.
+const EQUIVALENCE_TOL: f64 = 1e-9;
+/// Solver-identity gate: trivial-window correction vs algebraic form.
+const IDENTITY_TOL: f64 = 1e-12;
+/// Ingest gate: sky-CSV round-trip position error (h⁻¹ Mpc).
+const ROUNDTRIP_TOL: f64 = 1e-6;
+
+struct Params {
+    smoke: bool,
+    out: String,
+    /// Mock data-catalog size.
+    data_n: usize,
+    /// Random catalog size as a multiple of the data size.
+    randfact: usize,
+    lmax: usize,
+    nbins: usize,
+    rmax: f64,
+}
+
+impl Params {
+    fn new(smoke: bool) -> Self {
+        if smoke {
+            Params {
+                smoke,
+                out: String::new(),
+                data_n: 2_000,
+                randfact: 2,
+                lmax: 2,
+                nbins: 3,
+                rmax: 60.0,
+            }
+        } else {
+            Params {
+                smoke,
+                out: String::new(),
+                data_n: 20_000,
+                randfact: 3,
+                lmax: 4,
+                nbins: 5,
+                rmax: 60.0,
+            }
+        }
+    }
+}
+
+fn parse_args() -> Params {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let mut params = Params::new(smoke);
+    params.out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "BENCH_survey.json".to_string());
+    params
+}
+
+/// The mock footprint: a BOSS-like comoving shell (z ≈ 0.10–0.21 under
+/// the fiducial cosmology) with two angular holes and a radial
+/// completeness ramp. Observer at the origin, matching the sky-ingest
+/// convention.
+fn mock_geometry() -> SurveyGeometry {
+    let mut geom = SurveyGeometry::full_shell(Vec3::ZERO, 300.0, 600.0);
+    geom.holes.push(Cap::new(Vec3::Z, 0.5));
+    geom.holes.push(Cap::new(Vec3::new(1.0, 1.0, 0.0), 0.3));
+    geom.radial_completeness = vec![(300.0, 1.0), (600.0, 0.7)];
+    geom
+}
+
+fn main() {
+    let params = parse_args();
+    let cosmo = FiducialCosmology::boss_fiducial();
+    let geom = mock_geometry();
+    println!(
+        "survey_workload: {} data galaxies, randfact {}, lmax {}, {} bins, rmax {}{}",
+        params.data_n,
+        params.randfact,
+        params.lmax,
+        params.nbins,
+        params.rmax,
+        if params.smoke { " (smoke)" } else { "" }
+    );
+
+    // ---- Ingest: sky CSV out and back ---------------------------------
+    let data = geom.sample_randoms(params.data_n, BENCH_SEED);
+    let csv_path = std::env::temp_dir().join(format!(
+        "galactos_survey_workload_{}.csv",
+        std::process::id()
+    ));
+    let t = Instant::now();
+    write_sky_csv(&data, &csv_path, &cosmo).expect("writing mock sky CSV");
+    let write_secs = t.elapsed().as_secs_f64();
+    let t = Instant::now();
+    let ingested = read_sky_csv(&csv_path, &cosmo).expect("reading mock sky CSV");
+    let read_secs = t.elapsed().as_secs_f64();
+    std::fs::remove_file(&csv_path).ok();
+    assert_eq!(ingested.len(), data.len());
+    let roundtrip_err = ingested
+        .galaxies
+        .iter()
+        .zip(data.galaxies.iter())
+        .map(|(a, b)| (a.pos - b.pos).norm())
+        .fold(0.0f64, f64::max);
+    let ingest_pass = roundtrip_err <= ROUNDTRIP_TOL;
+    print_table(
+        &["rows", "write", "read", "rows/s", "roundtrip err", "gate"],
+        &[vec![
+            data.len().to_string(),
+            fmt_secs(write_secs),
+            fmt_secs(read_secs),
+            format!("{:.0}", data.len() as f64 / read_secs),
+            format!("{roundtrip_err:.3e}"),
+            if ingest_pass { "pass" } else { "FAIL" }.to_string(),
+        ]],
+    );
+
+    // ---- Randoms: mask-driven generation ------------------------------
+    let t = Instant::now();
+    let randoms = geom.sample_randoms_for(&ingested, params.randfact, BENCH_SEED + 1);
+    let randoms_secs = t.elapsed().as_secs_f64();
+    print_table(
+        &["randfact", "randoms", "secs", "points/s"],
+        &[vec![
+            params.randfact.to_string(),
+            randoms.len().to_string(),
+            fmt_secs(randoms_secs),
+            format!("{:.0}", randoms.len() as f64 / randoms_secs),
+        ]],
+    );
+
+    // ---- Compute: staged runs + the SurveyCompute entry point ---------
+    let config =
+        SurveyConfig::survey_default(geom.observer, params.rmax, params.lmax, params.nbins);
+    let engine = Engine::new(config.engine.clone());
+
+    let combined = Catalog::data_minus_randoms(&ingested, &randoms);
+    let t = Instant::now();
+    let plain_nnn = engine.compute(&combined);
+    let nnn_secs = t.elapsed().as_secs_f64();
+    let t = Instant::now();
+    let plain_rrr = engine.compute(&randoms);
+    let rrr_secs = t.elapsed().as_secs_f64();
+    let nnn_iso = plain_nnn.compress_isotropic();
+    let rrr_iso = plain_rrr.compress_isotropic();
+    let t = Instant::now();
+    let _ = edge_corrected(&nnn_iso, &rrr_iso, params.lmax);
+    let solve_secs = t.elapsed().as_secs_f64();
+
+    let survey = SurveyCompute::new(config);
+    let t = Instant::now();
+    let result = survey.compute(&ingested, &randoms);
+    let total_secs = t.elapsed().as_secs_f64();
+
+    print_table(
+        &["stage", "secs"],
+        &[
+            vec!["D−R multipoles (N)".into(), fmt_secs(nnn_secs)],
+            vec!["window multipoles (R)".into(), fmt_secs(rrr_secs)],
+            vec!["edge-correction solve".into(), fmt_secs(solve_secs)],
+            vec!["SurveyCompute total".into(), fmt_secs(total_secs)],
+        ],
+    );
+
+    // Gate 1: the entry point is the plain estimator over D−R.
+    let equivalence_rel =
+        result.nnn.max_difference(&plain_nnn) / plain_nnn.max_abs().max(f64::MIN_POSITIVE);
+    let equivalence_pass = equivalence_rel <= EQUIVALENCE_TOL;
+
+    // Gate 2: trivial-window correction is the algebraic rescaling.
+    let trivial = edge_corrected(&nnn_iso, &rrr_iso, 0);
+    let mut identity_err = 0.0f64;
+    for l in 0..=params.lmax {
+        for b1 in 0..params.nbins {
+            for b2 in 0..params.nbins {
+                let r0 = 0.5 * rrr_iso.get(0, b1, b2);
+                if r0.abs() < 1e-300 {
+                    continue;
+                }
+                let want = (2 * l + 1) as f64 / 2.0 * nnn_iso.get(l, b1, b2) / r0;
+                let got = trivial.get(l, b1, b2);
+                identity_err = identity_err.max((got - want).abs() / want.abs().max(1.0));
+            }
+        }
+    }
+    let identity_pass = identity_err <= IDENTITY_TOL;
+
+    println!(
+        "equivalence gate: rel {equivalence_rel:.3e} (tol {EQUIVALENCE_TOL:e}) — {}",
+        if equivalence_pass { "pass" } else { "FAIL" }
+    );
+    println!(
+        "solver-identity gate: err {identity_err:.3e} (tol {IDENTITY_TOL:e}) — {}",
+        if identity_pass { "pass" } else { "FAIL" }
+    );
+    println!(
+        "corrected ζ: max |ζ_ℓ(b₁,b₂)| = {:.3e} (unclustered mock: consistent with zero)",
+        result.corrected.max_abs()
+    );
+
+    // ---- JSON ----------------------------------------------------------
+    let json = Json::obj([
+        ("schema", Json::str("galactos survey-workload benchmark v1")),
+        ("smoke", Json::Bool(params.smoke)),
+        ("threads", Json::Int(rayon::current_num_threads() as u64)),
+        (
+            "config",
+            Json::obj([
+                ("data_galaxies", Json::Int(params.data_n as u64)),
+                ("randfact", Json::Int(params.randfact as u64)),
+                ("randoms", Json::Int(randoms.len() as u64)),
+                ("lmax", Json::Int(params.lmax as u64)),
+                ("window_lmax", Json::Int(params.lmax as u64)),
+                ("nbins", Json::Int(params.nbins as u64)),
+                ("rmax", Json::Num(params.rmax)),
+                ("r_min", Json::Num(geom.r_min)),
+                ("r_max", Json::Num(geom.r_max)),
+                ("holes", Json::Int(geom.holes.len() as u64)),
+                ("omega_m", Json::Num(cosmo.omega_m)),
+                ("h", Json::Num(cosmo.h)),
+            ]),
+        ),
+        (
+            "ingest",
+            Json::obj([
+                ("rows", Json::Int(data.len() as u64)),
+                ("write_secs", Json::Num(write_secs)),
+                ("read_secs", Json::Num(read_secs)),
+                ("rows_per_sec", Json::Num(data.len() as f64 / read_secs)),
+                ("max_roundtrip_err", Json::Num(roundtrip_err)),
+                ("threshold", Json::Num(ROUNDTRIP_TOL)),
+                ("pass", Json::Bool(ingest_pass)),
+            ]),
+        ),
+        (
+            "randoms",
+            Json::obj([
+                ("n", Json::Int(randoms.len() as u64)),
+                ("secs", Json::Num(randoms_secs)),
+                (
+                    "points_per_sec",
+                    Json::Num(randoms.len() as f64 / randoms_secs),
+                ),
+            ]),
+        ),
+        (
+            "compute",
+            Json::obj([
+                ("nnn_secs", Json::Num(nnn_secs)),
+                ("rrr_secs", Json::Num(rrr_secs)),
+                ("solve_secs", Json::Num(solve_secs)),
+                ("survey_compute_secs", Json::Num(total_secs)),
+                ("binned_pairs", Json::Int(plain_nnn.binned_pairs)),
+                ("corrected_max_abs", Json::Num(result.corrected.max_abs())),
+            ]),
+        ),
+        (
+            "equivalence_gate",
+            Json::obj([
+                ("rel_diff", Json::Num(equivalence_rel)),
+                ("threshold", Json::Num(EQUIVALENCE_TOL)),
+                ("pass", Json::Bool(equivalence_pass)),
+            ]),
+        ),
+        (
+            "solver_identity_gate",
+            Json::obj([
+                ("max_rel_err", Json::Num(identity_err)),
+                ("threshold", Json::Num(IDENTITY_TOL)),
+                ("pass", Json::Bool(identity_pass)),
+            ]),
+        ),
+    ]);
+    std::fs::write(&params.out, json.to_pretty())
+        .unwrap_or_else(|e| panic!("writing {}: {e}", params.out));
+    println!("\nwrote {}", params.out);
+
+    let mut failed = false;
+    if !ingest_pass {
+        eprintln!("FAIL: sky-CSV round-trip error {roundtrip_err:.3e} > {ROUNDTRIP_TOL:e}");
+        failed = true;
+    }
+    if !equivalence_pass {
+        eprintln!(
+            "FAIL: survey path deviates from plain estimator: {equivalence_rel:.3e} > \
+             {EQUIVALENCE_TOL:e}"
+        );
+        failed = true;
+    }
+    if !identity_pass {
+        eprintln!(
+            "FAIL: trivial-window solve deviates from algebraic form: {identity_err:.3e} > \
+             {IDENTITY_TOL:e}"
+        );
+        failed = true;
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

@@ -157,6 +157,51 @@ pub fn read_binary(path: impl AsRef<Path>) -> Result<Catalog, CatalogIoError> {
     from_bytes(&bytes[..])
 }
 
+/// A parsed CSV header: case-insensitive column-name → index
+/// resolution, shared by the Cartesian reader ([`read_csv`]) and the
+/// sky reader ([`crate::sky::read_sky_csv`]).
+///
+/// A line is treated as a header when its first non-whitespace
+/// character is alphabetic — the same rule both readers always used,
+/// now stated once. Column names match case-insensitively and in any
+/// order, so `X,Y,Z,WEIGHT` and `weight,z,y,x` both resolve.
+#[derive(Clone, Debug)]
+pub struct HeaderMap {
+    names: Vec<String>,
+}
+
+impl HeaderMap {
+    /// Parse `line` as a header. Returns `None` when the line looks
+    /// like a data row (first non-whitespace character not alphabetic)
+    /// so callers can fall back to positional parsing.
+    pub fn parse(line: &str) -> Option<HeaderMap> {
+        let trimmed = line.trim();
+        if !trimmed.chars().next().is_some_and(|c| c.is_alphabetic()) {
+            return None;
+        }
+        Some(HeaderMap {
+            names: trimmed
+                .split(',')
+                .map(|f| f.trim().to_ascii_lowercase())
+                .collect(),
+        })
+    }
+
+    /// Index of the column matching any of `aliases` (give aliases in
+    /// lowercase, in priority order: the first alias that names a
+    /// column wins, not the first column that matches any alias).
+    pub fn resolve(&self, aliases: &[&str]) -> Option<usize> {
+        aliases
+            .iter()
+            .find_map(|a| self.names.iter().position(|n| n == a))
+    }
+
+    /// The lowercased column names, in file order.
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+}
+
 /// Write a catalog as CSV (`x,y,z,weight`, with header).
 pub fn write_csv(catalog: &Catalog, path: impl AsRef<Path>) -> Result<(), CatalogIoError> {
     let mut w = BufWriter::new(File::create(path)?);
@@ -170,11 +215,19 @@ pub fn write_csv(catalog: &Catalog, path: impl AsRef<Path>) -> Result<(), Catalo
 
 /// Read a catalog from CSV produced by [`write_csv`] (header optional;
 /// a missing 4th column defaults the weight to 1).
+///
+/// When a header is present, the `x`/`y`/`z`/`weight` columns are
+/// resolved by name via [`HeaderMap`] — any case, any order. A header
+/// that does not name all of `x`, `y`, `z` (e.g. an export with
+/// arbitrary labels) falls back to positional `x,y,z[,weight]`
+/// parsing, preserving the historical behavior.
 pub fn read_csv(path: impl AsRef<Path>) -> Result<Catalog, CatalogIoError> {
-    let reader = BufReader::new(File::open(path)?);
+    let mut r = BufReader::new(File::open(path)?);
     let mut galaxies = Vec::new();
     let mut line = String::new();
-    let mut r = reader;
+    // Positional defaults; replaced by name resolution when the header
+    // names the coordinate columns.
+    let (mut cx, mut cy, mut cz, mut cw) = (0usize, 1, 2, Some(3usize));
     // The header, when present, is the first *non-empty* line — leading
     // blank lines (common in hand-edited exports) must not demote it to
     // a data row.
@@ -182,26 +235,38 @@ pub fn read_csv(path: impl AsRef<Path>) -> Result<Catalog, CatalogIoError> {
     while r.read_line(&mut line)? != 0 {
         let trimmed = line.trim();
         if !trimmed.is_empty() {
-            let is_header =
-                first_content && trimmed.chars().next().is_some_and(|c| c.is_alphabetic());
+            let header = if first_content {
+                HeaderMap::parse(trimmed)
+            } else {
+                None
+            };
             first_content = false;
-            if !is_header {
-                let fields: Vec<&str> = trimmed.split(',').collect();
-                if fields.len() < 3 {
-                    return Err(CatalogIoError::Parse(format!("bad row: {trimmed}")));
+            match header {
+                Some(h) => {
+                    if let (Some(x), Some(y), Some(z)) =
+                        (h.resolve(&["x"]), h.resolve(&["y"]), h.resolve(&["z"]))
+                    {
+                        (cx, cy, cz) = (x, y, z);
+                        cw = h.resolve(&["weight", "w"]);
+                    }
                 }
-                let parse = |s: &str| -> Result<f64, CatalogIoError> {
-                    s.trim()
-                        .parse::<f64>()
-                        .map_err(|e| CatalogIoError::Parse(format!("{s}: {e}")))
-                };
-                let pos = Vec3::new(parse(fields[0])?, parse(fields[1])?, parse(fields[2])?);
-                let weight = if fields.len() > 3 {
-                    parse(fields[3])?
-                } else {
-                    1.0
-                };
-                galaxies.push(Galaxy::new(pos, weight));
+                None => {
+                    let fields: Vec<&str> = trimmed.split(',').collect();
+                    if fields.len() <= cx.max(cy).max(cz) {
+                        return Err(CatalogIoError::Parse(format!("bad row: {trimmed}")));
+                    }
+                    let parse = |s: &str| -> Result<f64, CatalogIoError> {
+                        s.trim()
+                            .parse::<f64>()
+                            .map_err(|e| CatalogIoError::Parse(format!("{s}: {e}")))
+                    };
+                    let pos = Vec3::new(parse(fields[cx])?, parse(fields[cy])?, parse(fields[cz])?);
+                    let weight = match cw {
+                        Some(c) if fields.len() > c => parse(fields[c])?,
+                        _ => 1.0,
+                    };
+                    galaxies.push(Galaxy::new(pos, weight));
+                }
             }
         }
         line.clear();
@@ -328,6 +393,48 @@ mod tests {
         let back = read_csv(&path).unwrap();
         assert_eq!(back.len(), 1);
         assert_eq!(back.galaxies[0].weight, 0.5);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn header_map_resolves_case_insensitively() {
+        let h = HeaderMap::parse("RA, Dec ,Z,WEIGHT_SYSTOT").unwrap();
+        assert_eq!(h.resolve(&["ra"]), Some(0));
+        assert_eq!(h.resolve(&["dec", "declination"]), Some(1));
+        assert_eq!(h.resolve(&["redshift", "z"]), Some(2));
+        // Alias priority order wins, not column order.
+        assert_eq!(h.resolve(&["weight", "weight_systot"]), Some(3));
+        assert_eq!(h.resolve(&["missing"]), None);
+        // Data rows are not headers.
+        assert!(HeaderMap::parse("1.0,2.0,3.0").is_none());
+        assert!(HeaderMap::parse("-4.5,0,1").is_none());
+    }
+
+    #[test]
+    fn csv_mixed_case_reordered_header() {
+        // Named resolution: `WEIGHT,Z,Y,X` must land each value in the
+        // right field even though the order and case differ from the
+        // canonical `x,y,z,weight`.
+        let dir = std::env::temp_dir().join("galactos_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("reordered.csv");
+        std::fs::write(&path, "WEIGHT,Z,Y,X\n0.5,3.0,2.0,1.0\n").unwrap();
+        let back = read_csv(&path).unwrap();
+        assert_eq!(back.len(), 1);
+        assert_eq!(back.galaxies[0].pos, Vec3::new(1.0, 2.0, 3.0));
+        assert_eq!(back.galaxies[0].weight, 0.5);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn csv_unrecognized_header_falls_back_to_positional() {
+        let dir = std::env::temp_dir().join("galactos_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("odd_header.csv");
+        std::fs::write(&path, "a,b,c,d\n1.0,2.0,3.0,0.25\n").unwrap();
+        let back = read_csv(&path).unwrap();
+        assert_eq!(back.galaxies[0].pos, Vec3::new(1.0, 2.0, 3.0));
+        assert_eq!(back.galaxies[0].weight, 0.25);
         std::fs::remove_file(&path).ok();
     }
 

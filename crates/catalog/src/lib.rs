@@ -14,6 +14,9 @@
 //! * [`random`] — uniform Poisson random catalogs, both for algorithm
 //!   testing (ζ must vanish on them) and as the R catalogs of the
 //!   data-minus-randoms estimator (paper §6.1);
+//! * [`sky`] — RA/Dec/redshift sky-coordinate ingestion through a
+//!   fiducial cosmology, the form in which real survey catalogs (the
+//!   paper's BOSS target) actually arrive;
 //! * [`survey`] — survey geometry with angular holes and radial
 //!   selection, Monte-Carlo sampled by the random catalogs exactly as
 //!   the paper describes for removing the spurious geometry signal;
@@ -24,11 +27,13 @@ pub mod galaxy;
 pub mod io;
 pub mod random;
 pub mod shard;
+pub mod sky;
 pub mod stats;
 pub mod survey;
 
 pub use galaxy::{Catalog, Galaxy};
 pub use random::uniform_box;
 pub use shard::{ShardAssignment, ShardManifest, ShardMeta, ShardReader, ShardedWriter};
+pub use sky::{cartesian_to_sky, read_sky_csv, sky_to_cartesian, write_sky_csv};
 pub use stats::CatalogStats;
 pub use survey::{Cap, SurveyGeometry};

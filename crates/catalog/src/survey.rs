@@ -8,6 +8,33 @@
 //! with a completeness profile, and a set of angular exclusion caps. The
 //! random catalogs that Monte-Carlo sample this geometry are produced by
 //! [`SurveyGeometry::sample_randoms`].
+//!
+//! # Conventions
+//!
+//! Stated once, here, for every consumer (the sky reader in
+//! [`crate::sky`], the edge-corrected `SurveyCompute` entry point in
+//! `galactos-core`, the survey walkthroughs and bench bins):
+//!
+//! * **Frame**: the geometry lives in the same comoving h⁻¹ Mpc
+//!   Cartesian frame as the catalogs it masks. For sky-ingested
+//!   catalogs ([`crate::sky`]) the observer is the **origin**; an
+//!   engine run over such a footprint must use the *same* observer in
+//!   its radial line of sight (`LineOfSight::Radial { observer }`) or
+//!   the multipole frame and the mask frame silently disagree.
+//! * **Holes are angular**: a [`Cap`] excludes *directions* seen from
+//!   the observer, independent of radius — the model of a bright star
+//!   or the galactic plane. Radial selection is separate, via the
+//!   piecewise-linear completeness table.
+//! * **Randoms are unit-weight** and carry no clustering: they sample
+//!   footprint × completeness only, which is exactly what the
+//!   edge-correction window multipoles `f_ℓ` must measure. Size them
+//!   as a `randfact` multiple of the data catalog
+//!   ([`SurveyGeometry::sample_randoms_for`]); `randfact = 2–3` is the
+//!   usual survey practice — shot noise from R falls as `1/randfact`
+//!   while compute cost in the combined D−R run grows linearly.
+//! * **Determinism**: equal `(geometry, n, seed)` always produce the
+//!   identical random catalog (a seeded ChaCha stream; no global RNG),
+//!   so recorded benchmarks and tests are exactly reproducible.
 
 use crate::galaxy::{Catalog, Galaxy};
 use galactos_math::{Aabb, Vec3};
@@ -166,6 +193,22 @@ impl SurveyGeometry {
             }
         }
         Catalog::new(galaxies)
+    }
+
+    /// Sample a random catalog sized at `randfact ×` the data catalog —
+    /// the conventional way to size the R catalog of the
+    /// data-minus-randoms estimator (correlcalc's `randfact`, default
+    /// 2 there; 2–3 is typical survey practice).
+    ///
+    /// Equivalent to `sample_randoms(randfact * data.len(), seed)`;
+    /// panics on an empty data catalog or `randfact = 0`.
+    pub fn sample_randoms_for(&self, data: &Catalog, randfact: usize, seed: u64) -> Catalog {
+        assert!(randfact >= 1, "randfact must be at least 1");
+        assert!(
+            !data.is_empty(),
+            "cannot size a random catalog against an empty data catalog"
+        );
+        self.sample_randoms(randfact * data.len(), seed)
     }
 }
 

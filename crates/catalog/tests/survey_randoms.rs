@@ -1,0 +1,147 @@
+//! Statistical and determinism guarantees of
+//! `SurveyGeometry::sample_randoms` — the Monte-Carlo source of the
+//! edge-correction window. If these samples are wrong, every
+//! "corrected" ζ downstream is silently wrong too.
+
+use galactos_catalog::{Cap, Catalog, SurveyGeometry};
+use galactos_math::Vec3;
+
+fn holed_geometry() -> SurveyGeometry {
+    let mut s = SurveyGeometry::full_shell(Vec3::new(10.0, -5.0, 2.0), 25.0, 70.0);
+    s.holes.push(Cap::new(Vec3::Z, 0.4));
+    s.holes.push(Cap::new(Vec3::new(1.0, 1.0, 0.0), 0.25));
+    s
+}
+
+#[test]
+fn hole_exclusion_is_exact() {
+    // Not statistical: *every* sampled point must clear every cap and
+    // the radial shell, by construction of the rejection sampler.
+    let s = holed_geometry();
+    let randoms = s.sample_randoms(20_000, 7);
+    assert_eq!(randoms.len(), 20_000);
+    for g in &randoms.galaxies {
+        let rel = g.pos - s.observer;
+        let r = rel.norm();
+        assert!(r >= s.r_min && r <= s.r_max, "radius {r} outside shell");
+        let u = rel.normalized().unwrap();
+        for (i, cap) in s.holes.iter().enumerate() {
+            assert!(
+                !cap.contains_direction(u),
+                "point {:?} inside hole {i}",
+                g.pos
+            );
+        }
+        assert_eq!(g.weight, 1.0, "randoms must be unit-weight");
+    }
+}
+
+#[test]
+fn radial_profile_matches_completeness() {
+    // KS-style check: the empirical radial CDF must match the
+    // analytic ∫ r²·c(r) dr profile of shell volume × completeness.
+    let mut s = SurveyGeometry::full_shell(Vec3::ZERO, 20.0, 60.0);
+    s.radial_completeness = vec![(20.0, 1.0), (60.0, 0.25)];
+    let n = 40_000;
+    let randoms = s.sample_randoms(n, 99);
+
+    // Analytic CDF by fine quadrature of r²·c(r).
+    let steps = 4000;
+    let h = (s.r_max - s.r_min) / steps as f64;
+    let mut cum = vec![0.0f64];
+    for i in 0..steps {
+        let r = s.r_min + (i as f64 + 0.5) * h;
+        cum.push(cum[i] + r * r * s.completeness(r) * h);
+    }
+    let total = *cum.last().unwrap();
+    let analytic_cdf = |r: f64| {
+        let t = ((r - s.r_min) / h).clamp(0.0, steps as f64);
+        let i = (t as usize).min(steps - 1);
+        let frac = t - i as f64;
+        (cum[i] + frac * (cum[i + 1] - cum[i])) / total
+    };
+
+    // Empirical CDF: sort radii once, then the KS statistic.
+    let mut radii: Vec<f64> = randoms.galaxies.iter().map(|g| g.pos.norm()).collect();
+    radii.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let mut ks = 0.0f64;
+    for (i, &r) in radii.iter().enumerate() {
+        let emp_hi = (i + 1) as f64 / n as f64;
+        let emp_lo = i as f64 / n as f64;
+        let a = analytic_cdf(r);
+        ks = ks.max((emp_hi - a).abs()).max((emp_lo - a).abs());
+    }
+    // KS 1% critical value is 1.63/√n ≈ 0.0082 at n = 40k; the seed is
+    // fixed so this is a deterministic regression bound, padded 2×.
+    assert!(ks < 0.016, "KS statistic {ks} too large");
+}
+
+#[test]
+fn uniform_shell_follows_volume() {
+    // Without a completeness table the radial CDF is pure shell
+    // volume: (r³ − r_min³)/(r_max³ − r_min³).
+    let s = SurveyGeometry::full_shell(Vec3::ZERO, 10.0, 50.0);
+    let n = 30_000;
+    let randoms = s.sample_randoms(n, 3);
+    let vol_cdf = |r: f64| (r.powi(3) - s.r_min.powi(3)) / (s.r_max.powi(3) - s.r_min.powi(3));
+    for split in [20.0, 30.0, 40.0] {
+        let below = randoms
+            .galaxies
+            .iter()
+            .filter(|g| g.pos.norm() < split)
+            .count() as f64
+            / n as f64;
+        let want = vol_cdf(split);
+        assert!(
+            (below - want).abs() < 0.01,
+            "split {split}: {below} vs {want}"
+        );
+    }
+}
+
+#[test]
+fn same_seed_is_bit_identical_different_seed_is_not() {
+    let s = holed_geometry();
+    let a = s.sample_randoms(5_000, 42);
+    let b = s.sample_randoms(5_000, 42);
+    assert_eq!(a.len(), b.len());
+    for (x, y) in a.galaxies.iter().zip(b.galaxies.iter()) {
+        assert_eq!(x.pos, y.pos);
+        assert_eq!(x.weight, y.weight);
+    }
+    let c = s.sample_randoms(5_000, 43);
+    assert!(
+        a.galaxies
+            .iter()
+            .zip(c.galaxies.iter())
+            .any(|(x, y)| x.pos != y.pos),
+        "different seeds must decorrelate the stream"
+    );
+}
+
+#[test]
+fn randfact_sizing() {
+    let s = holed_geometry();
+    let data = s.sample_randoms(1_234, 1);
+    let randoms = s.sample_randoms_for(&data, 3, 2);
+    assert_eq!(randoms.len(), 3 * data.len());
+    // randfact sizing is just a wrapper over sample_randoms: same seed,
+    // same stream.
+    let direct = s.sample_randoms(3 * data.len(), 2);
+    assert_eq!(randoms.galaxies[100].pos, direct.galaxies[100].pos);
+}
+
+#[test]
+#[should_panic(expected = "randfact")]
+fn zero_randfact_panics() {
+    let s = holed_geometry();
+    let data = s.sample_randoms(10, 1);
+    s.sample_randoms_for(&data, 0, 2);
+}
+
+#[test]
+#[should_panic(expected = "empty data catalog")]
+fn empty_data_panics() {
+    let s = holed_geometry();
+    s.sample_randoms_for(&Catalog::new(Vec::new()), 2, 2);
+}

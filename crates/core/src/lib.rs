@@ -42,6 +42,9 @@
 //!   (the 2PCF context of §2.3);
 //! * [`edge`] — isotropic survey edge correction via the Legendre
 //!   mixing matrix (Wigner 3-j based);
+//! * [`survey`] — the end-to-end cut-sky estimator: engine run over
+//!   data − randoms, window multipoles from the randoms, per-bin-pair
+//!   edge-correction solve, behind the [`SurveyCompute`] entry point;
 //! * [`flops`] — FLOP accounting reproducing the paper's §3.3.2/§5.1
 //!   arithmetic (286 monomials, 572 FLOPs/pair, flop/byte 9.6);
 //! * [`timing`] — stage timers for the Figure 4 runtime breakdown;
@@ -62,6 +65,7 @@ pub mod pipeline;
 pub mod result;
 pub mod schedule;
 pub mod scratch;
+pub mod survey;
 pub mod timing;
 pub mod traversal;
 pub mod xismu;
@@ -77,4 +81,5 @@ pub use kernel::{BackendChoice, BackendKind, KernelBackend};
 pub use result::{AnisotropicZeta, IsotropicZeta};
 pub use schedule::run_partitioned;
 pub use scratch::ComputeScratch;
+pub use survey::{SurveyCompute, SurveyConfig, SurveyZeta};
 pub use traversal::{TraversalChoice, TraversalKind};

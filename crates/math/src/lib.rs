@@ -20,12 +20,15 @@
 //! * Wigner 3-j symbols and Gaunt coefficients for edge-correction and
 //!   multipole coupling ([`wigner`]),
 //! * rotations taking a line-of-sight direction to the z-axis, the key
-//!   geometric step of the anisotropic algorithm ([`rotation`]).
+//!   geometric step of the anisotropic algorithm ([`rotation`]),
+//! * fiducial-cosmology redshift → comoving-distance conversion for
+//!   survey-catalog ingestion ([`cosmology`]).
 //!
 //! All tables are generated at runtime from exact recurrences; nothing is
 //! hard-coded beyond small literal test vectors.
 
 pub mod complex;
+pub mod cosmology;
 pub mod factorial;
 pub mod fft;
 pub mod legendre;
@@ -39,6 +42,7 @@ pub mod wigner;
 pub mod ylm;
 
 pub use complex::Complex64;
+pub use cosmology::FiducialCosmology;
 pub use fft::Mesh3;
 pub use monomial::{Axis, MonomialBasis, UpdateStep};
 pub use rotation::{LineOfSight, Mat3};

@@ -342,7 +342,7 @@ mod tests {
         let us = [
             Vec3::new(0.1, 0.9, -0.42).normalized().unwrap(),
             Vec3::new(-0.7, 0.1, 0.7).normalized().unwrap(),
-            Vec3::new(0.5, -0.5, 0.70710678).normalized().unwrap(),
+            Vec3::new(0.5, -0.5, 0.707).normalized().unwrap(),
         ];
         let mut sums = vec![0.0; basis.len()];
         let mut scratch = vec![0.0; basis.len()];

@@ -1,77 +1,85 @@
-//! A survey-style end-to-end pipeline: mask, randoms, data-minus-randoms
-//! weighting, radial line of sight, edge correction and jackknife errors
-//! — the full analysis loop the paper describes in §6.1.
+//! A survey-style end-to-end pipeline, the full analysis loop the paper
+//! describes in §6.1 — starting from the form in which real survey
+//! catalogs actually arrive:
+//!
+//! sky CSV (RA/Dec/z) → fiducial cosmology → Cartesian catalog →
+//! mask-driven randoms (`randfact`) → edge-corrected ζ
+//! (`SurveyCompute`) → jackknife errors.
 //!
 //! ```text
 //! cargo run --release --example survey_pipeline
 //! ```
 
 use galactos::analysis::chi2::{detection_snr, project_components};
-use galactos::analysis::covariance::jackknife_from_partials;
-use galactos::core::edge::edge_corrected;
-use galactos::core::isotropic::isotropic_multipoles;
 use galactos::mocks::cluster_process::NeymanScott;
 use galactos::prelude::*;
 
 fn main() {
-    // --- survey geometry: a shell with a hole near the "galactic plane"
-    let observer = Vec3::new(60.0, 60.0, -40.0);
+    // --- survey geometry: a shell around the observer with a hole near
+    // the "galactic plane" and a radial completeness ramp. The observer
+    // sits at the ORIGIN — the frame every sky-ingested catalog uses.
+    let observer = Vec3::ZERO;
     let mut survey = SurveyGeometry::full_shell(observer, 45.0, 110.0);
-    survey.holes.push(galactos::catalog::survey::Cap::new(
-        Vec3::new(0.2, -0.3, 1.0),
-        0.5,
-    ));
+    survey.holes.push(Cap::new(Vec3::new(0.2, -0.3, 1.0), 0.5));
     survey.radial_completeness = vec![(45.0, 1.0), (110.0, 0.55)];
 
-    // --- "true" sky: a clustered catalog filling a big box
-    let clustered = NeymanScott {
+    // --- mock the *published* catalog: cluster a box centered on the
+    // observer, mask it, and write it out as the sky CSV a survey would
+    // release (RA/Dec in degrees, redshift under a fiducial cosmology).
+    let mut clustered = NeymanScott {
         parent_density: 6e-4,
         mean_children: 10.0,
         sigma: 2.0,
     }
-    .generate(120.0, 3);
-    // Observed data: mask applied (holes + completeness).
-    let mut data = survey.apply(&clustered, 17);
-    data.periodic = None;
-    // Random catalog Monte-Carlo sampling the same geometry, 3x denser.
-    let randoms = survey.sample_randoms(3 * data.len(), 23);
+    .generate(240.0, 3);
+    clustered.periodic = None;
+    clustered.translate(Vec3::splat(-120.0));
+    let mut truth = survey.apply(&clustered, 17);
+    truth.recompute_bounds();
+    let cosmo = FiducialCosmology::boss_fiducial();
+    let csv = std::env::temp_dir().join("galactos_survey_pipeline.csv");
+    write_sky_csv(&truth, &csv, &cosmo).expect("writing sky CSV");
+
+    // --- ingest: RA/DEC/Z columns (any case/order), redshifts turned
+    // into comoving h⁻¹ Mpc distances by the same fiducial cosmology.
+    let data = read_sky_csv(&csv, &cosmo).expect("reading sky CSV");
+    std::fs::remove_file(&csv).ok();
+    // Random catalog Monte-Carlo sampling the same geometry, sized at
+    // randfact = 3 × the data (survey practice: 2–3×).
+    let randoms = survey.sample_randoms_for(&data, 3, 23);
     println!(
-        "survey data: {} galaxies; randoms: {} points",
+        "survey data: {} galaxies (ingested from sky CSV); randoms: {} points",
         data.len(),
         randoms.len()
     );
 
-    // --- data-minus-randoms field, radial line of sight
-    let field = Catalog::data_minus_randoms(&data, &randoms);
-    let lmax = 3;
-    let bins = RadialBins::linear(2.0, 26.0, 6);
+    // --- the edge-corrected estimator behind one entry point:
+    // D−R engine run, window multipoles from the randoms alone, and
+    // the per-bin-pair mixing-matrix solve (Slepian & Eisenstein
+    // 1709.10150). Radial line of sight about the same observer.
+    let config = SurveyConfig::survey_default(observer, 26.0, 3, 6);
+    let bins = config.engine.bins.clone();
+    let compute = SurveyCompute::new(config);
+    let result = compute.compute(&data, &randoms);
 
-    // NNN: multipoles of the weighted field; RRR: window multipoles.
-    let nnn = isotropic_multipoles(&field.galaxies, &bins, lmax, None, false);
-    let rrr = isotropic_multipoles(&randoms.galaxies, &bins, lmax, None, false);
-
-    // --- edge correction: invert the window mixing matrix per bin pair
-    let corrected = edge_corrected(&nnn, &rrr, 2);
     println!("\nedge-corrected isotropic 3PCF coefficients zeta_l(r, r):");
     println!("{:>7} {:>12} {:>12} {:>12}", "r", "l=0", "l=1", "l=2");
     for b in 0..bins.nbins() {
         println!(
             "{:>7.1} {:>12.4e} {:>12.4e} {:>12.4e}",
             bins.center(b),
-            corrected.get(0, b, b),
-            corrected.get(1, b, b),
-            corrected.get(2, b, b)
+            result.corrected.get(0, b, b),
+            result.corrected.get(1, b, b),
+            result.corrected.get(2, b, b)
         );
     }
 
-    // --- jackknife covariance from spatial regions (paper §6.1)
-    // Partition the survey volume into octants about the observer and
-    // compute per-region anisotropic partials.
-    let mut config = EngineConfig::test_default(26.0, 2, 4);
-    config.line_of_sight = LineOfSight::Radial { observer };
-    let engine = Engine::new(config);
+    // --- jackknife covariance from spatial regions (paper §6.1):
+    // partition the survey volume into octants about the observer and
+    // compute per-region anisotropic partials with the same engine.
     // Jackknife the positive-weight data catalog: the per-primary
-    // normalization is ill-defined for the zero-weight D-R field.
+    // normalization is ill-defined for the zero-weight D−R field.
+    let engine = compute.engine();
     let mut partials = Vec::new();
     for octant in 0..8usize {
         let indices: Vec<usize> = data
@@ -119,6 +127,7 @@ fn main() {
         None => println!("covariance singular for the chosen component"),
     }
     println!(
-        "\npipeline complete: mask -> randoms -> D-R weighting -> edge correction -> jackknife."
+        "\npipeline complete: sky CSV -> cosmology -> mask randoms -> D-R weighting -> \
+         edge correction -> jackknife."
     );
 }

@@ -47,7 +47,8 @@ pub use galactos_simd as simd;
 /// The most common imports for application code.
 pub mod prelude {
     pub use galactos_analysis::covariance::{jackknife_from_partials, sample_covariance};
-    pub use galactos_catalog::{uniform_box, Catalog, Galaxy, SurveyGeometry};
+    pub use galactos_catalog::sky::{read_sky_csv, write_sky_csv};
+    pub use galactos_catalog::{uniform_box, Cap, Catalog, Galaxy, SurveyGeometry};
     pub use galactos_core::bins::RadialBins;
     pub use galactos_core::config::{EngineConfig, Scheduling, TreePrecision};
     pub use galactos_core::engine::Engine;
@@ -55,8 +56,10 @@ pub mod prelude {
     pub use galactos_core::kernel::{BackendChoice, BackendKind};
     pub use galactos_core::pipeline::{compute_distributed, compute_distributed_sharded};
     pub use galactos_core::result::{AnisotropicZeta, IsotropicZeta};
+    pub use galactos_core::survey::{SurveyCompute, SurveyConfig, SurveyZeta};
     pub use galactos_core::traversal::{TraversalChoice, TraversalKind};
     pub use galactos_grid::{GridConfig, MassAssignment};
+    pub use galactos_math::cosmology::FiducialCosmology;
     pub use galactos_math::{LineOfSight, Vec3};
     pub use galactos_mocks::{BaoSpectrum, PowerLawSpectrum, PowerSpectrum};
 }

@@ -1,4 +1,4 @@
-//! Workspace smoke test: every target in the workspace — the 16 bench
+//! Workspace smoke test: every target in the workspace — the 18 bench
 //! binaries, the 6 examples, and the criterion bench — must keep
 //! compiling as refactors land. `cargo test` alone only builds lib and
 //! test targets, so a green test run can hide broken binaries; this

@@ -13,6 +13,8 @@
 //! * [`chi2`] — χ², SNR and the Hartlap inverse-covariance correction;
 //! * [`report`] — CSV emission of multipole tables for plotting.
 
+#![forbid(unsafe_code)]
+
 pub mod chi2;
 pub mod covariance;
 pub mod report;

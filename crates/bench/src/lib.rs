@@ -15,6 +15,8 @@
 //! * [`json`] — a minimal JSON builder for machine-readable outputs
 //!   like `perf_baseline`'s `BENCH_kernels.json`.
 
+#![forbid(unsafe_code)]
+
 pub mod costmodel;
 pub mod datasets;
 pub mod json;

@@ -23,6 +23,8 @@
 //! * [`stats`] — number density / mean separation diagnostics (the
 //!   quantities behind the paper's sparse-survey argument in §2.1).
 
+#![forbid(unsafe_code)]
+
 pub mod galaxy;
 pub mod io;
 pub mod random;

@@ -170,7 +170,7 @@ impl ShardManifest {
         buf.put_u32_le(MAGIC);
         buf.put_u32_le(SHARD_VERSION);
         buf.put_u32_le(KIND_MANIFEST);
-        buf.put_u32_le(self.shards.len() as u32);
+        buf.put_u32_le(u32::try_from(self.shards.len()).expect("shard count fits in u32"));
         buf.put_u64_le(self.total_count);
         buf.put_u32_le(u32::from(self.periodic.is_some()));
         buf.put_f64_le(self.periodic.unwrap_or(0.0));
@@ -209,7 +209,7 @@ impl ShardManifest {
                 "expected manifest kind {KIND_MANIFEST}, found {kind}"
             )));
         }
-        let num_shards = buf.get_u32_le() as usize;
+        let num_shards = usize::try_from(buf.get_u32_le()).expect("u32 fits in usize");
         let total_count = buf.get_u64_le();
         let flags = buf.get_u32_le();
         let box_len = buf.get_f64_le();
@@ -349,7 +349,7 @@ impl ShardedWriter {
     ) -> Result<Self, CatalogIoError> {
         assert!(!shard_bounds.is_empty(), "need at least one shard");
         assert!(
-            shard_bounds.len() <= u32::MAX as usize,
+            u32::try_from(shard_bounds.len()).is_ok(),
             "shard count must fit in u32"
         );
         let dir = dir.as_ref().to_path_buf();
@@ -360,7 +360,8 @@ impl ShardedWriter {
             let mut w = BufWriter::new(File::create(dir.join(ShardManifest::shard_file_name(i)))?);
             // Placeholder header; finish() rewrites it with the real
             // count once the record stream is complete.
-            w.write_all(&shard_header(i as u32, 0, periodic, &b))?;
+            let index = u32::try_from(i).expect("shard count checked at creation");
+            w.write_all(&shard_header(index, 0, periodic, &b))?;
             files.push(w);
             metas.push(ShardMeta {
                 count: 0,
@@ -408,7 +409,7 @@ impl ShardedWriter {
             meta.records_checksum = self.sums[i].finish();
             w.seek(SeekFrom::Start(0))?;
             w.write_all(&shard_header(
-                i as u32,
+                u32::try_from(i).expect("shard count checked at creation"),
                 meta.count,
                 self.periodic,
                 &meta.bounds,
@@ -444,12 +445,13 @@ pub fn write_sharded(
     let mut writer =
         ShardedWriter::create(dir, catalog.bounds, catalog.periodic, &assignment.bounds)?;
     for (g, &s) in catalog.galaxies.iter().zip(&assignment.shard_of) {
+        let si = usize::try_from(s).expect("u32 shard id fits in usize");
         debug_assert!(
-            assignment.bounds[s as usize].distance_sq_to_point(g.pos) < 1e-18,
+            assignment.bounds[si].distance_sq_to_point(g.pos) < 1e-18,
             "galaxy at {:?} assigned to shard {s} outside its region",
             g.pos
         );
-        writer.push(s as usize, g)?;
+        writer.push(si, g)?;
     }
     writer.finish()
 }
@@ -514,7 +516,7 @@ impl ShardReader {
                 "shard {index} header checksum mismatch"
             )));
         }
-        if stored_index as usize != index {
+        if usize::try_from(stored_index).expect("u32 fits in usize") != index {
             return Err(CatalogIoError::Corrupt(format!(
                 "shard file claims index {stored_index}, manifest expects {index}"
             )));
@@ -576,7 +578,7 @@ impl ShardReader {
             self.verify_end()?;
             return Ok(0);
         }
-        let n = (left.min(max as u64)) as usize;
+        let n = usize::try_from(left.min(max as u64)).expect("bounded by max, a usize");
         if n == 0 {
             return Ok(0);
         }

@@ -20,6 +20,8 @@
 //! peer in the algorithm shows up here exactly as it would on a real
 //! machine.
 
+#![forbid(unsafe_code)]
+
 pub mod comm;
 pub mod payload;
 pub mod stats;

@@ -43,6 +43,9 @@ use std::time::Instant;
 #[inline(always)]
 fn now_if(instrument: bool) -> Option<Instant> {
     if instrument {
+        // lint:allow(W-CLOCK): this is the instrument gate itself — the
+        // only clock read on the tree path, reached only when a stage
+        // timer was requested.
         Some(Instant::now())
     } else {
         None
@@ -182,7 +185,7 @@ impl Engine {
     ) -> AnisotropicZeta {
         self.check_periodic(catalog);
         if let ResolvedEstimator::Grid(grid) = &self.estimator {
-            return self.compute_grid(catalog, grid, timer).0;
+            return self.compute_grid(catalog, grid, timer, false).0;
         }
         self.run(
             &catalog.galaxies,
@@ -206,7 +209,9 @@ impl Engine {
     ) -> (AnisotropicZeta, Option<galactos_grid::GridTimings>) {
         self.check_periodic(catalog);
         if let ResolvedEstimator::Grid(grid) = &self.estimator {
-            let (zeta, timings) = self.compute_grid(catalog, grid, timer);
+            // The native breakdown was explicitly requested, so the
+            // grid run is always instrumented here.
+            let (zeta, timings) = self.compute_grid(catalog, grid, timer, true);
             return (zeta, Some(timings));
         }
         let zeta = self.run(
@@ -276,6 +281,7 @@ impl Engine {
         catalog: &Catalog,
         grid: &galactos_grid::GridConfig,
         timer: Option<&StageTimer>,
+        want_native: bool,
     ) -> (AnisotropicZeta, galactos_grid::GridTimings) {
         assert!(
             catalog.periodic.is_some(),
@@ -302,6 +308,9 @@ impl Engine {
             rotation,
             &|r| bins.bin_of(r),
             self.config.subtract_self_pairs,
+            // Zero-cost contract: clock reads happen only when some
+            // form of timing was actually requested.
+            timer.is_some() || want_native,
             &mut |l, lp, m, b1, b2, v| zeta.add_to(l, lp, m, b1, b2, v),
         );
         zeta.total_primary_weight = catalog.total_weight();

@@ -51,6 +51,8 @@
 //! * [`pipeline`] — the distributed run: partition, halo exchange,
 //!   per-rank compute, global reduction over `galactos-cluster`.
 
+#![forbid(unsafe_code)]
+
 pub mod bins;
 pub mod config;
 pub mod edge;

@@ -222,3 +222,30 @@ fn grid_timings_map_exactly_onto_stage_timer() {
     assert!(none.is_none());
     assert_eq!(tree_zeta.max_difference(&tree_engine.compute(&cat)), 0.0);
 }
+
+#[test]
+fn plain_compute_on_grid_path_is_uninstrumented_and_identical() {
+    // The zero-cost contract, end to end: `compute()` with no timer
+    // asks the grid estimator for no timings (no clock reads on the
+    // grid path — pinned at the estimator level by
+    // `uninstrumented_run_takes_no_timings_and_same_values`), while
+    // `compute_with_grid_timings` always instruments; both must
+    // produce bit-identical ζ.
+    let cat = uniform_box(300, 12.0, 99);
+    let mut config = EngineConfig::test_default(4.0, 2, 2);
+    config.subtract_self_pairs = true;
+    config.estimator = EstimatorChoice::Grid(GridConfig::with_mesh(16));
+    let engine = Engine::new(config);
+    let plain = engine.compute(&cat);
+    let (timed, timings) = engine.compute_with_grid_timings(&cat, None);
+    let timings = timings.expect("grid path reports native timings on request");
+    assert!(
+        timings.paint_nanos > 0 && timings.field_nanos > 0 && timings.zeta_nanos > 0,
+        "explicitly requested native timings must be populated: {timings:?}"
+    );
+    assert_eq!(
+        plain.max_difference(&timed),
+        0.0,
+        "instrumentation must not change a single bit of the result"
+    );
+}

@@ -33,6 +33,8 @@
 //!   scaling deviation (60% pair-count variation, §5.3) and weak-scaling
 //!   flatness (<10% variation, §5.2).
 
+#![forbid(unsafe_code)]
+
 pub mod exchange;
 pub mod load;
 pub mod partition;

@@ -114,6 +114,22 @@ pub struct GridTimings {
     pub selfpair_nanos: u64,
 }
 
+/// The estimator's only clock gate: a timestamp is taken only when the
+/// caller asked for timings, so plain `compute()` pays no clock reads
+/// on the grid path (mirroring the tree engine's `now_if`).
+#[inline]
+fn now_if(instrument: bool) -> Option<Instant> {
+    // lint:allow(W-CLOCK): this is the instrument gate itself — the only
+    // clock read on the grid path, taken only when timings are requested.
+    instrument.then(Instant::now)
+}
+
+/// Nanoseconds since a gated timestamp (0 when uninstrumented).
+#[inline]
+fn nanos_since(t0: Option<Instant>) -> u64 {
+    t0.map_or(0, |t| t.elapsed().as_nanos() as u64)
+}
+
 /// One cell of the radial-shell kernel support: flat mesh index, radial
 /// bin, and the (rotated) unit separation direction.
 struct ShellCell {
@@ -135,7 +151,10 @@ struct ShellCell {
 /// and one extra pair of FFTs (the mesh analogue of the tree's
 /// degree-2ℓmax correction).
 ///
-/// Returns the stage timings. Panics if the catalog is not periodic.
+/// Returns the stage timings when `instrument` is set; an
+/// uninstrumented run performs **zero clock reads** (the same
+/// zero-cost contract as the tree engine's stage timer) and returns
+/// `GridTimings::default()`. Panics if the catalog is not periodic.
 #[allow(clippy::too_many_arguments)]
 pub fn accumulate_zeta_multipoles(
     catalog: &Catalog,
@@ -145,6 +164,7 @@ pub fn accumulate_zeta_multipoles(
     rotation: Option<Mat3>,
     bin_of: &(dyn Fn(f64) -> Option<usize> + Sync),
     subtract_self_pairs: bool,
+    instrument: bool,
     sink: &mut dyn FnMut(usize, usize, usize, usize, usize, Complex64),
 ) -> GridTimings {
     cfg.validate();
@@ -156,11 +176,11 @@ pub fn accumulate_zeta_multipoles(
     let mut timings = GridTimings::default();
 
     // Paint the catalog and transform the secondary-side density.
-    let t0 = Instant::now();
+    let t0 = now_if(instrument);
     let density = DensityMesh::paint(catalog, n, cfg.assignment, cfg.interlace);
-    timings.paint_nanos = t0.elapsed().as_nanos() as u64;
+    timings.paint_nanos = nanos_since(t0);
 
-    let t1 = Instant::now();
+    let t1 = now_if(instrument);
     let nhat = density.fourier(cfg.deconvolve);
 
     // Primary side: the painted (real-space) field; only occupied cells
@@ -228,7 +248,7 @@ pub fn accumulate_zeta_multipoles(
     let ylm = YlmTable::new(lmax, &basis);
     // Density FFT + shell table + harmonic tables count toward the
     // field stage.
-    timings.field_nanos += t1.elapsed().as_nanos() as u64;
+    timings.field_nanos += nanos_since(t1);
 
     // Process one m at a time: the ζ couplings never mix different m,
     // so only the (ℓmax+1−m)·nbins fields of the current m need to be
@@ -239,7 +259,7 @@ pub fn accumulate_zeta_multipoles(
         let ls: Vec<usize> = (m..=lmax).collect();
         let nl = ls.len();
         let nfields = nl * nbins;
-        let tf = Instant::now();
+        let tf = now_if(instrument);
 
         // One task per (ℓ, bin) field: fill the reflected kernel
         // g(u) = K(−u) over the bin's shell cells, convolve with the
@@ -282,7 +302,7 @@ pub fn accumulate_zeta_multipoles(
                 a.append(&mut b);
                 a
             });
-        timings.field_nanos += tf.elapsed().as_nanos() as u64;
+        timings.field_nanos += nanos_since(tf);
 
         // ζ^m_{ℓℓ'}(b₁,b₂) = Σ_occupied n(x)·A_ℓm,b₁(x)·conj(A_ℓ'm,b₂(x)).
         // The cell weight is real, so swapping the two fields conjugates
@@ -290,7 +310,7 @@ pub fn accumulate_zeta_multipoles(
         // upper-triangle pairs in the flat field index are dispatched —
         // in real blocks, not one-combo chunks, and with no no-op mirror
         // tasks — then mirrors are filled by conjugation.
-        let tz = Instant::now();
+        let tz = now_if(instrument);
         let tri: Vec<(u32, u32)> = (0..nfields as u32)
             .flat_map(|f1| (f1..nfields as u32).map(move |f2| (f1, f2)))
             .collect();
@@ -339,12 +359,12 @@ pub fn accumulate_zeta_multipoles(
             };
             sink(ls[li], ls[lj], m, b1, b2, value);
         }
-        timings.zeta_nanos += tz.elapsed().as_nanos() as u64;
+        timings.zeta_nanos += nanos_since(tz);
     }
     if subtract_self_pairs {
-        let ts = Instant::now();
+        let ts = now_if(instrument);
         subtract_self_pair_terms(catalog, cfg, lmax, nbins, &density, &shells, sink);
-        timings.selfpair_nanos += ts.elapsed().as_nanos() as u64;
+        timings.selfpair_nanos += nanos_since(ts);
     }
     timings
 }
@@ -548,6 +568,7 @@ mod tests {
             None,
             &bin_of,
             false,
+            false,
             &mut |l, lp, m, b1, b2, v| {
                 got.insert((l, lp, m, b1, b2), v);
             },
@@ -603,6 +624,7 @@ mod tests {
             None,
             &bin_of,
             true,
+            false,
             &mut |l, lp, m, b1, b2, v| {
                 *corrected
                     .entry((l, lp, m, b1, b2))
@@ -627,6 +649,7 @@ mod tests {
             nbins,
             None,
             &bin_of,
+            false,
             false,
             &mut |l, lp, m, b1, b2, v| {
                 if (l, lp, m, b1, b2) == (0, 0, 0, 1, 1) {
@@ -673,6 +696,7 @@ mod tests {
                 rot,
                 &bin_of,
                 false,
+                false,
                 &mut |l, lp, m, _, _, v| {
                     if (l, lp, m) == (1, 0, 0) {
                         *out = v;
@@ -684,6 +708,63 @@ mod tests {
         assert!(
             (plain + flipped).abs() < 1e-9 * plain.abs(),
             "{plain} vs {flipped}"
+        );
+    }
+
+    #[test]
+    fn uninstrumented_run_takes_no_timings_and_same_values() {
+        // The zero-cost contract on the grid path: with `instrument`
+        // off the returned timings are exactly the default (no clock
+        // was read), and every streamed coefficient is bit-identical
+        // to the instrumented run.
+        let l_box = 8.0;
+        let cat = Catalog::new_periodic(
+            vec![
+                Galaxy::new(Vec3::new(1.5, 2.5, 1.5), 1.0),
+                Galaxy::new(Vec3::new(3.5, 1.5, 6.5), 2.0),
+                Galaxy::new(Vec3::new(6.0, 4.0, 2.0), 0.5),
+            ],
+            l_box,
+        );
+        let nbins = 2;
+        let rmax = 3.9;
+        let bin_of = move |r: f64| -> Option<usize> {
+            (r < rmax).then(|| ((r / rmax * nbins as f64) as usize).min(nbins - 1))
+        };
+        let cfg = GridConfig {
+            mesh: 8,
+            assignment: MassAssignment::Ngp,
+            deconvolve: false,
+            interlace: false,
+        };
+        let mut run = |instrument: bool| {
+            let mut coeffs = Vec::new();
+            let timings = accumulate_zeta_multipoles(
+                &cat,
+                &cfg,
+                2,
+                nbins,
+                None,
+                &bin_of,
+                true,
+                instrument,
+                &mut |l, lp, m, b1, b2, v| coeffs.push((l, lp, m, b1, b2, v.re, v.im)),
+            );
+            (timings, coeffs)
+        };
+        let (cold, plain) = run(false);
+        assert_eq!(cold.paint_nanos, 0);
+        assert_eq!(cold.field_nanos, 0);
+        assert_eq!(cold.zeta_nanos, 0);
+        assert_eq!(cold.selfpair_nanos, 0);
+        let (timed, instrumented) = run(true);
+        assert!(
+            timed.paint_nanos > 0 && timed.field_nanos > 0 && timed.zeta_nanos > 0,
+            "instrumented run should populate stage timings: {timed:?}"
+        );
+        assert_eq!(
+            plain, instrumented,
+            "values must not depend on instrumentation"
         );
     }
 }

@@ -37,6 +37,8 @@
 //! `galactos-catalog`; `galactos-core` layers the `EstimatorChoice`
 //! dispatch and the `ZetaResult` assembly on top.
 
+#![forbid(unsafe_code)]
+
 pub mod assign;
 pub mod estimator;
 pub mod mesh;

@@ -102,6 +102,7 @@ fn zeta_map(
             None,
             &bin_of,
             true,
+            false,
             // Diagonal (b, b) keys are emitted twice — contraction,
             // then the self-pair subtraction — so collect emissions in
             // arrival order per key.

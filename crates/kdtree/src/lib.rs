@@ -28,6 +28,8 @@
 //!   candidate secondaries of an entire leaf of primaries at once;
 //! * a brute-force reference searcher used by tests and benchmarks.
 
+#![forbid(unsafe_code)]
+
 pub mod brute;
 pub mod knn;
 pub mod scalar;

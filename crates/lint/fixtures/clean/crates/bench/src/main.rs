@@ -1,0 +1,8 @@
+//! Must-not-fire: bench code times whatever it wants.
+
+use std::time::Instant;
+
+fn main() {
+    let t0 = Instant::now();
+    println!("{:?}", t0.elapsed());
+}

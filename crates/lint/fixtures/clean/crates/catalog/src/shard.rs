@@ -1,0 +1,10 @@
+//! Must-not-fire: checked conversions and widening casts are fine in
+//! the catalog parsing files.
+
+pub fn parse_count(raw: u64) -> usize {
+    usize::try_from(raw).expect("count bounded by format limits")
+}
+
+pub fn widen(n: u32) -> u64 {
+    n as u64
+}

@@ -1,0 +1,7 @@
+//! Must-not-fire: this path is a designated knob-resolution module.
+
+pub const BACKEND_ENV: &str = "GALACTOS_KERNEL_BACKEND";
+
+pub fn resolve() -> Option<String> {
+    std::env::var(BACKEND_ENV).ok()
+}

@@ -1,0 +1,7 @@
+//! Must-not-fire: core::timing owns the clock.
+
+use std::time::Instant;
+
+pub fn stamp() -> Instant {
+    Instant::now()
+}

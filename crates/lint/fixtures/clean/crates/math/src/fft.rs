@@ -1,0 +1,7 @@
+//! Must-not-fire: documented AND registered unsafe.
+
+pub fn read_cell(data: &[f64], i: usize) -> f64 {
+    debug_assert!(i < data.len());
+    // SAFETY: `i` is bounds-checked by the caller contract above.
+    unsafe { *data.as_ptr().add(i) }
+}

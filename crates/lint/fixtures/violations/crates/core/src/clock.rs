@@ -1,0 +1,9 @@
+//! Must-fire: W-CLOCK on a compute path, plus W-ALLOW for the bare
+//! suppression (which therefore does not suppress anything).
+
+use std::time::Instant;
+
+pub fn hot_path() -> Instant {
+    // lint:allow(W-CLOCK)
+    Instant::now()
+}

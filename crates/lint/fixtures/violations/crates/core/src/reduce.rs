@@ -1,0 +1,6 @@
+//! Must-fire: W-DETERMINISM — a raw parallel float reduction whose
+//! result depends on task interleaving.
+
+pub fn unstable_total(xs: &[f64]) -> f64 {
+    xs.par_iter().map(|&x| x * 2.0).sum()
+}

@@ -1,0 +1,6 @@
+//! Must-fire: W-ENV twice — an env read and a knob literal, both
+//! outside the designated resolution modules.
+
+pub fn sneak_a_knob() -> Option<String> {
+    std::env::var("GALACTOS_MESH").ok()
+}

@@ -1,0 +1,6 @@
+//! Must-fire: W-UNSAFE twice — no SAFETY comment, and the site is not
+//! in the fixture registry (which instead lists a stale entry).
+
+pub fn peek(data: &[f64]) -> f64 {
+    unsafe { *data.as_ptr() }
+}

@@ -1,0 +1,122 @@
+//! CLI for the workspace invariant checker.
+//!
+//! ```text
+//! galactos-lint [--root DIR] [--report PATH] [--print-unsafe] [--quiet]
+//! ```
+//!
+//! Exit codes: `0` clean, `1` findings, `2` usage or I/O error.
+//! `--print-unsafe` emits registry-format lines for every discovered
+//! `unsafe` site (the documented way to regenerate
+//! `UNSAFE_REGISTRY.txt`) and skips the report write.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use galactos_lint::{find_workspace_root, lint_root, registry, report};
+
+struct Opts {
+    root: Option<PathBuf>,
+    report: Option<PathBuf>,
+    print_unsafe: bool,
+    quiet: bool,
+}
+
+fn parse_args() -> Result<Opts, String> {
+    let mut opts = Opts {
+        root: None,
+        report: None,
+        print_unsafe: false,
+        quiet: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => {
+                let v = args.next().ok_or("--root needs a directory")?;
+                opts.root = Some(PathBuf::from(v));
+            }
+            "--report" => {
+                let v = args.next().ok_or("--report needs a path")?;
+                opts.report = Some(PathBuf::from(v));
+            }
+            "--print-unsafe" => opts.print_unsafe = true,
+            "--quiet" => opts.quiet = true,
+            "--help" | "-h" => {
+                return Err("usage: galactos-lint [--root DIR] [--report PATH] \
+                            [--print-unsafe] [--quiet]"
+                    .to_string())
+            }
+            other => return Err(format!("unknown argument `{other}` (try --help)")),
+        }
+    }
+    Ok(opts)
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let root = match opts.root.clone().or_else(|| {
+        std::env::current_dir()
+            .ok()
+            .and_then(|cwd| find_workspace_root(&cwd))
+    }) {
+        Some(r) => r,
+        None => {
+            eprintln!("galactos-lint: no workspace root found (use --root)");
+            return ExitCode::from(2);
+        }
+    };
+
+    let outcome = match lint_root(&root) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("galactos-lint: scan failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if opts.print_unsafe {
+        for site in &outcome.unsafe_sites {
+            println!("{}", site.entry.to_line());
+        }
+        return if outcome.is_clean() {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::from(1)
+        };
+    }
+
+    for f in &outcome.findings {
+        println!("{} {}:{} — {}", f.rule, f.file, f.line, f.message);
+    }
+
+    let report_path = opts.report.unwrap_or_else(|| root.join("LINT_REPORT.json"));
+    let json = report::render(&outcome);
+    if let Err(e) = std::fs::write(&report_path, json) {
+        eprintln!("galactos-lint: cannot write {}: {e}", report_path.display());
+        return ExitCode::from(2);
+    }
+
+    if !opts.quiet {
+        println!(
+            "galactos-lint: {} files scanned, {} finding(s), {} unsafe site(s) \
+             (registry: {})",
+            outcome.files_scanned,
+            outcome.findings.len(),
+            outcome.unsafe_sites.len(),
+            registry::REGISTRY_FILE
+        );
+    }
+    if outcome.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}

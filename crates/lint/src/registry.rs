@@ -1,0 +1,208 @@
+//! The committed unsafe registry: `UNSAFE_REGISTRY.txt` at the
+//! workspace root.
+//!
+//! Every `unsafe` site W-UNSAFE discovers must match a line of the
+//! registry, and every registry line must match a live site — so any
+//! PR that adds, moves, or removes `unsafe` has to touch the registry
+//! too, making the change a deliberate, reviewable diff rather than
+//! something that slips in.
+//!
+//! # Format
+//!
+//! One site per line, `#` comments and blank lines ignored:
+//!
+//! ```text
+//! <workspace-relative path> | <fn|block|impl|trait> | <context>
+//! ```
+//!
+//! `context` is the enclosing function name (for blocks), the
+//! function's own name (for `unsafe fn`), or the implementing type
+//! (for `unsafe impl`). Line numbers are deliberately *not* recorded:
+//! the registry should survive unrelated edits shuffling lines, while
+//! still pinning the multiset of sites. Regenerate candidate lines
+//! with `galactos-lint --print-unsafe`.
+
+use crate::rules::{Finding, UnsafeSite};
+
+/// Registry filename, relative to the workspace root.
+pub const REGISTRY_FILE: &str = "UNSAFE_REGISTRY.txt";
+
+/// One registry entry / one discovered site, in registry terms.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Entry {
+    pub file: String,
+    pub kind: String,
+    pub context: String,
+}
+
+impl Entry {
+    /// The canonical registry line for this entry.
+    pub fn to_line(&self) -> String {
+        format!("{} | {} | {}", self.file, self.kind, self.context)
+    }
+}
+
+/// Parse registry text into `(line_number, entry)` pairs, appending a
+/// finding for each malformed line.
+fn parse(text: &str, findings: &mut Vec<Finding>) -> Vec<(usize, Entry)> {
+    let mut out = Vec::new();
+    for (idx, line) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let parts: Vec<&str> = trimmed.split('|').map(str::trim).collect();
+        if parts.len() != 3 || parts.iter().any(|p| p.is_empty()) {
+            findings.push(Finding {
+                rule: "W-UNSAFE".to_string(),
+                file: REGISTRY_FILE.to_string(),
+                line: lineno,
+                message: format!(
+                    "malformed registry line (want `path | kind | context`): `{trimmed}`"
+                ),
+            });
+            continue;
+        }
+        out.push((
+            lineno,
+            Entry {
+                file: parts[0].to_string(),
+                kind: parts[1].to_string(),
+                context: parts[2].to_string(),
+            },
+        ));
+    }
+    out
+}
+
+/// Reconcile discovered sites against the registry (multiset match):
+/// every extra site and every leftover registry line is a finding.
+pub fn reconcile(sites: &[UnsafeSite], registry_text: Option<&str>, findings: &mut Vec<Finding>) {
+    let mut entries = match registry_text {
+        Some(text) => parse(text, findings),
+        None => {
+            for site in sites {
+                findings.push(Finding {
+                    rule: "W-UNSAFE".to_string(),
+                    file: site.entry.file.clone(),
+                    line: site.line,
+                    message: format!(
+                        "unsafe site found but `{REGISTRY_FILE}` is missing; \
+                         create it with: `{}`",
+                        site.entry.to_line()
+                    ),
+                });
+            }
+            return;
+        }
+    };
+    let mut used = vec![false; entries.len()];
+    for site in sites {
+        let hit = entries
+            .iter()
+            .enumerate()
+            .position(|(i, (_, e))| !used[i] && *e == site.entry);
+        match hit {
+            Some(i) => used[i] = true,
+            None => findings.push(Finding {
+                rule: "W-UNSAFE".to_string(),
+                file: site.entry.file.clone(),
+                line: site.line,
+                message: format!(
+                    "unsafe site not in {REGISTRY_FILE}; if intended, add: \
+                     `{}`",
+                    site.entry.to_line()
+                ),
+            }),
+        }
+    }
+    for (i, (lineno, entry)) in entries.drain(..).enumerate() {
+        if !used[i] {
+            findings.push(Finding {
+                rule: "W-UNSAFE".to_string(),
+                file: REGISTRY_FILE.to_string(),
+                line: lineno,
+                message: format!(
+                    "stale registry entry (no matching unsafe site in the \
+                     tree): `{}`",
+                    entry.to_line()
+                ),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn site(file: &str, kind: &str, context: &str, line: usize) -> UnsafeSite {
+        UnsafeSite {
+            line,
+            entry: Entry {
+                file: file.to_string(),
+                kind: kind.to_string(),
+                context: context.to_string(),
+            },
+        }
+    }
+
+    #[test]
+    fn exact_match_is_clean() {
+        let sites = [site("a.rs", "block", "f", 3), site("a.rs", "fn", "g", 9)];
+        let mut findings = Vec::new();
+        reconcile(
+            &sites,
+            Some("# comment\na.rs | block | f\na.rs | fn | g\n"),
+            &mut findings,
+        );
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn duplicate_sites_need_duplicate_entries() {
+        let sites = [site("a.rs", "block", "f", 3), site("a.rs", "block", "f", 7)];
+        let mut findings = Vec::new();
+        reconcile(&sites, Some("a.rs | block | f\n"), &mut findings);
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].message.contains("not in"));
+        assert_eq!(findings[0].line, 7);
+
+        let mut findings = Vec::new();
+        reconcile(
+            &sites,
+            Some("a.rs | block | f\na.rs | block | f\n"),
+            &mut findings,
+        );
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn stale_and_missing_both_fire() {
+        let sites = [site("a.rs", "block", "f", 3)];
+        let mut findings = Vec::new();
+        reconcile(&sites, Some("b.rs | fn | gone\n"), &mut findings);
+        assert_eq!(findings.len(), 2);
+        assert!(findings.iter().any(|f| f.message.contains("not in")));
+        assert!(findings.iter().any(|f| f.message.contains("stale")));
+    }
+
+    #[test]
+    fn missing_registry_with_sites_fires() {
+        let sites = [site("a.rs", "block", "f", 3)];
+        let mut findings = Vec::new();
+        reconcile(&sites, None, &mut findings);
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].message.contains("missing"));
+    }
+
+    #[test]
+    fn malformed_line_fires() {
+        let mut findings = Vec::new();
+        reconcile(&[], Some("a.rs | block\n"), &mut findings);
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].message.contains("malformed"));
+        assert_eq!(findings[0].line, 1);
+    }
+}

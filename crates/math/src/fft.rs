@@ -157,8 +157,10 @@ unsafe fn fft_cols_raw(
 ) {
     debug_assert!(rows.is_power_of_two() && rows >= 2);
     let bits = rows.trailing_zeros();
-    // SAFETY (all blocks): indices stay under `rows`/`[c0, c1)` per the
-    // caller contract.
+    // SAFETY: every pointer below is `base + r·row_stride + c` with
+    // `r < rows` (bit-reverse and butterfly partners both stay under
+    // `rows`) and `c ∈ [c0, c1)`; the caller contract guarantees those
+    // offsets are in bounds and exclusively ours.
     unsafe {
         // Bit-reversal permutation: swap whole row segments.
         for i in 0..rows {
@@ -216,6 +218,11 @@ struct DisjointCols {
     base: *mut Complex64,
 }
 
+// SAFETY: workers never share a column: each claims a distinct block
+// index from the pool's once-only counter and touches only columns
+// `[i·COL_BLOCK, (i+1)·COL_BLOCK)` through this pointer, so no element
+// is ever written by two threads (the load-bearing disjointness
+// argument for the whole x-axis pass — see `x_block` in `fft3_impl`).
 unsafe impl Sync for DisjointCols {}
 
 /// Do columns `[c0, c1)` of the strided view carry any signal?
@@ -233,6 +240,8 @@ unsafe fn col_signal(
         // SAFETY: in-bounds per the caller contract.
         let row = unsafe { base.add(r * row_stride) };
         for c in c0..c1 {
+            // SAFETY: `c < c1` is in bounds for this row per the same
+            // caller contract.
             let v = unsafe { *row.add(c) };
             if v.re != 0.0 || v.im != 0.0 {
                 return true;

@@ -28,6 +28,8 @@
 //! * [`scaled`] — density-matched datasets for the weak-scaling series
 //!   (reproduces the construction of the paper's Table 1).
 
+#![forbid(unsafe_code)]
+
 pub mod cluster_process;
 pub mod grf;
 pub mod lognormal;

@@ -18,6 +18,7 @@
 //! assert_eq!(c.horizontal_sum(), 2.0 * 28.0 + 8.0);
 //! ```
 
+#![forbid(unsafe_code)]
 // The indexed `for i in 0..F64_LANES` loops below ARE the kernel's
 // vectorization schedule (one lane per index, no iterator adapters in
 // the way of LLVM's vectorizer); clippy's preference for iterators is

@@ -33,6 +33,8 @@
 //! [`math`], [`simd`], [`kdtree`], [`cluster`], [`domain`], [`catalog`],
 //! [`mocks`], [`grid`], [`core`], [`analysis`].
 
+#![forbid(unsafe_code)]
+
 pub use galactos_analysis as analysis;
 pub use galactos_catalog as catalog;
 pub use galactos_cluster as cluster;

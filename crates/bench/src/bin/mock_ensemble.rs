@@ -1,0 +1,283 @@
+//! `mock_ensemble` — the checkpointed ensemble runner's chaos gate and
+//! trajectory bench.
+//!
+//! Runs the same seeded mock ensemble twice:
+//!
+//! 1. **reference** — uninterrupted, fault-free, one realization at a
+//!    time (so per-realization wall seconds are attributable);
+//! 2. **chaos** — a seeded `FaultPlan` kills a rank mid-compute in two
+//!    realizations, the run is interrupted halfway through
+//!    (`run_limited`), and a fresh runner resumes from the surviving
+//!    checkpoints.
+//!
+//! The gate is the crate's determinism contract, enforced at the bit
+//! level: the chaos run's ensemble mean and covariance must equal the
+//! reference's under `f64::to_bits` in every component, and the resume
+//! must have skipped (not recomputed) every checkpointed realization.
+//! Any violation exits nonzero, failing CI.
+//!
+//! The JSON output (default `BENCH_ensemble.json`) records K,
+//! per-realization seconds, the resume-skipped count, the condition
+//! number of the (sample-rank-limited) projected covariance, and the
+//! gate verdict, so ensemble throughput has a trajectory PR over PR.
+//!
+//! Usage: `mock_ensemble [--smoke] [--out PATH]`
+
+use galactos_analysis::chi2::project_components;
+use galactos_analysis::Covariance;
+use galactos_bench::json::Json;
+use galactos_bench::tables::print_table;
+use galactos_bench::BENCH_SEED;
+use galactos_cluster::fault::FaultPlan;
+use galactos_ensemble::{EnsembleConfig, EnsembleResult, MockEnsemble};
+use std::time::Instant;
+
+/// Power/inverse-iteration sweeps for the condition number; the
+/// projected matrices are tiny, so generous iteration counts are free.
+const COND_ITERS: usize = 200;
+
+fn params(smoke: bool) -> EnsembleConfig {
+    let mut cfg = EnsembleConfig::smoke(if smoke { 4 } else { 8 }, BENCH_SEED);
+    if !smoke {
+        // The mock mesh FFT is radix-2-only: mesh_n must be a power of
+        // two.
+        cfg.mesh_n = 16;
+        cfg.box_len = 16.0;
+        cfg.n_target = 160;
+        cfg.num_ranks = 3;
+        cfg.num_shards = 5;
+    }
+    cfg
+}
+
+/// Largest eigenvalue of a symmetric PSD matrix by power iteration.
+fn lambda_max(m: &galactos_math::linalg::Matrix) -> f64 {
+    let n = m.rows();
+    let mut x: Vec<f64> = (0..n).map(|i| 1.0 + (i as f64) * 0.1).collect();
+    let mut lambda = 0.0;
+    for _ in 0..COND_ITERS {
+        let y = m.matvec(&x);
+        let norm = y.iter().map(|v| v * v).sum::<f64>().sqrt();
+        if norm == 0.0 {
+            return 0.0;
+        }
+        lambda = norm;
+        x = y.iter().map(|v| v / norm).collect();
+    }
+    lambda
+}
+
+/// Smallest eigenvalue by inverse iteration (LU solve per sweep).
+/// Returns `None` for a singular matrix.
+fn lambda_min(m: &galactos_math::linalg::Matrix) -> Option<f64> {
+    let n = m.rows();
+    let mut x: Vec<f64> = (0..n).map(|i| 1.0 - (i as f64) * 0.05).collect();
+    let mut inv_lambda = 0.0;
+    for _ in 0..COND_ITERS {
+        let y = m.solve(&x)?;
+        let norm = y.iter().map(|v| v * v).sum::<f64>().sqrt();
+        if norm == 0.0 || !norm.is_finite() {
+            return None;
+        }
+        inv_lambda = norm;
+        x = y.iter().map(|v| v / norm).collect();
+    }
+    Some(1.0 / inv_lambda)
+}
+
+/// Condition number of the covariance restricted to its highest-
+/// variance components. The full ζ vector has far more dimensions than
+/// K samples, so the raw sample covariance is rank-deficient by
+/// construction; the meaningful spectrum lives in a subspace of
+/// dimension at most K − 2 — and ζ vectors carry exactly-duplicated
+/// components (±m symmetry), so even that subspace can be degenerate.
+/// The projection shrinks until the smallest eigenvalue is resolvable,
+/// and reports the dimension it settled on.
+fn projected_condition_number(cov: &Covariance) -> (usize, f64) {
+    let dim = cov.mean.len();
+    let mut by_variance: Vec<usize> = (0..dim).collect();
+    by_variance.sort_by(|&a, &b| {
+        cov.matrix[(b, b)]
+            .partial_cmp(&cov.matrix[(a, a)])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let max_keep = dim.min(cov.n_samples.saturating_sub(2)).max(1);
+    for keep in (1..=max_keep).rev() {
+        let indices: Vec<usize> = {
+            let mut v = by_variance[..keep].to_vec();
+            v.sort_unstable();
+            v
+        };
+        let projected = project_components(cov, &indices);
+        let hi = lambda_max(&projected.matrix);
+        if let Some(lo) = lambda_min(&projected.matrix) {
+            if lo > 0.0 && (hi / lo).is_finite() {
+                return (keep, hi / lo);
+            }
+        }
+    }
+    (0, f64::INFINITY)
+}
+
+/// Bit-exact comparison of two ensemble results; returns the first
+/// difference as a human-readable string.
+fn bit_difference(a: &EnsembleResult, b: &EnsembleResult) -> Option<String> {
+    if a.vectors.len() != b.vectors.len() {
+        return Some(format!(
+            "realization count {} vs {}",
+            a.vectors.len(),
+            b.vectors.len()
+        ));
+    }
+    for (i, (x, y)) in a.covariance.mean.iter().zip(&b.covariance.mean).enumerate() {
+        if x.to_bits() != y.to_bits() {
+            return Some(format!("mean[{i}]: {x:e} vs {y:e}"));
+        }
+    }
+    let dim = a.covariance.mean.len();
+    for i in 0..dim {
+        for j in 0..dim {
+            let (x, y) = (a.covariance.matrix[(i, j)], b.covariance.matrix[(i, j)]);
+            if x.to_bits() != y.to_bits() {
+                return Some(format!("cov[{i},{j}]: {x:e} vs {y:e}"));
+            }
+        }
+    }
+    None
+}
+
+fn main() {
+    let mut smoke = false;
+    let mut out = "BENCH_ensemble.json".to_string();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--smoke" => smoke = true,
+            "--out" => out = args.next().expect("--out needs a path"),
+            other => {
+                eprintln!("unknown argument {other}; usage: mock_ensemble [--smoke] [--out PATH]");
+                std::process::exit(2);
+            }
+        }
+    }
+    let cfg = params(smoke);
+    let k = cfg.realizations;
+
+    // Phase 1: reference run, one realization per pass so each has its
+    // own wall-clock number.
+    let ref_dir = std::env::temp_dir().join(format!("galactos_ens_ref_{}", std::process::id()));
+    std::fs::remove_dir_all(&ref_dir).ok();
+    let reference_runner = MockEnsemble::new(cfg.clone(), &ref_dir);
+    let mut per_realization_secs = Vec::with_capacity(k);
+    for _ in 0..k {
+        let t = Instant::now();
+        let status = reference_runner.run_limited(1).expect("reference pass");
+        per_realization_secs.push(t.elapsed().as_secs_f64());
+        assert_eq!(status.computed + status.recomputed, 1, "one new per pass");
+    }
+    let reference = reference_runner.run().expect("assemble reference");
+    assert_eq!(reference.status.skipped, k, "all checkpoints verified");
+
+    // Phase 2: chaos run — seeded mid-compute rank kills in two
+    // realizations (one transient, one permanent), interrupted halfway,
+    // resumed by a fresh runner.
+    let mut chaos_cfg = cfg.clone();
+    chaos_cfg.faults = vec![
+        (
+            1,
+            FaultPlan::seeded_kill(BENCH_SEED, chaos_cfg.num_ranks, &["compute"], 1),
+        ),
+        (
+            k - 1,
+            FaultPlan::none().with_phase_kill(
+                0,
+                "compute",
+                galactos_cluster::fault::KillSpec::ALWAYS,
+            ),
+        ),
+    ];
+    let chaos_dir = std::env::temp_dir().join(format!("galactos_ens_chaos_{}", std::process::id()));
+    std::fs::remove_dir_all(&chaos_dir).ok();
+    let interrupted = MockEnsemble::new(chaos_cfg.clone(), &chaos_dir);
+    let t = Instant::now();
+    let first_half = interrupted.run_limited(k / 2).expect("interrupted pass");
+    drop(interrupted);
+    let resumed_runner = MockEnsemble::new(chaos_cfg, &chaos_dir);
+    let chaos = resumed_runner.run().expect("resumed run");
+    let chaos_secs = t.elapsed().as_secs_f64();
+
+    let mut failed = false;
+    if first_half.computed != k / 2 || first_half.remaining != k - k / 2 {
+        eprintln!("FAIL: interruption did not stop where asked: {first_half:?}");
+        failed = true;
+    }
+    if chaos.status.skipped != k / 2 {
+        eprintln!(
+            "FAIL: resume skipped {} checkpointed realizations, expected {}",
+            chaos.status.skipped,
+            k / 2
+        );
+        failed = true;
+    }
+    if chaos.status.recomputed != 0 {
+        eprintln!(
+            "FAIL: resume recomputed {} intact checkpoints",
+            chaos.status.recomputed
+        );
+        failed = true;
+    }
+    let bit_identical = match bit_difference(&chaos, &reference) {
+        None => true,
+        Some(diff) => {
+            eprintln!("FAIL: chaos ensemble differs from reference: {diff}");
+            failed = true;
+            false
+        }
+    };
+
+    let (projected_dim, condition_number) = projected_condition_number(&reference.covariance);
+    let dim = reference.covariance.mean.len();
+
+    println!("== mock ensemble: K={k}, dim={dim} (projected {projected_dim}) ==\n");
+    let rows: Vec<Vec<String>> = per_realization_secs
+        .iter()
+        .enumerate()
+        .map(|(i, s)| vec![format!("{i}"), format!("{s:.3}")])
+        .collect();
+    print_table(&["realization", "seconds"], &rows);
+    println!(
+        "\nchaos run (2 kills, interrupt at {}): {chaos_secs:.3}s, skipped {} on resume",
+        k / 2,
+        chaos.status.skipped
+    );
+    println!(
+        "projected covariance condition number: {condition_number:.3e}; bit identical: {bit_identical}"
+    );
+
+    let doc = Json::obj([
+        ("mode", Json::str(if smoke { "smoke" } else { "full" })),
+        ("realizations", Json::Int(k as u64)),
+        ("zeta_dim", Json::Int(dim as u64)),
+        (
+            "per_realization_secs",
+            Json::Arr(per_realization_secs.iter().map(|&s| Json::Num(s)).collect()),
+        ),
+        ("chaos_total_secs", Json::Num(chaos_secs)),
+        ("resume_skipped", Json::Int(chaos.status.skipped as u64)),
+        (
+            "resume_recomputed",
+            Json::Int(chaos.status.recomputed as u64),
+        ),
+        ("projected_dim", Json::Int(projected_dim as u64)),
+        ("covariance_condition_number", Json::Num(condition_number)),
+        ("bit_identical", Json::Bool(bit_identical)),
+    ]);
+    std::fs::write(&out, doc.to_pretty()).expect("write JSON output");
+    println!("\nwrote {out}");
+
+    std::fs::remove_dir_all(&ref_dir).ok();
+    std::fs::remove_dir_all(&chaos_dir).ok();
+    if failed {
+        std::process::exit(1);
+    }
+}

@@ -44,6 +44,37 @@ pub enum CatalogIoError {
     /// (e.g. distributing a periodic sharded catalog).
     Unsupported(String),
     Parse(String),
+    /// An error localized to one shard of a sharded catalog: carries the
+    /// shard file path and shard index so a caller holding N shards can
+    /// tell which one is bad.
+    InShard {
+        path: String,
+        shard: usize,
+        source: Box<CatalogIoError>,
+    },
+}
+
+impl CatalogIoError {
+    /// Wrap `self` with the shard it occurred in (idempotent: an error
+    /// already carrying shard context is returned unchanged).
+    pub fn in_shard(self, path: &std::path::Path, shard: usize) -> CatalogIoError {
+        match self {
+            already @ CatalogIoError::InShard { .. } => already,
+            source => CatalogIoError::InShard {
+                path: path.display().to_string(),
+                shard,
+                source: Box::new(source),
+            },
+        }
+    }
+
+    /// The underlying error, with any shard context stripped.
+    pub fn root_cause(&self) -> &CatalogIoError {
+        match self {
+            CatalogIoError::InShard { source, .. } => source.root_cause(),
+            other => other,
+        }
+    }
 }
 
 impl std::fmt::Display for CatalogIoError {
@@ -56,6 +87,11 @@ impl std::fmt::Display for CatalogIoError {
             CatalogIoError::Corrupt(s) => write!(f, "corrupt catalog stream: {s}"),
             CatalogIoError::Unsupported(s) => write!(f, "unsupported catalog: {s}"),
             CatalogIoError::Parse(s) => write!(f, "parse error: {s}"),
+            CatalogIoError::InShard {
+                path,
+                shard,
+                source,
+            } => write!(f, "shard {shard} ({path}): {source}"),
         }
     }
 }

@@ -462,9 +462,12 @@ pub fn write_sharded(
 /// hands out records in caller-sized chunks; after the last record it
 /// verifies the payload checksum and count, so short files and bit rot
 /// surface as [`CatalogIoError::Truncated`] / [`CatalogIoError::Corrupt`]
-/// instead of silently thinning the catalog.
+/// instead of silently thinning the catalog. Every error is wrapped in
+/// [`CatalogIoError::InShard`] carrying the shard file path and index,
+/// so a rank streaming N shards can name the bad one.
 pub struct ShardReader {
     file: std::io::BufReader<File>,
+    path: std::path::PathBuf,
     meta: ShardMeta,
     index: usize,
     delivered: u64,
@@ -480,13 +483,20 @@ impl ShardReader {
         manifest: &ShardManifest,
         index: usize,
     ) -> Result<Self, CatalogIoError> {
+        let path = dir.as_ref().join(ShardManifest::shard_file_name(index));
+        Self::open_inner(path.clone(), manifest, index).map_err(|e| e.in_shard(&path, index))
+    }
+
+    fn open_inner(
+        path: std::path::PathBuf,
+        manifest: &ShardManifest,
+        index: usize,
+    ) -> Result<Self, CatalogIoError> {
         let meta = *manifest
             .shards
             .get(index)
             .unwrap_or_else(|| panic!("shard {index} out of range"));
-        let mut file = std::io::BufReader::new(File::open(
-            dir.as_ref().join(ShardManifest::shard_file_name(index)),
-        )?);
+        let mut file = std::io::BufReader::new(File::open(&path)?);
         let mut header = [0u8; HEADER_BYTES];
         read_exact_or_truncated(&mut file, &mut header)?;
         let mut buf = &header[..];
@@ -537,6 +547,7 @@ impl ShardReader {
         checked_record_count(count, usize::MAX)?;
         Ok(ShardReader {
             file,
+            path,
             meta,
             index,
             delivered: 0,
@@ -569,6 +580,17 @@ impl ShardReader {
     /// and has passed its checksum verification (`max == 0` is a no-op
     /// — verification only runs once the last record is delivered).
     pub fn read_chunk(
+        &mut self,
+        out: &mut Vec<Galaxy>,
+        max: usize,
+    ) -> Result<usize, CatalogIoError> {
+        let path = self.path.clone();
+        let index = self.index;
+        self.read_chunk_inner(out, max)
+            .map_err(|e| e.in_shard(&path, index))
+    }
+
+    fn read_chunk_inner(
         &mut self,
         out: &mut Vec<Galaxy>,
         max: usize,
@@ -745,7 +767,17 @@ mod tests {
                 Err(e) => break e,
             }
         };
-        assert!(matches!(err, CatalogIoError::Corrupt(_)), "{err}");
+        assert!(
+            matches!(err.root_cause(), CatalogIoError::Corrupt(_)),
+            "{err}"
+        );
+        // Regression: the error names the offending shard file and index.
+        let msg = err.to_string();
+        assert!(
+            msg.contains(&path.display().to_string()),
+            "error must carry the shard path: {msg}"
+        );
+        assert!(msg.contains("shard 0"), "error must carry the index: {msg}");
         std::fs::remove_dir_all(&dir).ok();
     }
 
@@ -758,10 +790,16 @@ mod tests {
         let mut bytes = std::fs::read(&path).unwrap();
         bytes[20] ^= 0xFF; // count field
         std::fs::write(&path, &bytes).unwrap();
-        assert!(matches!(
-            ShardReader::open(&dir, &manifest, 1),
-            Err(CatalogIoError::Corrupt(_))
-        ));
+        let err = ShardReader::open(&dir, &manifest, 1).err().unwrap();
+        assert!(
+            matches!(err.root_cause(), CatalogIoError::Corrupt(_)),
+            "{err}"
+        );
+        let msg = err.to_string();
+        assert!(
+            msg.contains(&path.display().to_string()) && msg.contains("shard 1"),
+            "error must carry path and index: {msg}"
+        );
         std::fs::remove_dir_all(&dir).ok();
     }
 
@@ -782,7 +820,15 @@ mod tests {
                 Err(e) => break e,
             }
         };
-        assert!(matches!(err, CatalogIoError::Truncated), "{err}");
+        assert!(
+            matches!(err.root_cause(), CatalogIoError::Truncated),
+            "{err}"
+        );
+        let msg = err.to_string();
+        assert!(
+            msg.contains(&path.display().to_string()),
+            "truncation error must carry the shard path: {msg}"
+        );
         std::fs::remove_dir_all(&dir).ok();
     }
 

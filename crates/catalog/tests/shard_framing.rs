@@ -102,12 +102,19 @@ fn v2_shard_file_truncation_at_every_byte_is_an_error() {
             while reader.read_chunk(&mut out, 4)? != 0 {}
             Ok(out)
         });
+        // Reader errors arrive wrapped in shard context naming the file.
+        let err = outcome.expect_err("shard prefix must be rejected");
         assert!(
             matches!(
-                outcome,
-                Err(CatalogIoError::Truncated) | Err(CatalogIoError::BadMagic(_))
+                err.root_cause(),
+                CatalogIoError::Truncated | CatalogIoError::BadMagic(_)
             ),
-            "shard prefix of {cut} bytes must be rejected"
+            "shard prefix of {cut} bytes must be rejected, got {err:?}"
+        );
+        let msg = err.to_string();
+        assert!(
+            msg.contains(&path.display().to_string()) && msg.contains("shard 0"),
+            "error must name the shard file and index: {msg}"
         );
     }
     // Restore the file: the intact shard must read back fully.

@@ -5,7 +5,17 @@
 //! sub-communicators — the operation at the heart of the paper's
 //! recursive k-d partitioning, where "each level of the tree divides MPI
 //! processes into sub-communicators of nearly equal size".
+//!
+//! Failure semantics: every rank announces its termination (clean return
+//! or panic) to every mailbox, so a receive whose peer has already died
+//! returns a [`RecvError`] naming the rank and tag instead of blocking
+//! forever. [`run_cluster`] keeps the historical panic-propagation
+//! behaviour; [`run_cluster_supervised`] instead converts each rank
+//! panic — including kills injected by a
+//! [`FaultHarness`](crate::fault::FaultHarness) — into a structured
+//! [`RankFailure`] so a driver can retry or reassign the lost work.
 
+use crate::fault::{classify_panic, DeliveryVerdict, FaultHarness, RankFailure};
 use crate::payload::Payload;
 use crate::stats::{ClusterStats, TrafficStats};
 use crossbeam::channel::{unbounded, Receiver, Sender};
@@ -22,7 +32,22 @@ const INTERNAL_TAG: u64 = 1 << 63;
 
 type MsgKey = (u64, u64, usize); // (comm id, tag, source world rank)
 
-struct Envelope {
+enum Envelope {
+    Message {
+        key: MsgKey,
+        bytes: usize,
+        data: Box<dyn Any + Send>,
+    },
+    /// Termination notice: `world_rank` has left the cluster, cleanly or
+    /// not. Sent to every mailbox by the rank wrapper so blocked
+    /// receivers wake up instead of hanging.
+    Terminated { world_rank: usize, clean: bool },
+}
+
+/// A message delayed by a fault: delivered after `remaining` further
+/// messages have been drained (or when the receiver would block).
+struct Delayed {
+    remaining: u64,
     key: MsgKey,
     bytes: usize,
     data: Box<dyn Any + Send>,
@@ -33,6 +58,10 @@ struct Envelope {
 struct Mailbox {
     rx: Receiver<Envelope>,
     pending: Mutex<HashMap<MsgKey, VecDeque<Parcel>>>,
+    /// World ranks known to have terminated (`true` = clean return).
+    dead: Mutex<HashMap<usize, bool>>,
+    /// Messages held back by a delay fault, in arrival order.
+    delayed: Mutex<VecDeque<Delayed>>,
 }
 
 /// A buffered message: its wire size plus the boxed payload.
@@ -42,7 +71,49 @@ struct Fabric {
     senders: Vec<Sender<Envelope>>,
     mailboxes: Vec<Arc<Mailbox>>,
     stats: ClusterStats,
+    /// Fault-injection harness; `None` outside supervised runs.
+    harness: Option<Arc<FaultHarness>>,
 }
+
+/// Failure returned by [`Comm::recv_result`] when the message can never
+/// arrive. Names the peer (local rank within the communicator) and tag
+/// so a supervisor can tell *which* exchange died.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RecvError {
+    /// Local rank of the peer within the communicator.
+    pub source: usize,
+    /// World rank of the peer.
+    pub source_world: usize,
+    pub tag: u64,
+    pub kind: RecvErrorKind,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RecvErrorKind {
+    /// The peer panicked or was killed before sending a matching message.
+    PeerFailed,
+    /// The peer returned cleanly without sending a matching message.
+    PeerFinished,
+    /// The whole fabric shut down while this rank was still receiving.
+    FabricClosed,
+}
+
+impl std::fmt::Display for RecvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let what = match self.kind {
+            RecvErrorKind::PeerFailed => "terminated abnormally (panicked or killed)",
+            RecvErrorKind::PeerFinished => "finished without sending a matching message",
+            RecvErrorKind::FabricClosed => "is unreachable: the cluster fabric closed",
+        };
+        write!(
+            f,
+            "recv(src rank {} [world {}], tag {}) cannot complete: peer {}",
+            self.source, self.source_world, self.tag, what
+        )
+    }
+}
+
+impl std::error::Error for RecvError {}
 
 /// A communicator: a view of a subset of world ranks, with local ranks
 /// `0..size()` mapping onto world ranks through `group`.
@@ -87,6 +158,17 @@ impl Comm {
         &self.fabric.stats
     }
 
+    /// Declare that this rank enters `phase`. Purely observational
+    /// outside supervised runs; under a
+    /// [`FaultHarness`](crate::fault::FaultHarness) it records the phase
+    /// for [`RankFailure`] attribution and fires any phase kill aimed at
+    /// this world rank.
+    pub fn set_phase(&self, phase: &str) {
+        if let Some(h) = &self.fabric.harness {
+            h.enter_phase(self.group[self.my_local], phase);
+        }
+    }
+
     /// Asynchronously send `value` to local rank `dest` under `tag`.
     pub fn send<T: Payload>(&self, dest: usize, tag: u64, value: T) {
         assert!(
@@ -105,19 +187,35 @@ impl Comm {
         let bytes = value.wire_bytes();
         let src_world = self.group[self.my_local];
         let dest_world = self.group[dest];
+        if let Some(h) = &self.fabric.harness {
+            h.note_send(src_world);
+        }
         self.fabric.stats.rank(src_world).record_send(bytes);
         self.fabric.senders[dest_world]
-            .send(Envelope {
+            .send(Envelope::Message {
                 key: (self.comm_id, tag, src_world),
                 bytes,
                 data: Box::new(value),
             })
-            .expect("rank mailbox closed — a peer thread panicked");
+            .expect("rank mailbox closed — the cluster fabric shut down");
     }
 
     /// Block until a message from local rank `src` with `tag` arrives;
-    /// panics if the payload type does not match `T`.
+    /// panics if the payload type does not match `T` or if the peer
+    /// terminated without sending (see [`Comm::recv_result`] for the
+    /// non-panicking form).
     pub fn recv<T: Payload>(&self, src: usize, tag: u64) -> T {
+        assert!(
+            tag & INTERNAL_TAG == 0,
+            "user tags must not set the top bit"
+        );
+        self.recv_raw(src, tag).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Block until a message from local rank `src` with `tag` arrives,
+    /// or until that can provably never happen because the peer has
+    /// terminated — the failure mode that used to hang forever.
+    pub fn recv_result<T: Payload>(&self, src: usize, tag: u64) -> Result<T, RecvError> {
         assert!(
             tag & INTERNAL_TAG == 0,
             "user tags must not set the top bit"
@@ -125,7 +223,7 @@ impl Comm {
         self.recv_raw(src, tag)
     }
 
-    fn recv_raw<T: Payload>(&self, src: usize, tag: u64) -> T {
+    fn recv_raw<T: Payload>(&self, src: usize, tag: u64) -> Result<T, RecvError> {
         assert!(
             src < self.size(),
             "src {src} out of range 0..{}",
@@ -133,35 +231,142 @@ impl Comm {
         );
         let src_world = self.group[src];
         let my_world = self.group[self.my_local];
+        if let Some(h) = &self.fabric.harness {
+            h.note_recv(my_world);
+        }
         let want: MsgKey = (self.comm_id, tag, src_world);
         let mailbox = &self.fabric.mailboxes[my_world];
-        // Fast path: already buffered.
-        {
-            let mut pending = mailbox.pending.lock();
-            if let Some(queue) = pending.get_mut(&want) {
-                if let Some((bytes, data)) = queue.pop_front() {
-                    self.fabric.stats.rank(my_world).record_recv(bytes);
-                    return Self::downcast::<T>(data);
+        loop {
+            // Drain everything immediately available, then consult the
+            // buffers. Per-sender FIFO guarantees that a peer's
+            // termination notice is drained only after all of its
+            // messages, so "dead and not buffered" means "never coming".
+            while let Some(env) = mailbox.rx.try_recv() {
+                self.absorb(mailbox, my_world, env);
+            }
+            if let Some((bytes, data)) = Self::take_pending(mailbox, &want) {
+                self.fabric.stats.rank(my_world).record_recv(bytes);
+                return Ok(Self::downcast::<T>(data));
+            }
+            // Force-release delayed messages rather than block on a
+            // channel that may never produce the ticks to free them.
+            if Self::release_oldest_delayed(mailbox) {
+                continue;
+            }
+            if let Some(&clean) = mailbox.dead.lock().get(&src_world) {
+                return Err(RecvError {
+                    source: src,
+                    source_world: src_world,
+                    tag,
+                    kind: if clean {
+                        RecvErrorKind::PeerFinished
+                    } else {
+                        RecvErrorKind::PeerFailed
+                    },
+                });
+            }
+            match mailbox.rx.recv() {
+                Ok(env) => self.absorb(mailbox, my_world, env),
+                Err(_) => {
+                    return Err(RecvError {
+                        source: src,
+                        source_world: src_world,
+                        tag,
+                        kind: RecvErrorKind::FabricClosed,
+                    })
                 }
             }
         }
-        // Slow path: drain the channel until the wanted message appears.
-        loop {
-            let env = mailbox
-                .rx
-                .recv()
-                .expect("cluster fabric closed while receiving");
-            if env.key == want {
-                self.fabric.stats.rank(my_world).record_recv(env.bytes);
-                return Self::downcast::<T>(env.data);
+    }
+
+    /// File one drained envelope: termination notices mark the peer
+    /// dead; messages pass through the fault harness (drop / delay /
+    /// corrupt) and land in the pending buffer. Each absorbed message
+    /// also ages the delay buffer by one delivery.
+    fn absorb(&self, mailbox: &Mailbox, my_world: usize, env: Envelope) {
+        match env {
+            Envelope::Terminated { world_rank, clean } => {
+                mailbox.dead.lock().entry(world_rank).or_insert(clean);
             }
-            mailbox
-                .pending
-                .lock()
-                .entry(env.key)
-                .or_default()
-                .push_back((env.bytes, env.data));
+            Envelope::Message {
+                key,
+                bytes,
+                mut data,
+            } => {
+                let verdict = match &self.fabric.harness {
+                    Some(h) => h.on_deliver(key.0, key.1, key.2, my_world, &mut data),
+                    None => DeliveryVerdict::Deliver,
+                };
+                match verdict {
+                    DeliveryVerdict::Deliver => {
+                        mailbox
+                            .pending
+                            .lock()
+                            .entry(key)
+                            .or_default()
+                            .push_back((bytes, data));
+                        Self::tick_delayed(mailbox);
+                    }
+                    DeliveryVerdict::Drop => {
+                        Self::tick_delayed(mailbox);
+                    }
+                    DeliveryVerdict::Delay(deliveries) => {
+                        mailbox.delayed.lock().push_back(Delayed {
+                            remaining: deliveries,
+                            key,
+                            bytes,
+                            data,
+                        });
+                    }
+                }
+            }
         }
+    }
+
+    /// Age every delayed message by one delivery; expired ones move to
+    /// the pending buffer in arrival order.
+    fn tick_delayed(mailbox: &Mailbox) {
+        let mut delayed = mailbox.delayed.lock();
+        if delayed.is_empty() {
+            return;
+        }
+        let mut pending = mailbox.pending.lock();
+        let mut still = VecDeque::with_capacity(delayed.len());
+        while let Some(mut d) = delayed.pop_front() {
+            d.remaining = d.remaining.saturating_sub(1);
+            if d.remaining == 0 {
+                pending
+                    .entry(d.key)
+                    .or_default()
+                    .push_back((d.bytes, d.data));
+            } else {
+                still.push_back(d);
+            }
+        }
+        *delayed = still;
+    }
+
+    /// Deliver the oldest delayed message immediately (liveness when the
+    /// receiver would otherwise block). Returns whether one was moved.
+    fn release_oldest_delayed(mailbox: &Mailbox) -> bool {
+        let mut delayed = mailbox.delayed.lock();
+        match delayed.pop_front() {
+            Some(d) => {
+                mailbox
+                    .pending
+                    .lock()
+                    .entry(d.key)
+                    .or_default()
+                    .push_back((d.bytes, d.data));
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn take_pending(mailbox: &Mailbox, want: &MsgKey) -> Option<Parcel> {
+        let mut pending = mailbox.pending.lock();
+        pending.get_mut(want).and_then(|queue| queue.pop_front())
     }
 
     fn downcast<T: 'static>(data: Box<dyn Any + Send>) -> T {
@@ -235,6 +440,7 @@ impl Comm {
 
     fn recv_internal<T: Payload>(&self, src: usize, tag: u64) -> T {
         self.recv_raw(src, tag | INTERNAL_TAG)
+            .unwrap_or_else(|e| panic!("collective cannot complete: {e}"))
     }
 
     /// Collective: block until every rank of the communicator arrives.
@@ -347,6 +553,46 @@ where
     T: Send,
     F: Fn(Comm) -> T + Send + Sync,
 {
+    run_cluster_inner(num_ranks, stack_bytes, None, f)
+        .into_iter()
+        .enumerate()
+        .map(|(rank, r)| r.unwrap_or_else(|_| panic!("rank {rank} panicked")))
+        .collect()
+}
+
+/// Run `f` on `num_ranks` ranks under a fault harness, converting each
+/// rank's panic (organic or injected) into a [`RankFailure`] instead of
+/// propagating it. Surviving ranks keep running: a receive aimed at a
+/// dead peer fails with [`RecvError`] rather than hanging, so failures
+/// cascade *visibly* through collectives and the supervisor gets one
+/// `Result` per rank.
+pub fn run_cluster_supervised<T, F>(
+    num_ranks: usize,
+    harness: Arc<FaultHarness>,
+    f: F,
+) -> Vec<Result<T, RankFailure>>
+where
+    T: Send,
+    F: Fn(Comm) -> T + Send + Sync,
+{
+    assert!(
+        harness.num_ranks() >= num_ranks,
+        "harness sized for {} ranks, cluster has {num_ranks}",
+        harness.num_ranks()
+    );
+    run_cluster_inner(num_ranks, 4 << 20, Some(harness), f)
+}
+
+fn run_cluster_inner<T, F>(
+    num_ranks: usize,
+    stack_bytes: usize,
+    harness: Option<Arc<FaultHarness>>,
+    f: F,
+) -> Vec<Result<T, RankFailure>>
+where
+    T: Send,
+    F: Fn(Comm) -> T + Send + Sync,
+{
     assert!(num_ranks > 0, "need at least one rank");
     let mut senders = Vec::with_capacity(num_ranks);
     let mut mailboxes = Vec::with_capacity(num_ranks);
@@ -356,16 +602,19 @@ where
         mailboxes.push(Arc::new(Mailbox {
             rx,
             pending: Mutex::new(HashMap::new()),
+            dead: Mutex::new(HashMap::new()),
+            delayed: Mutex::new(VecDeque::new()),
         }));
     }
     let fabric = Arc::new(Fabric {
         senders,
         mailboxes,
         stats: ClusterStats::new(num_ranks),
+        harness: harness.clone(),
     });
     let world: Arc<Vec<usize>> = Arc::new((0..num_ranks).collect());
 
-    let mut results: Vec<Option<T>> = (0..num_ranks).map(|_| None).collect();
+    let mut results: Vec<Option<Result<T, RankFailure>>> = (0..num_ranks).map(|_| None).collect();
     std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(num_ranks);
         for rank in 0..num_ranks {
@@ -377,16 +626,41 @@ where
                 split_counter: 0,
             };
             let f = &f;
+            let fabric = Arc::clone(&fabric);
             let handle = std::thread::Builder::new()
                 .name(format!("rank-{rank}"))
                 .stack_size(stack_bytes)
-                .spawn_scoped(scope, move || f(comm))
+                .spawn_scoped(scope, move || {
+                    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(comm)));
+                    // Announce termination to every mailbox (self
+                    // included) so blocked peers wake up. Notices bypass
+                    // traffic stats: they model the runtime noticing a
+                    // death, not application traffic.
+                    let clean = result.is_ok();
+                    for dest in 0..num_ranks {
+                        let _ = fabric.senders[dest].send(Envelope::Terminated {
+                            world_rank: rank,
+                            clean,
+                        });
+                    }
+                    result
+                })
                 .expect("failed to spawn rank thread");
             handles.push(handle);
         }
         for (rank, handle) in handles.into_iter().enumerate() {
-            results[rank] = Some(handle.join().unwrap_or_else(|_| {
-                panic!("rank {rank} panicked");
+            let outcome = handle
+                .join()
+                .expect("rank wrapper never panics: the body is caught");
+            results[rank] = Some(outcome.map_err(|payload| {
+                RankFailure {
+                    rank,
+                    phase: harness
+                        .as_ref()
+                        .map(|h| h.phase_of(rank))
+                        .unwrap_or_default(),
+                    cause: classify_panic(payload.as_ref()),
+                }
             }));
         }
     });
@@ -396,6 +670,7 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::{FailureCause, FaultAction, FaultPlan, KillSpec, MessageSelector};
 
     #[test]
     fn ping_pong() {
@@ -551,5 +826,219 @@ mod tests {
             v[0] as usize
         });
         assert!(results.iter().all(|&r| r == 64));
+    }
+
+    // ---- fault injection and supervision ----
+
+    fn harness(plan: FaultPlan, num_ranks: usize) -> Arc<FaultHarness> {
+        Arc::new(FaultHarness::new(plan, num_ranks))
+    }
+
+    #[test]
+    fn recv_from_panicked_peer_errors_instead_of_hanging() {
+        let results = run_cluster_supervised(2, harness(FaultPlan::none(), 2), |comm| {
+            if comm.rank() == 1 {
+                panic!("simulated node failure");
+            }
+            // Without termination notices this would block forever.
+            let err = comm.recv_result::<u64>(1, 42).unwrap_err();
+            assert_eq!(err.source, 1);
+            assert_eq!(err.tag, 42);
+            assert_eq!(err.kind, RecvErrorKind::PeerFailed);
+            let msg = err.to_string();
+            assert!(msg.contains("rank 1"), "message names the rank: {msg}");
+            assert!(msg.contains("tag 42"), "message names the tag: {msg}");
+            err.source
+        });
+        assert!(results[0].is_ok());
+        let failure = results[1].as_ref().unwrap_err();
+        assert_eq!(failure.rank, 1);
+        assert_eq!(
+            failure.cause,
+            FailureCause::Panic("simulated node failure".to_string())
+        );
+    }
+
+    #[test]
+    fn recv_from_cleanly_finished_peer_errors() {
+        let results = run_cluster_supervised(2, harness(FaultPlan::none(), 2), |comm| {
+            if comm.rank() == 1 {
+                return 0;
+            }
+            let err = comm.recv_result::<u64>(1, 7).unwrap_err();
+            assert_eq!(err.kind, RecvErrorKind::PeerFinished);
+            1
+        });
+        assert!(results.iter().all(|r| r.is_ok()));
+    }
+
+    #[test]
+    fn messages_sent_before_death_are_still_received() {
+        // Per-sender FIFO: the termination notice trails the payload.
+        let results = run_cluster_supervised(2, harness(FaultPlan::none(), 2), |comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 3, 99u64);
+                panic!("dies after sending");
+            }
+            comm.recv_result::<u64>(0, 3).unwrap()
+        });
+        assert_eq!(*results[1].as_ref().unwrap(), 99);
+    }
+
+    #[test]
+    fn injected_kill_reports_phase_and_cause() {
+        let plan = FaultPlan::none().with_phase_kill(1, "compute", 1);
+        let results = run_cluster_supervised(3, harness(plan, 3), |comm| {
+            comm.set_phase("ingest");
+            comm.set_phase("compute");
+            comm.rank()
+        });
+        assert!(results[0].is_ok() && results[2].is_ok());
+        let failure = results[1].as_ref().unwrap_err();
+        assert_eq!(failure.rank, 1);
+        assert_eq!(failure.phase, "compute");
+        assert_eq!(failure.cause, FailureCause::InjectedKill);
+    }
+
+    #[test]
+    fn kill_after_n_sends_fires_mid_stream() {
+        let plan = FaultPlan::none().with_send_kill(0, 2, 1);
+        let results = run_cluster_supervised(2, harness(plan, 2), |comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 1, 10u64);
+                comm.send(1, 1, 20u64); // killed here, before delivery
+                comm.send(1, 1, 30u64);
+                return 0;
+            }
+            let first = comm.recv_result::<u64>(0, 1).unwrap();
+            let rest = comm.recv_result::<u64>(0, 1);
+            assert_eq!(first, 10);
+            assert!(rest.is_err(), "second message was never sent");
+            1
+        });
+        assert!(results[0].is_err());
+        assert!(results[1].is_ok());
+    }
+
+    #[test]
+    fn drop_fault_loses_exactly_the_selected_message() {
+        let plan = FaultPlan::none().with_message_fault(
+            MessageSelector {
+                tag: Some(5),
+                source: Some(0),
+                dest: Some(1),
+                index: 0,
+                comm_id: Some(0),
+            },
+            FaultAction::DropMessage,
+        );
+        let results = run_cluster_supervised(2, harness(plan, 2), |comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 5, 111u64);
+                comm.send(1, 5, 222u64);
+                return 0;
+            }
+            comm.recv_result::<u64>(0, 5).unwrap()
+        });
+        // The first tag-5 message is dropped; the receiver sees the second.
+        assert_eq!(*results[1].as_ref().unwrap(), 222);
+    }
+
+    #[test]
+    fn delay_fault_reorders_same_tag_messages() {
+        let plan = FaultPlan::none().with_message_fault(
+            MessageSelector {
+                tag: Some(6),
+                source: Some(0),
+                index: 0,
+                ..Default::default()
+            },
+            FaultAction::Delay { deliveries: 1 },
+        );
+        let results = run_cluster_supervised(2, harness(plan, 2), |comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 6, 1u64);
+                comm.send(1, 6, 2u64);
+                return 0;
+            }
+            let a = comm.recv_result::<u64>(0, 6).unwrap();
+            let b = comm.recv_result::<u64>(0, 6).unwrap();
+            a * 10 + b
+        });
+        // Message 1 is delayed past message 2: arrival order is 2, 1.
+        assert_eq!(*results[1].as_ref().unwrap(), 21);
+    }
+
+    #[test]
+    fn corrupt_fault_flips_payload_bits_deterministically() {
+        let plan = FaultPlan::none().with_message_fault(
+            MessageSelector {
+                tag: Some(4),
+                source: Some(0),
+                index: 0,
+                ..Default::default()
+            },
+            FaultAction::CorruptF64 { xor_bits: 1 << 63 },
+        );
+        let results = run_cluster_supervised(2, harness(plan, 2), |comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 4, vec![1.5f64, -2.5]);
+                return vec![];
+            }
+            comm.recv_result::<Vec<f64>>(0, 4).unwrap()
+        });
+        assert_eq!(*results[1].as_ref().unwrap(), vec![-1.5, 2.5]);
+    }
+
+    #[test]
+    fn collective_with_dead_rank_fails_structurally_not_by_hanging() {
+        let plan = FaultPlan::none().with_phase_kill(2, "pre-barrier", 1);
+        let results = run_cluster_supervised(3, harness(plan, 3), |comm| {
+            comm.set_phase("pre-barrier");
+            comm.barrier();
+            comm.rank()
+        });
+        // Rank 2 dies; the barrier cannot complete, so every rank
+        // resolves to a failure instead of deadlocking the process.
+        assert!(results[2].is_err());
+        assert!(results.iter().any(|r| r.is_err()));
+    }
+
+    #[test]
+    fn transient_kill_fires_once_across_supervised_rounds() {
+        let plan = FaultPlan::none().with_phase_kill(0, "work", 1);
+        let h = harness(plan, 2);
+        let first = run_cluster_supervised(2, Arc::clone(&h), |comm| {
+            comm.set_phase("work");
+            comm.rank()
+        });
+        assert!(first[0].is_err());
+        assert!(first[1].is_ok());
+        // Same harness, second round: the kill budget is spent.
+        let second = run_cluster_supervised(2, Arc::clone(&h), |comm| {
+            comm.set_phase("work");
+            comm.rank()
+        });
+        assert!(second[0].is_ok());
+    }
+
+    #[test]
+    fn permanent_kill_fires_every_round() {
+        let plan = FaultPlan {
+            kills: vec![KillSpec {
+                rank: 1,
+                point: crate::fault::KillPoint::AtPhase("work".to_string()),
+                times: KillSpec::ALWAYS,
+            }],
+            messages: vec![],
+        };
+        let h = harness(plan, 2);
+        for _ in 0..3 {
+            let round = run_cluster_supervised(2, Arc::clone(&h), |comm| {
+                comm.set_phase("work");
+                comm.rank()
+            });
+            assert!(round[1].is_err());
+        }
     }
 }

@@ -19,13 +19,26 @@
 //! the communication *pattern*: any deadlock, mismatched tag or wrong
 //! peer in the algorithm shows up here exactly as it would on a real
 //! machine.
+//!
+//! The [`fault`] module adds a deterministic failure model on top:
+//! seeded [`FaultPlan`]s that drop/delay/corrupt chosen messages or kill
+//! chosen ranks, and [`run_cluster_supervised`] which converts rank
+//! panics into structured [`RankFailure`]s so a driver can retry or
+//! reassign lost work instead of losing the whole run.
 
 #![forbid(unsafe_code)]
 
 pub mod comm;
+pub mod fault;
 pub mod payload;
 pub mod stats;
 
-pub use comm::{run_cluster, run_cluster_with_stacks, Comm};
+pub use comm::{
+    run_cluster, run_cluster_supervised, run_cluster_with_stacks, Comm, RecvError, RecvErrorKind,
+};
+pub use fault::{
+    FailureCause, FaultAction, FaultHarness, FaultPlan, InjectedKill, KillPoint, KillSpec,
+    MessageFault, MessageSelector, RankFailure,
+};
 pub use payload::Payload;
 pub use stats::{ClusterStats, TrafficStats};

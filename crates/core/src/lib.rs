@@ -80,6 +80,10 @@ pub use estimator::{
 };
 pub use galactos_grid::{GridConfig, GridTimings, MassAssignment};
 pub use kernel::{BackendChoice, BackendKind, KernelBackend};
+pub use pipeline::{
+    compute_distributed, compute_distributed_sharded, compute_distributed_supervised, NoSleep,
+    RankReport, RetryPolicy, Sleeper, SupervisedError, SupervisedRun,
+};
 pub use result::{AnisotropicZeta, IsotropicZeta};
 pub use schedule::run_partitioned;
 pub use scratch::ComputeScratch;

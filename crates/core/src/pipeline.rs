@@ -25,9 +25,12 @@ use crate::schedule::{self, Merge};
 use galactos_catalog::io::CatalogIoError;
 use galactos_catalog::shard::ShardManifest;
 use galactos_catalog::{Catalog, Galaxy};
+use galactos_cluster::fault::{FaultHarness, FaultPlan, RankFailure};
 use galactos_cluster::run_cluster_with_stacks;
 use galactos_domain::exchange::{distribute, tagged_from_catalog};
-use galactos_domain::shard::distribute_from_shards;
+use galactos_domain::shard::{
+    distribute_from_shards, distribute_shard_range, shard_range_for_rank,
+};
 use galactos_math::Aabb;
 use std::path::Path;
 
@@ -47,6 +50,12 @@ pub struct RankReport {
     pub records_read: u64,
     /// Bytes this rank read from shard files (sharded ingestion only).
     pub bytes_read: u64,
+    /// How many attempts this work took under supervision (1 = first
+    /// try; always 1 on the unsupervised paths).
+    pub attempts: u32,
+    /// When this work was reassigned from a dead rank, the rank that
+    /// originally owned it (`rank` is then the survivor that ran it).
+    pub reassigned_from: Option<usize>,
 }
 
 /// Cluster-level result of a distributed run.
@@ -112,6 +121,8 @@ pub fn compute_distributed(
             messages_sent: snapshot.messages_sent,
             records_read: 0,
             bytes_read: 0,
+            attempts: 1,
+            reassigned_from: None,
         };
 
         // Final reduction of the multipole arrays (Algorithm 1's last
@@ -222,12 +233,390 @@ pub fn compute_distributed_sharded(
             messages_sent: 0,
             records_read: rd.records_read,
             bytes_read: rd.bytes_read,
+            attempts: 1,
+            reassigned_from: None,
         };
         Ok::<_, CatalogIoError>((zeta.to_f64_vec(), report))
     });
 
     let results = results.into_iter().collect::<Result<Vec<_>, _>>()?;
     Ok(reduce_rank_partials(config, results))
+}
+
+// ---------------------------------------------------------------------
+// Supervised execution: retry, reassignment, structured failures.
+// ---------------------------------------------------------------------
+
+/// Pluggable backoff sink: receives abstract *units*, never a clock.
+/// Core stays wall-clock-free (W-CLOCK); a bench or production driver
+/// can map units to milliseconds, a test can count them.
+pub trait Sleeper: Send + Sync {
+    fn sleep(&self, units: u64);
+}
+
+/// The default sleeper: pure attempt counting, no delay.
+pub struct NoSleep;
+
+impl Sleeper for NoSleep {
+    fn sleep(&self, _units: u64) {}
+}
+
+/// Bounded, deterministic retry policy for supervised ranks: before the
+/// k-th retry of a piece of work the sleeper receives
+/// `backoff_base << (k - 1)` units (exponential backoff in abstract
+/// units — determinism is unaffected by however the sleeper spends
+/// them).
+#[derive(Clone)]
+pub struct RetryPolicy {
+    /// Total attempts per piece of work (first try included); `1`
+    /// disables retries.
+    pub max_attempts: u32,
+    /// Backoff units before the first retry; doubles each retry.
+    pub backoff_base: u64,
+    pub sleeper: std::sync::Arc<dyn Sleeper>,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 3,
+            backoff_base: 1,
+            sleeper: std::sync::Arc::new(NoSleep),
+        }
+    }
+}
+
+impl std::fmt::Debug for RetryPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RetryPolicy")
+            .field("max_attempts", &self.max_attempts)
+            .field("backoff_base", &self.backoff_base)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Why a supervised run could not produce a result.
+#[derive(Debug)]
+pub enum SupervisedError {
+    /// Shard ingestion failed (disk-level problem, not a rank failure —
+    /// retrying a rank cannot fix a corrupt file, so it surfaces as-is,
+    /// carrying the shard path and index from the reader).
+    Io(CatalogIoError),
+    /// Every rank that could run a shard's work died, retries included.
+    Exhausted { failures: Vec<RankFailure> },
+}
+
+impl std::fmt::Display for SupervisedError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SupervisedError::Io(e) => write!(f, "shard ingestion failed: {e}"),
+            SupervisedError::Exhausted { failures } => write!(
+                f,
+                "all ranks exhausted their retries ({} failures recorded)",
+                failures.len()
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SupervisedError {}
+
+impl From<CatalogIoError> for SupervisedError {
+    fn from(e: CatalogIoError) -> Self {
+        SupervisedError::Io(e)
+    }
+}
+
+/// Result of a supervised distributed run.
+#[derive(Clone, Debug)]
+pub struct SupervisedRun {
+    pub zeta: AnisotropicZeta,
+    /// One report per completed piece of work: each surviving rank's own
+    /// shard range, plus one report per shard recovered from a dead rank
+    /// (with [`RankReport::reassigned_from`] set).
+    pub ranks: Vec<RankReport>,
+    /// Every rank failure observed, in the order they were handled
+    /// (first round by rank, then per-retry).
+    pub failures: Vec<RankFailure>,
+    /// Ranks that exhausted their retries and lost their shard range to
+    /// the survivors.
+    pub dead_ranks: Vec<usize>,
+}
+
+/// Flattened ζ partials labeled by the shard that produced them.
+type ShardPartials = Vec<(usize, Vec<f64>)>;
+
+/// Per-shard ζ partial: the shard's galaxies as primaries, everything
+/// within `rmax` of the shard region as ghosts. Summing these over all
+/// shards in shard order is *the* reduction — it never depends on which
+/// rank computed which shard, which is what makes retry and
+/// reassignment bit-transparent.
+fn shard_partial(
+    dir: &Path,
+    manifest: &ShardManifest,
+    config: &EngineConfig,
+    worker: usize,
+    shard: usize,
+    engine: &Engine,
+) -> Result<(Vec<f64>, galactos_domain::shard::ShardRankData), CatalogIoError> {
+    let rmax = config.bins.rmax();
+    let rd = distribute_shard_range(dir, manifest, worker, shard, shard + 1, rmax)?;
+    let zeta = if rd.owned.is_empty() {
+        AnisotropicZeta::zeros(config.lmax, config.bins.nbins())
+    } else {
+        let mut local: Vec<Galaxy> = Vec::with_capacity(rd.resident());
+        local.extend_from_slice(&rd.owned);
+        local.extend_from_slice(&rd.ghosts);
+        engine.compute_subset(&local, rd.owned.len())
+    };
+    Ok((zeta.to_f64_vec(), rd))
+}
+
+/// One worker's pass over a list of shards, with phase announcements so
+/// injected phase kills (and failure attribution) see ingest / compute /
+/// reduce boundaries. Used identically by the first parallel round, the
+/// retry path, and the reassignment path — same code, same bits.
+fn shard_task(
+    dir: &Path,
+    manifest: &ShardManifest,
+    config: &EngineConfig,
+    worker: usize,
+    shards: &[usize],
+    phase: &dyn Fn(&str),
+) -> Result<(RankReport, ShardPartials), CatalogIoError> {
+    phase("ingest");
+    // Ingestion is re-validated per shard at compute time; entering the
+    // phase here keeps the {ingest, compute, reduce} kill surface even
+    // though streaming is interleaved with compute below.
+    let engine = Engine::new(config.clone());
+    let mut report = RankReport {
+        rank: worker,
+        owned: 0,
+        ghosts: 0,
+        binned_pairs: 0,
+        bytes_sent: 0,
+        messages_sent: 0,
+        records_read: 0,
+        bytes_read: 0,
+        attempts: 1,
+        reassigned_from: None,
+    };
+    let mut partials = Vec::with_capacity(shards.len());
+    phase("compute");
+    for &s in shards {
+        let (partial, rd) = shard_partial(dir, manifest, config, worker, s, &engine)?;
+        report.owned += rd.owned.len();
+        report.ghosts += rd.ghosts.len();
+        report.records_read += rd.records_read;
+        report.bytes_read += rd.bytes_read;
+        report.binned_pairs +=
+            AnisotropicZeta::from_f64_vec(config.lmax, config.bins.nbins(), &partial).binned_pairs;
+        partials.push((s, partial));
+    }
+    phase("reduce");
+    Ok((report, partials))
+}
+
+/// Run `f`, converting a panic into the failure it represents.
+fn catch_failure<T>(
+    rank: usize,
+    harness: &FaultHarness,
+    f: impl FnOnce() -> T,
+) -> Result<T, RankFailure> {
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(f)).map_err(|payload| RankFailure {
+        rank,
+        phase: harness.phase_of(rank),
+        cause: galactos_cluster::fault::classify_panic(payload.as_ref()),
+    })
+}
+
+/// [`compute_distributed_sharded`] under supervision: per-rank failures
+/// (organic panics or faults injected through `plan`) are caught as
+/// [`RankFailure`]s, failed ranks are retried under `policy`'s bounded
+/// exponential backoff, and ranks that exhaust their retries have their
+/// shard range reassigned across the survivors.
+///
+/// ζ is assembled from *per-shard* partials reduced in shard order, so
+/// the result is bit-identical to the failure-free run — and to any
+/// rank count — no matter which rank ends up computing which shard:
+/// primaries are partitioned by shard, not by rank identity.
+pub fn compute_distributed_supervised(
+    manifest_path: impl AsRef<Path>,
+    config: &EngineConfig,
+    num_ranks: usize,
+    policy: &RetryPolicy,
+    plan: FaultPlan,
+) -> Result<SupervisedRun, SupervisedError> {
+    assert!(policy.max_attempts >= 1, "need at least one attempt");
+    let manifest_path = manifest_path.as_ref();
+    let dir = manifest_path
+        .parent()
+        .unwrap_or_else(|| Path::new("."))
+        .to_path_buf();
+    let manifest = ShardManifest::read(manifest_path)?;
+    if let Some(box_len) = manifest.periodic {
+        return Err(CatalogIoError::Unsupported(format!(
+            "distributed pipeline treats catalogs as open boxes (like the \
+             paper); manifest declares a periodic box of length {box_len}"
+        ))
+        .into());
+    }
+    let num_shards = manifest.num_shards();
+    let harness = std::sync::Arc::new(FaultHarness::new(plan, num_ranks));
+
+    let range_of = |rank: usize| {
+        let (lo, hi) = shard_range_for_rank(num_shards, num_ranks, rank);
+        (lo..hi).collect::<Vec<usize>>()
+    };
+
+    // Round 0: every rank in parallel on the supervised cluster.
+    let round0 = galactos_cluster::run_cluster_supervised(
+        num_ranks,
+        std::sync::Arc::clone(&harness),
+        |comm| {
+            let rank = comm.rank();
+            shard_task(&dir, &manifest, config, rank, &range_of(rank), &|p| {
+                comm.set_phase(p)
+            })
+        },
+    );
+
+    let mut failures: Vec<RankFailure> = Vec::new();
+    let mut reports: Vec<RankReport> = Vec::new();
+    let mut partials: std::collections::BTreeMap<usize, Vec<f64>> =
+        std::collections::BTreeMap::new();
+    let mut failed_ranks: Vec<usize> = Vec::new();
+    let mut survivors: Vec<usize> = Vec::new();
+
+    let absorb_success = |reports: &mut Vec<RankReport>,
+                          partials: &mut std::collections::BTreeMap<usize, Vec<f64>>,
+                          report: RankReport,
+                          parts: Vec<(usize, Vec<f64>)>| {
+        for (s, p) in parts {
+            let prev = partials.insert(s, p);
+            assert!(prev.is_none(), "shard {s} computed twice");
+        }
+        reports.push(report);
+    };
+
+    for (rank, outcome) in round0.into_iter().enumerate() {
+        match outcome {
+            Ok(Ok((report, parts))) => {
+                absorb_success(&mut reports, &mut partials, report, parts);
+                survivors.push(rank);
+            }
+            Ok(Err(io)) => return Err(io.into()),
+            Err(failure) => {
+                failures.push(failure);
+                failed_ranks.push(rank);
+            }
+        }
+    }
+
+    // Retry each failed rank under the policy; the harness keeps its
+    // counters, so a `times: 1` kill is transient and the retry passes,
+    // while a permanent kill keeps firing until the budget is spent.
+    let mut dead_ranks: Vec<usize> = Vec::new();
+    for rank in failed_ranks {
+        let mut recovered = false;
+        let mut attempt = 1u32;
+        while attempt < policy.max_attempts {
+            policy
+                .sleeper
+                .sleep(policy.backoff_base << (attempt - 1).min(62));
+            attempt += 1;
+            let outcome = catch_failure(rank, &harness, || {
+                shard_task(&dir, &manifest, config, rank, &range_of(rank), &|p| {
+                    harness.enter_phase(rank, p)
+                })
+            });
+            match outcome {
+                Ok(Ok((mut report, parts))) => {
+                    report.attempts = attempt;
+                    absorb_success(&mut reports, &mut partials, report, parts);
+                    survivors.push(rank);
+                    recovered = true;
+                    break;
+                }
+                Ok(Err(io)) => return Err(io.into()),
+                Err(failure) => failures.push(failure),
+            }
+        }
+        if !recovered {
+            dead_ranks.push(rank);
+        }
+    }
+
+    // Reassign each dead rank's shards across the survivors,
+    // round-robin, each shard under the same retry policy (and, on
+    // exhaustion, cascading to the next survivor). The shard partial is
+    // identical no matter who computes it, so this degradation is
+    // invisible in ζ.
+    survivors.sort_unstable();
+    let mut rr = 0usize;
+    for &dead in &dead_ranks {
+        for s in range_of(dead) {
+            if survivors.is_empty() {
+                return Err(SupervisedError::Exhausted { failures });
+            }
+            let mut done = false;
+            'survivor: for k in 0..survivors.len() {
+                let surv = survivors[(rr + k) % survivors.len()];
+                let mut attempt = 0u32;
+                while attempt < policy.max_attempts {
+                    if attempt > 0 {
+                        policy
+                            .sleeper
+                            .sleep(policy.backoff_base << (attempt - 1).min(62));
+                    }
+                    attempt += 1;
+                    let outcome = catch_failure(surv, &harness, || {
+                        shard_task(&dir, &manifest, config, surv, &[s], &|p| {
+                            harness.enter_phase(surv, p)
+                        })
+                    });
+                    match outcome {
+                        Ok(Ok((mut report, parts))) => {
+                            report.attempts = attempt;
+                            report.reassigned_from = Some(dead);
+                            absorb_success(&mut reports, &mut partials, report, parts);
+                            done = true;
+                            rr += 1;
+                            break 'survivor;
+                        }
+                        Ok(Err(io)) => return Err(io.into()),
+                        Err(failure) => failures.push(failure),
+                    }
+                }
+            }
+            if !done {
+                return Err(SupervisedError::Exhausted { failures });
+            }
+        }
+    }
+
+    // The reduction: every shard exactly once, in shard order. This is
+    // the bit-identity anchor — nothing above may change it.
+    assert_eq!(
+        partials.len(),
+        num_shards,
+        "every shard must contribute exactly one partial"
+    );
+    let mut zeta = AnisotropicZeta::zeros(config.lmax, config.bins.nbins());
+    for partial in partials.values() {
+        zeta.merge(&AnisotropicZeta::from_f64_vec(
+            config.lmax,
+            config.bins.nbins(),
+            partial,
+        ));
+    }
+
+    Ok(SupervisedRun {
+        zeta,
+        ranks: reports,
+        failures,
+        dead_ranks,
+    })
 }
 
 #[cfg(test)]

@@ -1,0 +1,255 @@
+//! Chaos gates for the supervised distributed pipeline.
+//!
+//! The fault matrix sweeps injected kills across {every rank} ×
+//! {ingest, compute, reduce} × ranks ∈ {2, 3, 5} on the 250-galaxy box
+//! and requires the supervised ζ to match the plain single-process
+//! answer to 1e-9 in every cell. A second sweep makes the kills
+//! permanent so retries exhaust and the dead rank's shards are
+//! reassigned — there the bar is raised to *bit identity* with the
+//! failure-free supervised run, which is the property that makes
+//! checkpoint/resume sound at the ensemble level.
+
+use galactos_catalog::shard::MANIFEST_FILE;
+use galactos_catalog::{uniform_box, Catalog};
+use galactos_cluster::fault::{FailureCause, FaultPlan, KillSpec};
+use galactos_core::config::EngineConfig;
+use galactos_core::engine::Engine;
+use galactos_core::pipeline::SupervisedError;
+use galactos_core::pipeline::{compute_distributed_supervised, RetryPolicy, Sleeper};
+use galactos_domain::shard::write_sharded;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+const PHASES: [&str; 3] = ["ingest", "compute", "reduce"];
+
+fn open_catalog(n: usize, box_len: f64, seed: u64) -> Catalog {
+    let mut c = uniform_box(n, box_len, seed);
+    c.periodic = None;
+    c
+}
+
+fn shard_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir()
+        .join("galactos_supervised_test")
+        .join(format!("{name}_{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+struct CountingSleeper(AtomicU64);
+
+impl Sleeper for CountingSleeper {
+    fn sleep(&self, units: u64) {
+        self.0.fetch_add(units, Ordering::Relaxed);
+    }
+}
+
+#[test]
+fn fault_matrix_transient_kills_match_single_process() {
+    let cat = open_catalog(250, 15.0, 3);
+    let config = EngineConfig::test_default(5.0, 3, 3);
+    let single = Engine::new(config.clone()).compute(&cat);
+    let scale = single.max_abs().max(1.0);
+    let dir = shard_dir("fault_matrix");
+    write_sharded(&cat, 7, &dir).unwrap();
+    let manifest_path = dir.join(MANIFEST_FILE);
+    let policy = RetryPolicy::default();
+
+    for ranks in [2usize, 3, 5] {
+        for victim in 0..ranks {
+            for phase in PHASES {
+                let plan = FaultPlan::none().with_phase_kill(victim, phase, 1);
+                let run =
+                    compute_distributed_supervised(&manifest_path, &config, ranks, &policy, plan)
+                        .unwrap_or_else(|e| {
+                            panic!("ranks={ranks} victim={victim} phase={phase}: {e}")
+                        });
+                assert!(
+                    run.zeta.max_difference(&single) < 1e-9 * scale,
+                    "ranks={ranks} victim={victim} phase={phase}: diff {}",
+                    run.zeta.max_difference(&single)
+                );
+                // Exactly one failure: the injected transient kill,
+                // attributed to the right rank and phase.
+                assert_eq!(run.failures.len(), 1, "ranks={ranks} victim={victim}");
+                assert_eq!(run.failures[0].rank, victim);
+                assert_eq!(run.failures[0].phase, phase);
+                assert_eq!(run.failures[0].cause, FailureCause::InjectedKill);
+                assert!(
+                    run.dead_ranks.is_empty(),
+                    "transient kill must not be fatal"
+                );
+                let retried = run
+                    .ranks
+                    .iter()
+                    .find(|r| r.rank == victim && r.reassigned_from.is_none())
+                    .expect("victim recovers via retry");
+                assert_eq!(retried.attempts, 2, "one failure, one successful retry");
+                let owned_total: usize = run.ranks.iter().map(|r| r.owned).sum();
+                assert_eq!(owned_total, 250, "primaries partition the catalog");
+            }
+        }
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn permanent_kill_reassigns_shards_bit_identically() {
+    let cat = open_catalog(250, 15.0, 3);
+    let config = EngineConfig::test_default(5.0, 3, 3);
+    let dir = shard_dir("reassignment");
+    write_sharded(&cat, 7, &dir).unwrap();
+    let manifest_path = dir.join(MANIFEST_FILE);
+    let policy = RetryPolicy {
+        max_attempts: 2,
+        ..Default::default()
+    };
+
+    for ranks in [2usize, 3, 5] {
+        let clean = compute_distributed_supervised(
+            &manifest_path,
+            &config,
+            ranks,
+            &policy,
+            FaultPlan::none(),
+        )
+        .unwrap();
+        assert!(clean.failures.is_empty());
+        for victim in 0..ranks {
+            let plan = FaultPlan::none().with_phase_kill(victim, "compute", KillSpec::ALWAYS);
+            let run = compute_distributed_supervised(&manifest_path, &config, ranks, &policy, plan)
+                .unwrap_or_else(|e| panic!("ranks={ranks} victim={victim}: {e}"));
+            // Bit identity with the failure-free supervised run: the
+            // reduction is over per-shard partials in shard order, so
+            // losing a rank must be invisible down to the last bit.
+            let a = run.zeta.to_f64_vec();
+            let b = clean.zeta.to_f64_vec();
+            assert_eq!(a.len(), b.len());
+            for (i, (x, y)) in a.iter().zip(b.iter()).enumerate() {
+                assert_eq!(
+                    x.to_bits(),
+                    y.to_bits(),
+                    "ranks={ranks} victim={victim}: component {i} differs"
+                );
+            }
+            assert_eq!(run.dead_ranks, vec![victim]);
+            // The victim's shards were taken over by survivors.
+            let recovered: Vec<_> = run
+                .ranks
+                .iter()
+                .filter(|r| r.reassigned_from == Some(victim))
+                .collect();
+            let (lo, hi) = galactos_domain::shard::shard_range_for_rank(7, ranks, victim);
+            assert_eq!(
+                recovered.len(),
+                hi - lo,
+                "one recovery report per lost shard"
+            );
+            for r in &recovered {
+                assert_ne!(r.rank, victim, "a dead rank cannot recover its own work");
+            }
+        }
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn supervised_is_bit_identical_across_rank_counts() {
+    // Stronger than the 1e-9 single-process bar: because primaries are
+    // partitioned by shard and reduced in shard order, the supervised
+    // result does not depend on the rank count at all.
+    let cat = open_catalog(180, 12.0, 5);
+    let config = EngineConfig::test_default(4.0, 2, 2);
+    let dir = shard_dir("rank_count_invariance");
+    write_sharded(&cat, 5, &dir).unwrap();
+    let manifest_path = dir.join(MANIFEST_FILE);
+    let policy = RetryPolicy::default();
+    let reference =
+        compute_distributed_supervised(&manifest_path, &config, 1, &policy, FaultPlan::none())
+            .unwrap();
+    for ranks in [2usize, 3, 5, 7] {
+        let run = compute_distributed_supervised(
+            &manifest_path,
+            &config,
+            ranks,
+            &policy,
+            FaultPlan::none(),
+        )
+        .unwrap();
+        let a = run.zeta.to_f64_vec();
+        let b = reference.zeta.to_f64_vec();
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert_eq!(
+                x.to_bits(),
+                y.to_bits(),
+                "ranks={ranks} differs from 1 rank"
+            );
+        }
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn backoff_is_exponential_in_abstract_units() {
+    let cat = open_catalog(60, 8.0, 11);
+    let config = EngineConfig::test_default(3.0, 1, 1);
+    let dir = shard_dir("backoff");
+    write_sharded(&cat, 3, &dir).unwrap();
+    let manifest_path = dir.join(MANIFEST_FILE);
+    let sleeper = std::sync::Arc::new(CountingSleeper(AtomicU64::new(0)));
+    let policy = RetryPolicy {
+        max_attempts: 4,
+        backoff_base: 10,
+        sleeper: std::sync::Arc::clone(&sleeper) as std::sync::Arc<dyn Sleeper>,
+    };
+    // Rank 0 dies twice, then the third attempt succeeds: the sleeper
+    // must have been handed 10 + 20 units (base, then doubled).
+    let plan = FaultPlan::none().with_phase_kill(0, "compute", 2);
+    let run = compute_distributed_supervised(&manifest_path, &config, 2, &policy, plan).unwrap();
+    assert_eq!(run.failures.len(), 2);
+    assert_eq!(sleeper.0.load(Ordering::Relaxed), 30);
+    let report = run
+        .ranks
+        .iter()
+        .find(|r| r.rank == 0)
+        .expect("rank 0 recovers");
+    assert_eq!(report.attempts, 3);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn killing_every_rank_exhausts_the_run() {
+    let cat = open_catalog(60, 8.0, 13);
+    let config = EngineConfig::test_default(3.0, 1, 1);
+    let dir = shard_dir("exhausted");
+    write_sharded(&cat, 3, &dir).unwrap();
+    let manifest_path = dir.join(MANIFEST_FILE);
+    let policy = RetryPolicy {
+        max_attempts: 2,
+        ..Default::default()
+    };
+    let plan = FaultPlan::none()
+        .with_phase_kill(0, "compute", KillSpec::ALWAYS)
+        .with_phase_kill(1, "compute", KillSpec::ALWAYS);
+    let err = compute_distributed_supervised(&manifest_path, &config, 2, &policy, plan)
+        .expect_err("no rank can make progress");
+    match err {
+        SupervisedError::Exhausted { failures } => {
+            assert!(failures.len() >= 2, "both ranks reported failures");
+        }
+        other => panic!("expected Exhausted, got {other}"),
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn seeded_plans_sweep_the_failure_space() {
+    // The seeded constructor must stay within bounds and be reproducible
+    // — the property the ensemble bench relies on for its committed
+    // baseline.
+    for seed in 0..16u64 {
+        let a = FaultPlan::seeded_kill(seed, 5, &PHASES, 1);
+        let b = FaultPlan::seeded_kill(seed, 5, &PHASES, 1);
+        assert_eq!(format!("{a:?}"), format!("{b:?}"), "seed {seed} not stable");
+    }
+}

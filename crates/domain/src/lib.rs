@@ -43,4 +43,6 @@ pub mod shard;
 pub use exchange::{distribute, RankData, TaggedGalaxy};
 pub use load::{pair_counts, LoadBalance};
 pub use partition::{split_ranks, DomainPlan, PartitionNode};
-pub use shard::{distribute_from_shards, shard_range_for_rank, ShardRankData};
+pub use shard::{
+    distribute_from_shards, distribute_shard_range, shard_range_for_rank, ShardRankData,
+};

@@ -113,6 +113,29 @@ pub fn distribute_from_shards(
     num_ranks: usize,
     rmax: f64,
 ) -> Result<ShardRankData, CatalogIoError> {
+    let (lo, hi) = shard_range_for_rank(manifest.num_shards(), num_ranks, rank);
+    distribute_shard_range(dir, manifest, rank, lo, hi, rmax)
+}
+
+/// Ingest an explicit shard range `[lo, hi)` for `rank`, regardless of
+/// which rank the range canonically belongs to. This is the primitive
+/// the supervised pipeline uses to *reassign* a dead rank's shards to a
+/// survivor (and to compute per-shard partials one shard at a time):
+/// the data a rank holds depends only on the shard range, never on the
+/// identity of the rank doing the reading.
+pub fn distribute_shard_range(
+    dir: impl AsRef<Path>,
+    manifest: &ShardManifest,
+    rank: usize,
+    lo: usize,
+    hi: usize,
+    rmax: f64,
+) -> Result<ShardRankData, CatalogIoError> {
+    assert!(
+        lo <= hi && hi <= manifest.num_shards(),
+        "shard range {lo}..{hi} out of bounds for {} shards",
+        manifest.num_shards()
+    );
     if let Some(box_len) = manifest.periodic {
         return Err(CatalogIoError::Unsupported(format!(
             "sharded distribution treats catalogs as open boxes (like the halo \
@@ -120,7 +143,6 @@ pub fn distribute_from_shards(
         )));
     }
     let dir = dir.as_ref();
-    let (lo, hi) = shard_range_for_rank(manifest.num_shards(), num_ranks, rank);
     let r2 = rmax * rmax;
 
     let mut owned = Vec::new();
@@ -377,6 +399,35 @@ mod tests {
             distribute_from_shards(&dir, &manifest, 0, 3, 2.0),
             Err(CatalogIoError::Unsupported(_))
         ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn explicit_range_is_rank_identity_independent() {
+        // The supervised pipeline reassigns a dead rank's shard range to
+        // a survivor: the ingested data must depend only on the range.
+        let cat = open_catalog(300, 20.0, 41);
+        let dir = tmpdir("identity_independent");
+        let manifest = write_sharded(&cat, 6, &dir).unwrap();
+        let key = |g: &Galaxy| (g.pos.x.to_bits(), g.pos.y.to_bits(), g.pos.z.to_bits());
+        let a = distribute_shard_range(&dir, &manifest, 1, 2, 4, 3.0).unwrap();
+        let b = distribute_shard_range(&dir, &manifest, 5, 2, 4, 3.0).unwrap();
+        assert_eq!(
+            a.owned.iter().map(key).collect::<Vec<_>>(),
+            b.owned.iter().map(key).collect::<Vec<_>>()
+        );
+        assert_eq!(
+            a.ghosts.iter().map(key).collect::<Vec<_>>(),
+            b.ghosts.iter().map(key).collect::<Vec<_>>()
+        );
+        // And the canonical range matches the rank-based entry point.
+        let (lo, hi) = shard_range_for_rank(6, 3, 1);
+        let via_rank = distribute_from_shards(&dir, &manifest, 1, 3, 3.0).unwrap();
+        let via_range = distribute_shard_range(&dir, &manifest, 1, lo, hi, 3.0).unwrap();
+        assert_eq!(
+            via_rank.owned.iter().map(key).collect::<Vec<_>>(),
+            via_range.owned.iter().map(key).collect::<Vec<_>>()
+        );
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -1,0 +1,349 @@
+//! Per-realization checkpoint files (GENS v1).
+//!
+//! Each completed realization of the mock ensemble is persisted as one
+//! small framed file holding the realization's flattened ζ vector,
+//! checksummed the same way GCAT v2 shards are (FNV-1a over the header
+//! and over the payload separately), so that a restarted run can tell a
+//! finished realization from a torn or corrupted write without ever
+//! trusting file size or mtime.
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! offset  size  field
+//!      0     8  magic  b"GENSCKP1"
+//!      8     4  format version (currently 1)
+//!     12     4  reserved (zero)
+//!     16     8  realization index
+//!     24     8  realization seed
+//!     32     8  ensemble config digest
+//!     40     8  payload length (count of f64 values)
+//!     48     8  FNV-1a over bytes [0, 48)
+//!     56    8n  payload: n f64 values, little-endian bit patterns
+//!  56+8n     8  FNV-1a over the payload bytes
+//! ```
+//!
+//! Every failure mode is a structured [`CheckpointError`] carrying the
+//! file path — truncation at *any* byte offset, a flipped bit anywhere,
+//! or a checkpoint written by a different ensemble configuration all
+//! read as errors, never as data and never as a panic. Writes go
+//! through a temporary file renamed into place so a crash mid-write
+//! leaves either the old state or no checkpoint, not a half-written
+//! frame.
+
+use std::fmt;
+use std::fs;
+use std::io::Write as _;
+use std::path::Path;
+
+/// Magic bytes opening every checkpoint file.
+pub const CHECKPOINT_MAGIC: [u8; 8] = *b"GENSCKP1";
+/// Current checkpoint format version.
+pub const CHECKPOINT_VERSION: u32 = 1;
+/// Bytes before the payload: fixed header plus its checksum.
+pub const CHECKPOINT_HEADER_BYTES: usize = 56;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// FNV-1a over a byte slice (same construction as the GCAT v2 shard
+/// checksums in `galactos-catalog`).
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// Why a checkpoint could not be read back. Every variant names the
+/// offending file so ensemble-level reports stay actionable.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// Underlying filesystem failure (including "file does not exist").
+    Io {
+        path: String,
+        source: std::io::Error,
+    },
+    /// The file is shorter than its frame claims (or than the fixed
+    /// header) — the signature of a torn write or truncation.
+    Truncated {
+        path: String,
+        expected: usize,
+        actual: usize,
+    },
+    /// The first eight bytes are not `GENSCKP1`.
+    BadMagic { path: String },
+    /// A future (or garbage) format version.
+    BadVersion { path: String, found: u32 },
+    /// The header checksum does not match the header bytes.
+    HeaderChecksum { path: String },
+    /// The payload checksum does not match the payload bytes.
+    PayloadChecksum { path: String },
+    /// The frame is intact but describes a different realization,
+    /// seed, or ensemble configuration than the reader expected.
+    Mismatch {
+        path: String,
+        field: &'static str,
+        expected: u64,
+        found: u64,
+    },
+}
+
+impl CheckpointError {
+    /// The checkpoint file this error is about.
+    pub fn path(&self) -> &str {
+        match self {
+            CheckpointError::Io { path, .. }
+            | CheckpointError::Truncated { path, .. }
+            | CheckpointError::BadMagic { path }
+            | CheckpointError::BadVersion { path, .. }
+            | CheckpointError::HeaderChecksum { path }
+            | CheckpointError::PayloadChecksum { path }
+            | CheckpointError::Mismatch { path, .. } => path,
+        }
+    }
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::Io { path, source } => {
+                write!(f, "checkpoint {path}: {source}")
+            }
+            CheckpointError::Truncated {
+                path,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "checkpoint {path}: truncated ({actual} bytes, frame needs {expected})"
+            ),
+            CheckpointError::BadMagic { path } => {
+                write!(f, "checkpoint {path}: bad magic (not a GENS checkpoint)")
+            }
+            CheckpointError::BadVersion { path, found } => {
+                write!(
+                    f,
+                    "checkpoint {path}: unsupported format version {found} \
+                     (reader speaks {CHECKPOINT_VERSION})"
+                )
+            }
+            CheckpointError::HeaderChecksum { path } => {
+                write!(f, "checkpoint {path}: header checksum mismatch")
+            }
+            CheckpointError::PayloadChecksum { path } => {
+                write!(f, "checkpoint {path}: payload checksum mismatch")
+            }
+            CheckpointError::Mismatch {
+                path,
+                field,
+                expected,
+                found,
+            } => write!(
+                f,
+                "checkpoint {path}: {field} mismatch (expected {expected:#x}, found {found:#x})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CheckpointError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+/// Identity of one checkpoint: which realization it holds, the seed
+/// that produced it, and a digest of the ensemble configuration. A
+/// reader supplies the identity it *expects*; any disagreement is a
+/// [`CheckpointError::Mismatch`], which the runner treats exactly like
+/// corruption — recompute.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CheckpointIdentity {
+    pub realization: u64,
+    pub seed: u64,
+    pub config_digest: u64,
+}
+
+fn io_err(path: &Path, source: std::io::Error) -> CheckpointError {
+    CheckpointError::Io {
+        path: path.display().to_string(),
+        source,
+    }
+}
+
+/// Write `data` as a framed checkpoint at `path`, atomically (temp
+/// file + rename within the same directory).
+pub fn write_checkpoint(
+    path: &Path,
+    identity: CheckpointIdentity,
+    data: &[f64],
+) -> Result<(), CheckpointError> {
+    let mut frame = Vec::with_capacity(CHECKPOINT_HEADER_BYTES + data.len() * 8 + 8);
+    frame.extend_from_slice(&CHECKPOINT_MAGIC);
+    frame.extend_from_slice(&CHECKPOINT_VERSION.to_le_bytes());
+    frame.extend_from_slice(&0u32.to_le_bytes());
+    frame.extend_from_slice(&identity.realization.to_le_bytes());
+    frame.extend_from_slice(&identity.seed.to_le_bytes());
+    frame.extend_from_slice(&identity.config_digest.to_le_bytes());
+    frame.extend_from_slice(&(data.len() as u64).to_le_bytes());
+    let header_fnv = fnv1a(&frame);
+    frame.extend_from_slice(&header_fnv.to_le_bytes());
+    let payload_start = frame.len();
+    for &x in data {
+        frame.extend_from_slice(&x.to_le_bytes());
+    }
+    let payload_fnv = fnv1a(&frame[payload_start..]);
+    frame.extend_from_slice(&payload_fnv.to_le_bytes());
+
+    let tmp = path.with_extension("gck.tmp");
+    {
+        let mut f = fs::File::create(&tmp).map_err(|e| io_err(&tmp, e))?;
+        f.write_all(&frame).map_err(|e| io_err(&tmp, e))?;
+        f.sync_all().map_err(|e| io_err(&tmp, e))?;
+    }
+    fs::rename(&tmp, path).map_err(|e| io_err(path, e))
+}
+
+fn le_u32(bytes: &[u8], offset: usize) -> u32 {
+    u32::from_le_bytes(bytes[offset..offset + 4].try_into().unwrap())
+}
+
+fn le_u64(bytes: &[u8], offset: usize) -> u64 {
+    u64::from_le_bytes(bytes[offset..offset + 8].try_into().unwrap())
+}
+
+/// Read and fully verify the checkpoint at `path`, requiring it to
+/// match `expect`. Returns the payload vector only when the magic,
+/// version, both checksums, and the full identity all check out.
+pub fn read_checkpoint(
+    path: &Path,
+    expect: CheckpointIdentity,
+) -> Result<Vec<f64>, CheckpointError> {
+    let p = || path.display().to_string();
+    let bytes = fs::read(path).map_err(|e| io_err(path, e))?;
+    if bytes.len() < CHECKPOINT_HEADER_BYTES {
+        return Err(CheckpointError::Truncated {
+            path: p(),
+            expected: CHECKPOINT_HEADER_BYTES,
+            actual: bytes.len(),
+        });
+    }
+    if bytes[..8] != CHECKPOINT_MAGIC {
+        return Err(CheckpointError::BadMagic { path: p() });
+    }
+    let version = le_u32(&bytes, 8);
+    if version != CHECKPOINT_VERSION {
+        return Err(CheckpointError::BadVersion {
+            path: p(),
+            found: version,
+        });
+    }
+    if fnv1a(&bytes[..48]) != le_u64(&bytes, 48) {
+        return Err(CheckpointError::HeaderChecksum { path: p() });
+    }
+    let n = le_u64(&bytes, 40) as usize;
+    let total = CHECKPOINT_HEADER_BYTES + n * 8 + 8;
+    if bytes.len() != total {
+        return Err(CheckpointError::Truncated {
+            path: p(),
+            expected: total,
+            actual: bytes.len(),
+        });
+    }
+    let payload = &bytes[CHECKPOINT_HEADER_BYTES..total - 8];
+    if fnv1a(payload) != le_u64(&bytes, total - 8) {
+        return Err(CheckpointError::PayloadChecksum { path: p() });
+    }
+    let found = CheckpointIdentity {
+        realization: le_u64(&bytes, 16),
+        seed: le_u64(&bytes, 24),
+        config_digest: le_u64(&bytes, 32),
+    };
+    for (field, expected, got) in [
+        ("realization", expect.realization, found.realization),
+        ("seed", expect.seed, found.seed),
+        ("config digest", expect.config_digest, found.config_digest),
+    ] {
+        if expected != got {
+            return Err(CheckpointError::Mismatch {
+                path: p(),
+                field,
+                expected,
+                found: got,
+            });
+        }
+    }
+    Ok(payload
+        .chunks_exact(8)
+        .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("galactos_ckpt_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    const ID: CheckpointIdentity = CheckpointIdentity {
+        realization: 3,
+        seed: 0xdead_beef,
+        config_digest: 0x1234_5678,
+    };
+
+    #[test]
+    fn round_trip_preserves_bits() {
+        let path = tmp("round_trip.gck");
+        let data = vec![1.5, -0.0, f64::MIN_POSITIVE, 3.0e300, -7.25];
+        write_checkpoint(&path, ID, &data).unwrap();
+        let back = read_checkpoint(&path, ID).unwrap();
+        assert_eq!(back.len(), data.len());
+        for (a, b) in back.iter().zip(&data) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn identity_mismatch_is_an_error_naming_the_field() {
+        let path = tmp("mismatch.gck");
+        write_checkpoint(&path, ID, &[1.0]).unwrap();
+        let other = CheckpointIdentity { seed: 99, ..ID };
+        let err = read_checkpoint(&path, other).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("seed mismatch"), "{msg}");
+        assert!(msg.contains("mismatch.gck"), "{msg}");
+    }
+
+    #[test]
+    fn flipped_payload_bit_fails_the_checksum() {
+        let path = tmp("flip.gck");
+        write_checkpoint(&path, ID, &[1.0, 2.0, 3.0]).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[CHECKPOINT_HEADER_BYTES + 5] ^= 0x10;
+        std::fs::write(&path, &bytes).unwrap();
+        match read_checkpoint(&path, ID) {
+            Err(CheckpointError::PayloadChecksum { .. }) => {}
+            other => panic!("expected payload checksum error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn missing_file_is_io_not_panic() {
+        let path = tmp("never_written.gck");
+        match read_checkpoint(&path, ID) {
+            Err(CheckpointError::Io { .. }) => {}
+            other => panic!("expected io error, got {other:?}"),
+        }
+    }
+}

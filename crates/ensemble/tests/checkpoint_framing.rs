@@ -1,0 +1,75 @@
+//! Byte-level robustness sweep for the GENS v1 checkpoint frame,
+//! mirroring the GCAT v2 `shard_framing` suite: truncation at *every*
+//! byte boundary and a flipped bit at *every* byte offset must surface
+//! as a structured [`CheckpointError`], never as a panic and never as
+//! silently accepted data.
+
+use galactos_ensemble::{read_checkpoint, write_checkpoint, CheckpointError, CheckpointIdentity};
+use std::path::PathBuf;
+
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir()
+        .join("galactos_ckpt_framing")
+        .join(format!("{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+const ID: CheckpointIdentity = CheckpointIdentity {
+    realization: 7,
+    seed: 0x5eed_cafe,
+    config_digest: 0x00d1_6e57,
+};
+
+fn reference_frame(path: &PathBuf) -> Vec<u8> {
+    let data: Vec<f64> = (0..9).map(|i| (i as f64) * 1.25 - 3.0).collect();
+    write_checkpoint(path, ID, &data).unwrap();
+    std::fs::read(path).unwrap()
+}
+
+#[test]
+fn truncation_at_every_byte_is_an_error() {
+    let path = scratch("truncate.gck");
+    let full = reference_frame(&path);
+    let cut = scratch("truncate_cut.gck");
+    for len in 0..full.len() {
+        std::fs::write(&cut, &full[..len]).unwrap();
+        let err = read_checkpoint(&cut, ID)
+            .err()
+            .unwrap_or_else(|| panic!("prefix of {len} bytes accepted as a valid checkpoint"));
+        // Whatever the variant, the report must name the file.
+        assert!(
+            err.to_string().contains("truncate_cut.gck"),
+            "len {len}: error does not name the file: {err}"
+        );
+    }
+}
+
+#[test]
+fn one_flipped_bit_at_every_offset_is_an_error() {
+    let path = scratch("flip.gck");
+    let full = reference_frame(&path);
+    let bent = scratch("flip_bent.gck");
+    for offset in 0..full.len() {
+        let mut bytes = full.clone();
+        bytes[offset] ^= 0x40;
+        std::fs::write(&bent, &bytes).unwrap();
+        assert!(
+            read_checkpoint(&bent, ID).is_err(),
+            "flipped bit at offset {offset} went undetected"
+        );
+    }
+}
+
+#[test]
+fn trailing_garbage_is_an_error() {
+    let path = scratch("garbage.gck");
+    let mut full = reference_frame(&path);
+    full.extend_from_slice(b"extra");
+    let long = scratch("garbage_long.gck");
+    std::fs::write(&long, &full).unwrap();
+    match read_checkpoint(&long, ID) {
+        Err(CheckpointError::Truncated { .. }) => {}
+        other => panic!("expected frame-length error, got {other:?}"),
+    }
+}

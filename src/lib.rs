@@ -31,7 +31,7 @@
 //!
 //! The crates are re-exported under their subsystem names:
 //! [`math`], [`simd`], [`kdtree`], [`cluster`], [`domain`], [`catalog`],
-//! [`mocks`], [`grid`], [`core`], [`analysis`].
+//! [`mocks`], [`grid`], [`core`], [`analysis`], [`ensemble`].
 
 #![forbid(unsafe_code)]
 
@@ -40,6 +40,7 @@ pub use galactos_catalog as catalog;
 pub use galactos_cluster as cluster;
 pub use galactos_core as core;
 pub use galactos_domain as domain;
+pub use galactos_ensemble as ensemble;
 pub use galactos_grid as grid;
 pub use galactos_kdtree as kdtree;
 pub use galactos_math as math;
@@ -56,10 +57,14 @@ pub mod prelude {
     pub use galactos_core::engine::Engine;
     pub use galactos_core::estimator::{EstimatorChoice, EstimatorKind};
     pub use galactos_core::kernel::{BackendChoice, BackendKind};
-    pub use galactos_core::pipeline::{compute_distributed, compute_distributed_sharded};
+    pub use galactos_core::pipeline::{
+        compute_distributed, compute_distributed_sharded, compute_distributed_supervised,
+        RetryPolicy,
+    };
     pub use galactos_core::result::{AnisotropicZeta, IsotropicZeta};
     pub use galactos_core::survey::{SurveyCompute, SurveyConfig, SurveyZeta};
     pub use galactos_core::traversal::{TraversalChoice, TraversalKind};
+    pub use galactos_ensemble::{EnsembleConfig, MockEnsemble, SpectrumChoice};
     pub use galactos_grid::{GridConfig, MassAssignment};
     pub use galactos_math::cosmology::FiducialCosmology;
     pub use galactos_math::{LineOfSight, Vec3};

@@ -1,0 +1,199 @@
+//! `bench_compare` — the bench-drift gate.
+//!
+//! Compares a freshly produced `BENCH_*.json` against a committed
+//! baseline and separates *gate drift* (a correctness verdict flipped,
+//! a schema string changed, a gate field vanished) from *timing noise*
+//! (seconds, rates, speedups — which legitimately move run to run and
+//! between smoke and full modes).
+//!
+//! Classification is by leaf field name, uniformly across every bench
+//! schema in the repo:
+//!
+//! * **gate** — `schema`, `pass`, `monotone`, `equivalence_ok`,
+//!   `bit_identical`: must exist in the fresh file and match the
+//!   baseline exactly. Any difference is drift and the process exits 1,
+//!   which is what CI's `bench-smoke` job keys off.
+//! * **context** — `mode`, `smoke`, `threads`, `seed`: expected to
+//!   differ between a committed full-mode baseline and a CI smoke run;
+//!   ignored.
+//! * **advisory** — everything else (timings, counts, configuration,
+//!   thresholds): numeric changes are reported (largest relative moves
+//!   first) but never fail the gate.
+//!
+//! Exit codes: 0 no gate drift, 1 gate drift, 2 usage / IO / parse
+//! error.
+//!
+//! Usage: `bench_compare <baseline.json> <fresh.json>`
+
+use galactos_bench::json::Json;
+
+/// Leaf field names whose values are correctness verdicts or format
+/// identifiers: exact match required.
+const GATE_KEYS: [&str; 5] = [
+    "schema",
+    "pass",
+    "monotone",
+    "equivalence_ok",
+    "bit_identical",
+];
+
+/// Leaf field names describing the run environment rather than the
+/// result; a smoke run is *supposed* to differ from a full baseline
+/// here.
+const CONTEXT_KEYS: [&str; 4] = ["mode", "smoke", "threads", "seed"];
+
+/// A flattened leaf: dotted path (arrays as `[i]`) plus its value.
+struct Leaf {
+    path: String,
+    key: String,
+    value: Json,
+}
+
+fn flatten(value: &Json, path: &str, key: &str, out: &mut Vec<Leaf>) {
+    match value {
+        Json::Obj(fields) => {
+            for (k, v) in fields {
+                let child = if path.is_empty() {
+                    k.clone()
+                } else {
+                    format!("{path}.{k}")
+                };
+                flatten(v, &child, k, out);
+            }
+        }
+        Json::Arr(items) => {
+            for (i, v) in items.iter().enumerate() {
+                flatten(v, &format!("{path}[{i}]"), key, out);
+            }
+        }
+        leaf => out.push(Leaf {
+            path: path.to_string(),
+            key: key.to_string(),
+            value: leaf.clone(),
+        }),
+    }
+}
+
+fn load(path: &str) -> Result<Vec<Leaf>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let doc = Json::parse(&text).map_err(|e| format!("cannot parse {path}: {e}"))?;
+    let mut leaves = Vec::new();
+    flatten(&doc, "", "", &mut leaves);
+    Ok(leaves)
+}
+
+fn render(v: &Json) -> String {
+    match v {
+        Json::Str(s) => format!("\"{s}\""),
+        other => other.to_pretty().trim_end().to_string(),
+    }
+}
+
+fn as_f64(v: &Json) -> Option<f64> {
+    match v {
+        Json::Int(n) => Some(*n as f64),
+        Json::Num(x) => Some(*x),
+        _ => None,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let [baseline_path, fresh_path] = match args.as_slice() {
+        [b, f] => [b.clone(), f.clone()],
+        _ => {
+            eprintln!("usage: bench_compare <baseline.json> <fresh.json>");
+            std::process::exit(2);
+        }
+    };
+    let (baseline, fresh) = match (load(&baseline_path), load(&fresh_path)) {
+        (Ok(b), Ok(f)) => (b, f),
+        (b, f) => {
+            for err in [b.err(), f.err()].into_iter().flatten() {
+                eprintln!("error: {err}");
+            }
+            std::process::exit(2);
+        }
+    };
+
+    let fresh_by_path: std::collections::BTreeMap<&str, &Json> =
+        fresh.iter().map(|l| (l.path.as_str(), &l.value)).collect();
+
+    let mut drifts: Vec<String> = Vec::new();
+    let mut gates_ok = 0usize;
+    // (relative move, description) for numeric advisory changes.
+    let mut advisories: Vec<(f64, String)> = Vec::new();
+
+    for leaf in &baseline {
+        let is_gate = GATE_KEYS.contains(&leaf.key.as_str());
+        let is_context = CONTEXT_KEYS.contains(&leaf.key.as_str());
+        match fresh_by_path.get(leaf.path.as_str()) {
+            None if is_gate => drifts.push(format!(
+                "gate field {} missing from fresh output (baseline {})",
+                leaf.path,
+                render(&leaf.value)
+            )),
+            None => {} // structural change in an advisory region
+            Some(&fresh_value) if is_gate => {
+                if *fresh_value == leaf.value {
+                    gates_ok += 1;
+                } else {
+                    drifts.push(format!(
+                        "gate field {} drifted: baseline {} -> fresh {}",
+                        leaf.path,
+                        render(&leaf.value),
+                        render(fresh_value)
+                    ));
+                }
+            }
+            Some(_) if is_context => {}
+            Some(&fresh_value) => {
+                if *fresh_value == leaf.value {
+                    continue;
+                }
+                if let (Some(b), Some(f)) = (as_f64(&leaf.value), as_f64(fresh_value)) {
+                    let rel = (f - b).abs() / b.abs().max(1e-300);
+                    advisories.push((
+                        rel,
+                        format!("{}: {b} -> {f} ({:+.1}%)", leaf.path, 100.0 * (f - b) / b),
+                    ));
+                } else {
+                    advisories.push((
+                        f64::INFINITY,
+                        format!(
+                            "{}: {} -> {}",
+                            leaf.path,
+                            render(&leaf.value),
+                            render(fresh_value)
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+
+    println!("== bench_compare: {baseline_path} vs {fresh_path} ==");
+    println!(
+        "gates: {gates_ok} matched, {} drifted; advisory changes: {}",
+        drifts.len(),
+        advisories.len()
+    );
+    advisories.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
+    for (_, line) in advisories.iter().take(10) {
+        println!("  advisory  {line}");
+    }
+    if advisories.len() > 10 {
+        println!("  advisory  ... and {} more", advisories.len() - 10);
+    }
+    for line in &drifts {
+        eprintln!("  DRIFT     {line}");
+    }
+    if !drifts.is_empty() {
+        eprintln!(
+            "FAIL: {} gate field(s) drifted from the baseline",
+            drifts.len()
+        );
+        std::process::exit(1);
+    }
+    println!("PASS: no gate drift");
+}

@@ -1,0 +1,225 @@
+//! `trace_profile` — one observed run through every runtime layer,
+//! exported as a Chrome trace.
+//!
+//! Opens a single [`ObsSession`] and drives, in order:
+//!
+//! 1. **engine** — the tree-traversal engine at the paper point
+//!    (Outer-Rim-density mock, Rmax = box/4), per-worker `chunk` spans
+//!    with search/bin/kernel/assembly aggregate slices;
+//! 2. **grid** — the FFT estimator on a periodic box, with the native
+//!    paint/fields/contract/selfpair breakdown;
+//! 3. **supervised** — a 3-rank distributed run with one injected
+//!    transient kill, so the per-rank tracks show the `shard_task` /
+//!    `retry` spans and the fault-tolerance counters are non-zero;
+//! 4. **ensemble** — a small checkpointed mock ensemble, one
+//!    `realization k` span each.
+//!
+//! Everything lands in one tracer, then gets written out twice:
+//! `TRACE_paperpoint.json` (Chrome Trace Event JSON — open in Perfetto
+//! or `chrome://tracing`) and `TRACE_paperpoint_summary.txt` (the
+//! deterministic plain-text span tree, also printed to stdout). Before
+//! exiting the bin re-parses its own trace JSON and verifies that every
+//! layer contributed spans; a missing layer exits nonzero.
+//!
+//! Usage: `trace_profile [--smoke] [--out PATH] [--summary PATH]`
+//! (`--smoke` shrinks the catalogs to CI scale.)
+
+use galactos_bench::datasets::{node_dataset, periodic_node_dataset, scaled_rmax};
+use galactos_bench::json::Json;
+use galactos_bench::BENCH_SEED;
+use galactos_catalog::shard::MANIFEST_FILE;
+use galactos_cluster::fault::FaultPlan;
+use galactos_core::config::EngineConfig;
+use galactos_core::engine::Engine;
+use galactos_core::estimator::EstimatorChoice;
+use galactos_core::pipeline::compute_distributed_supervised_observed;
+use galactos_core::pipeline::RetryPolicy;
+use galactos_core::{GridConfig, ObsSession};
+use galactos_domain::shard::write_sharded;
+use galactos_ensemble::{EnsembleConfig, MockEnsemble};
+use galactos_obs::chrome::chrome_trace_json;
+use galactos_obs::summary::render_summary;
+
+struct Params {
+    /// Engine (tree) catalog size.
+    engine_n: usize,
+    /// Grid catalog size and mesh.
+    grid_n: usize,
+    mesh: usize,
+    lmax: usize,
+    nbins: usize,
+    /// Supervised catalog size, shard and rank counts.
+    supervised_n: usize,
+    shards: usize,
+    ranks: usize,
+    /// Ensemble realizations.
+    realizations: usize,
+}
+
+impl Params {
+    fn new(smoke: bool) -> Self {
+        if smoke {
+            Params {
+                engine_n: 2000,
+                grid_n: 2000,
+                mesh: 32,
+                lmax: 2,
+                nbins: 3,
+                supervised_n: 250,
+                shards: 5,
+                ranks: 3,
+                realizations: 3,
+            }
+        } else {
+            Params {
+                engine_n: 20_000,
+                grid_n: 20_000,
+                mesh: 64,
+                lmax: 4,
+                nbins: 5,
+                supervised_n: 2000,
+                shards: 7,
+                ranks: 3,
+                realizations: 4,
+            }
+        }
+    }
+}
+
+/// Collect every `"name"` of a `ph:"X"` event from a parsed trace.
+fn event_names(trace: &Json) -> Vec<String> {
+    let mut names = Vec::new();
+    if let Some(Json::Arr(events)) = trace.get("traceEvents") {
+        for event in events {
+            if event.get("ph") == Some(&Json::Str("X".to_string())) {
+                if let Some(Json::Str(name)) = event.get("name") {
+                    names.push(name.clone());
+                }
+            }
+        }
+    }
+    names
+}
+
+fn main() {
+    let mut smoke = false;
+    let mut out = "TRACE_paperpoint.json".to_string();
+    let mut summary_out = "TRACE_paperpoint_summary.txt".to_string();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--smoke" => smoke = true,
+            "--out" => out = args.next().expect("--out needs a path"),
+            "--summary" => summary_out = args.next().expect("--summary needs a path"),
+            other => {
+                eprintln!(
+                    "unknown argument {other}; usage: trace_profile [--smoke] [--out PATH] [--summary PATH]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    let p = Params::new(smoke);
+    let obs = ObsSession::enabled();
+    obs.tracer.name_track("profile driver");
+
+    // 1. Tree engine at the paper point.
+    println!("[1/4] engine: tree traversal, n={}", p.engine_n);
+    let cat = node_dataset(p.engine_n, true, BENCH_SEED);
+    let config = EngineConfig::test_default(scaled_rmax(&cat), p.lmax, p.nbins);
+    let zeta_tree = Engine::new(config.clone()).compute_observed(&cat, &obs);
+
+    // 2. Grid estimator on the periodic box.
+    println!("[2/4] grid: FFT estimator, n={}, mesh={}", p.grid_n, p.mesh);
+    let grid_cat = periodic_node_dataset(p.grid_n, true, BENCH_SEED);
+    let mut grid_config = EngineConfig::test_default(scaled_rmax(&grid_cat), p.lmax, p.nbins);
+    grid_config.estimator = EstimatorChoice::Grid(GridConfig::with_mesh(p.mesh));
+    let zeta_grid = Engine::new(grid_config).compute_observed(&grid_cat, &obs);
+
+    // 3. Supervised distributed run with one injected transient kill,
+    // so the trace shows a retry and the fault counters are exercised.
+    println!(
+        "[3/4] supervised: {} ranks, {} shards, one injected kill",
+        p.ranks, p.shards
+    );
+    let mut shard_cat = node_dataset(p.supervised_n, true, BENCH_SEED);
+    shard_cat.periodic = None;
+    let shard_config = EngineConfig::test_default(scaled_rmax(&shard_cat), p.lmax, p.nbins);
+    let dir = std::env::temp_dir().join(format!("galactos_trace_profile_{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    write_sharded(&shard_cat, p.shards, &dir).expect("write shards");
+    let plan = FaultPlan::none().with_phase_kill(1 % p.ranks, "compute", 1);
+    let run = compute_distributed_supervised_observed(
+        dir.join(MANIFEST_FILE),
+        &shard_config,
+        p.ranks,
+        &RetryPolicy::default(),
+        plan,
+        &obs,
+    )
+    .expect("supervised run");
+    assert_eq!(run.failures.len(), 1, "the injected kill is recorded");
+
+    // 4. Checkpointed mock ensemble.
+    println!("[4/4] ensemble: {} realizations", p.realizations);
+    let ens_dir = dir.join("ensemble");
+    let runner = MockEnsemble::new(EnsembleConfig::smoke(p.realizations, BENCH_SEED), &ens_dir);
+    let status = runner
+        .run_limited_observed(p.realizations, &obs)
+        .expect("ensemble run");
+    assert_eq!(status.computed, p.realizations);
+    std::fs::remove_dir_all(&dir).ok();
+
+    // Export: Chrome trace + deterministic text summary.
+    let trace_json = chrome_trace_json(&obs.tracer, "galactos trace_profile");
+    std::fs::write(&out, &trace_json).expect("write trace JSON");
+    let summary = render_summary(&obs.tracer, "trace_profile");
+    std::fs::write(&summary_out, &summary).expect("write summary");
+    println!("\n{summary}");
+
+    // A few headline counters, so the stdout log is useful on its own.
+    println!(
+        "engine.binned_pairs    = {}",
+        obs.registry.counter_value("engine.binned_pairs")
+    );
+    println!(
+        "grid.primaries         = {}",
+        obs.registry.counter_value("grid.primaries")
+    );
+    println!(
+        "supervised.attempts    = {}",
+        obs.registry.counter_value("supervised.attempts")
+    );
+    println!(
+        "supervised.injected    = {}",
+        obs.registry.counter_value("supervised.injected_faults")
+    );
+    println!(
+        "ensemble.computed      = {}",
+        obs.registry.counter_value("ensemble.computed")
+    );
+    println!(
+        "zeta dims: tree {}, grid {}",
+        zeta_tree.lmax(),
+        zeta_grid.lmax()
+    );
+
+    // Self-validation: the written trace must parse as JSON and must
+    // contain spans from all four layers.
+    let parsed = Json::parse(&trace_json).expect("trace JSON must re-parse");
+    let names = event_names(&parsed);
+    let mut missing = Vec::new();
+    for required in ["engine", "grid", "shard_task", "retry", "realization 0"] {
+        if !names.iter().any(|n| n == required) {
+            missing.push(required);
+        }
+    }
+    if !missing.is_empty() {
+        eprintln!(
+            "FAIL: trace is missing spans {missing:?} (have {} events)",
+            names.len()
+        );
+        std::process::exit(1);
+    }
+    println!("\nwrote {out} ({} events) and {summary_out}", names.len());
+}

@@ -1,15 +1,20 @@
-//! Minimal JSON value builder for machine-readable benchmark outputs.
+//! Minimal JSON value builder and parser for machine-readable
+//! benchmark outputs.
 //!
 //! The container builds without crates.io access, so rather than
 //! vendoring a serializer the bench crate hand-rolls the tiny subset it
-//! needs: objects, arrays, strings, numbers, booleans. Key order is
-//! preserved (insertion order) so emitted files diff cleanly PR over PR.
+//! needs: objects, arrays, strings, numbers, booleans, null. Key order
+//! is preserved (insertion order) so emitted files diff cleanly PR over
+//! PR. The parser exists so tooling (`bench_compare`, `trace_profile`)
+//! can read back the files the bench bins emit — it accepts any
+//! standard JSON document, not just our own output.
 
 use std::fmt::Write as _;
 
 /// A JSON value.
 #[derive(Clone, Debug, PartialEq)]
 pub enum Json {
+    Null,
     Bool(bool),
     /// Integers are kept exact (`u64` covers every counter we emit).
     Int(u64),
@@ -43,8 +48,34 @@ impl Json {
         out
     }
 
+    /// Look up a field on an object (`None` for non-objects or missing
+    /// keys). First match wins, mirroring most JSON readers.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Parse a JSON document. Returns a parse error with a byte offset
+    /// on malformed input or trailing garbage.
+    pub fn parse(text: &str) -> Result<Json, ParseError> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let value = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(p.err("trailing characters after JSON value"));
+        }
+        Ok(value)
+    }
+
     fn write(&self, out: &mut String, depth: usize) {
         match self {
+            Json::Null => out.push_str("null"),
             Json::Bool(b) => {
                 let _ = write!(out, "{b}");
             }
@@ -128,6 +159,222 @@ fn write_escaped(out: &mut String, s: &str) {
     out.push('"');
 }
 
+/// A JSON parse failure: a message plus the byte offset it occurred at.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ParseError {
+    pub message: String,
+    pub offset: usize,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} at byte {}", self.message, self.offset)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, message: &str) -> ParseError {
+        ParseError {
+            message: message.to_string(),
+            offset: self.pos,
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), ParseError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, ParseError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.err(&format!("expected '{word}'")))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, ParseError> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'"') => self.string().map(Json::Str),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(_) => Err(self.err("unexpected character")),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, ParseError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.err("expected ',' or ']' in array")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, ParseError> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return Err(self.err("expected ',' or '}' in object")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, ParseError> {
+        self.expect(b'"')?;
+        let mut s = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(s);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or_else(|| self.err("unterminated escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => s.push('"'),
+                        b'\\' => s.push('\\'),
+                        b'/' => s.push('/'),
+                        b'n' => s.push('\n'),
+                        b't' => s.push('\t'),
+                        b'r' => s.push('\r'),
+                        b'b' => s.push('\u{8}'),
+                        b'f' => s.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .ok_or_else(|| self.err("truncated \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.err("invalid \\u escape"))?;
+                            self.pos += 4;
+                            // Surrogate pairs don't appear in our emitted
+                            // files; map lone surrogates to U+FFFD.
+                            s.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        }
+                        _ => return Err(self.err("unknown escape")),
+                    }
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (input is a &str, so the
+                    // byte stream is valid UTF-8).
+                    let rest = &self.bytes[self.pos..];
+                    let text = std::str::from_utf8(rest)
+                        .map_err(|_| self.err("invalid UTF-8 in string"))?;
+                    let c = text.chars().next().unwrap();
+                    s.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, ParseError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        if self.peek() == Some(b'.') {
+            is_float = true;
+            self.pos += 1;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            is_float = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text =
+            std::str::from_utf8(&self.bytes[start..self.pos]).expect("number bytes are ASCII");
+        if !is_float {
+            // Non-negative integers load exactly, matching the `Int`
+            // variant the writer emits for counters.
+            if let Ok(n) = text.parse::<u64>() {
+                return Ok(Json::Int(n));
+            }
+        }
+        text.parse::<f64>().map(Json::Num).map_err(|_| ParseError {
+            message: "invalid number".to_string(),
+            offset: start,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -161,5 +408,60 @@ mod tests {
     fn strings_are_escaped() {
         let s = Json::str("a\"b\\c\nd").to_pretty();
         assert_eq!(s, "\"a\\\"b\\\\c\\nd\"\n");
+    }
+
+    #[test]
+    fn parse_round_trips_writer_output() {
+        let v = Json::obj([
+            ("schema", Json::str("bench/v1")),
+            ("pass", Json::Bool(true)),
+            ("pairs", Json::Int(1024)),
+            ("speedup", Json::Num(1.5)),
+            ("nan", Json::Num(f64::NAN)),
+            ("grid", Json::Arr(vec![Json::Int(2), Json::Int(10)])),
+            ("empty", Json::Arr(vec![])),
+            ("note", Json::str("a\"b\\c\nd")),
+        ]);
+        let parsed = Json::parse(&v.to_pretty()).unwrap();
+        // NaN serializes as null, so the round trip maps it to Null;
+        // everything else must match exactly (including key order).
+        let mut expect = v;
+        if let Json::Obj(fields) = &mut expect {
+            fields[4].1 = Json::Null;
+        }
+        assert_eq!(parsed, expect);
+    }
+
+    #[test]
+    fn parse_handles_standard_json() {
+        let parsed =
+            Json::parse("{\"a\": [1, -2.5, 1e3, null, true], \"b\": {\"u\": \"\\u0041\"}}")
+                .unwrap();
+        let a = parsed.get("a").unwrap();
+        assert_eq!(
+            a,
+            &Json::Arr(vec![
+                Json::Int(1),
+                Json::Num(-2.5),
+                Json::Num(1000.0),
+                Json::Null,
+                Json::Bool(true),
+            ])
+        );
+        assert_eq!(
+            parsed.get("b").unwrap().get("u"),
+            Some(&Json::Str("A".to_string()))
+        );
+        assert_eq!(parsed.get("missing"), None);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_input() {
+        assert!(Json::parse("{\"a\": }").is_err());
+        assert!(Json::parse("[1, 2").is_err());
+        assert!(Json::parse("true false").is_err());
+        assert!(Json::parse("\"unterminated").is_err());
+        let err = Json::parse("nope").unwrap_err();
+        assert!(err.to_string().contains("at byte"));
     }
 }

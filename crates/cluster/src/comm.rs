@@ -12,7 +12,7 @@
 //! forever. [`run_cluster`] keeps the historical panic-propagation
 //! behaviour; [`run_cluster_supervised`] instead converts each rank
 //! panic — including kills injected by a
-//! [`FaultHarness`](crate::fault::FaultHarness) — into a structured
+//! [`FaultHarness`] — into a structured
 //! [`RankFailure`] so a driver can retry or reassign the lost work.
 
 use crate::fault::{classify_panic, DeliveryVerdict, FaultHarness, RankFailure};
@@ -160,7 +160,7 @@ impl Comm {
 
     /// Declare that this rank enters `phase`. Purely observational
     /// outside supervised runs; under a
-    /// [`FaultHarness`](crate::fault::FaultHarness) it records the phase
+    /// [`FaultHarness`] it records the phase
     /// for [`RankFailure`] attribution and fires any phase kill aimed at
     /// this world rank.
     pub fn set_phase(&self, phase: &str) {

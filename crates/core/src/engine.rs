@@ -36,27 +36,13 @@ use galactos_catalog::{Catalog, Galaxy};
 use galactos_math::monomial::MonomialBasis;
 use galactos_math::ylm::{YlmPairProductTable, YlmTable};
 use galactos_math::{lm_count, lm_index, Complex64, Mat3, Vec3};
+// The engine's clock reads go through the registered obs gate: zero
+// reads when instrumentation is off, and every real read is counted so
+// tests can pin the zero-cost contract (no local lint:allow needed —
+// obs::clock is on the W-CLOCK allowlist by registration).
+use galactos_obs::clock::{nanos_since, now_if};
+use galactos_obs::ObsSession;
 use std::time::Instant;
-
-/// `Instant::now()` only when instrumentation is on — untimed runs pay
-/// zero clock reads on the hot path.
-#[inline(always)]
-fn now_if(instrument: bool) -> Option<Instant> {
-    if instrument {
-        // lint:allow(W-CLOCK): this is the instrument gate itself — the
-        // only clock read on the tree path, reached only when a stage
-        // timer was requested.
-        Some(Instant::now())
-    } else {
-        None
-    }
-}
-
-/// Elapsed nanoseconds since a gated [`now_if`] start (0 when off).
-#[inline(always)]
-fn nanos_since(start: Option<Instant>) -> u64 {
-    start.map_or(0, |t| t.elapsed().as_nanos() as u64)
-}
 
 /// The anisotropic 3PCF engine. Construct once (tables are built at
 /// construction), then [`Engine::compute`] any number of catalogs.
@@ -169,6 +155,38 @@ impl Engine {
             scheduling,
             None,
             None,
+            None,
+        )
+    }
+
+    /// [`Engine::compute`] recording spans and metrics into an
+    /// [`ObsSession`]. Both estimator paths are covered: the tree path
+    /// emits an `engine` span with a `tree_build` child plus per-chunk
+    /// worker spans (one obs track per worker thread) carrying the
+    /// search/bin/kernel/assembly stage breakdown as aggregate slices;
+    /// the grid path emits a `grid` span with the native paint / fields
+    /// / contract / self-pair breakdown — the split the legacy
+    /// [`StageTimer`] mapping folds into Assembly.
+    ///
+    /// With a disabled session this is exactly [`Engine::compute`]:
+    /// zero clock reads, bit-identical results (test-pinned).
+    pub fn compute_observed(&self, catalog: &Catalog, obs: &ObsSession) -> AnisotropicZeta {
+        self.check_periodic(catalog);
+        if let ResolvedEstimator::Grid(grid) = &self.estimator {
+            let _g = obs.tracer.span("grid");
+            return self
+                .compute_grid_obs(catalog, grid, None, obs.is_enabled(), Some(obs))
+                .0;
+        }
+        let _g = obs.tracer.span("engine");
+        self.run(
+            &catalog.galaxies,
+            catalog.len(),
+            catalog.periodic,
+            self.config.scheduling,
+            None,
+            None,
+            Some(obs),
         )
     }
 
@@ -185,7 +203,7 @@ impl Engine {
     ) -> AnisotropicZeta {
         self.check_periodic(catalog);
         if let ResolvedEstimator::Grid(grid) = &self.estimator {
-            return self.compute_grid(catalog, grid, timer, false).0;
+            return self.compute_grid_obs(catalog, grid, timer, false, None).0;
         }
         self.run(
             &catalog.galaxies,
@@ -194,6 +212,7 @@ impl Engine {
             self.config.scheduling,
             timer,
             flops,
+            None,
         )
     }
 
@@ -211,7 +230,7 @@ impl Engine {
         if let ResolvedEstimator::Grid(grid) = &self.estimator {
             // The native breakdown was explicitly requested, so the
             // grid run is always instrumented here.
-            let (zeta, timings) = self.compute_grid(catalog, grid, timer, true);
+            let (zeta, timings) = self.compute_grid_obs(catalog, grid, timer, true, None);
             return (zeta, Some(timings));
         }
         let zeta = self.run(
@@ -220,6 +239,7 @@ impl Engine {
             catalog.periodic,
             self.config.scheduling,
             timer,
+            None,
             None,
         );
         (zeta, None)
@@ -265,6 +285,7 @@ impl Engine {
             self.config.scheduling,
             None,
             None,
+            None,
         )
     }
 
@@ -276,12 +297,13 @@ impl Engine {
     /// uniform — the two geometric assumptions of the periodic
     /// convolution formulation. `binned_pairs` stays 0 on the result:
     /// the grid path never enumerates pairs.
-    fn compute_grid(
+    fn compute_grid_obs(
         &self,
         catalog: &Catalog,
         grid: &galactos_grid::GridConfig,
         timer: Option<&StageTimer>,
         want_native: bool,
+        obs: Option<&ObsSession>,
     ) -> (AnisotropicZeta, galactos_grid::GridTimings) {
         assert!(
             catalog.periodic.is_some(),
@@ -319,13 +341,30 @@ impl Engine {
             t.add(Stage::TreeBuild, timings.paint_nanos);
             t.add(Stage::Multipole, timings.field_nanos);
             // Assembly covers both the ζ contraction and the self-pair
-            // correction; the split is visible through
-            // [`Engine::compute_with_grid_timings`].
+            // correction; the *native* four-way split stays recoverable
+            // through [`Engine::compute_with_grid_timings`] and the obs
+            // counters below.
             t.add(Stage::Assembly, timings.zeta_nanos + timings.selfpair_nanos);
+        }
+        if let Some(o) = obs {
+            // Native breakdown as aggregate slices under the open grid
+            // span and as registry counters — nothing is folded.
+            o.tracer.add_aggregate("paint", 1, timings.paint_nanos);
+            o.tracer.add_aggregate("fields", 1, timings.field_nanos);
+            o.tracer.add_aggregate("contract", 1, timings.zeta_nanos);
+            o.tracer
+                .add_aggregate("selfpair", 1, timings.selfpair_nanos);
+            o.registry.add("grid.paint_nanos", timings.paint_nanos);
+            o.registry.add("grid.field_nanos", timings.field_nanos);
+            o.registry.add("grid.zeta_nanos", timings.zeta_nanos);
+            o.registry
+                .add("grid.selfpair_nanos", timings.selfpair_nanos);
+            o.registry.add("grid.primaries", catalog.len() as u64);
         }
         (zeta, timings)
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn run(
         &self,
         galaxies: &[Galaxy],
@@ -334,15 +373,24 @@ impl Engine {
         scheduling: Scheduling,
         timer: Option<&StageTimer>,
         flops: Option<&FlopCounter>,
+        obs: Option<&ObsSession>,
     ) -> AnisotropicZeta {
+        let observing = obs.is_some_and(|o| o.is_enabled());
         let positions: Vec<Vec3> = galaxies.iter().map(|g| g.pos).collect();
-        let t0 = now_if(timer.is_some());
-        let tree = Tree::build(&positions, self.config.precision);
-        if let Some(t) = timer {
-            t.add(Stage::TreeBuild, nanos_since(t0));
-        }
+        let tree = {
+            let _g = obs.map(|o| o.tracer.span("tree_build"));
+            let t0 = now_if(timer.is_some());
+            let tree = Tree::build(&positions, self.config.precision);
+            if let Some(t) = timer {
+                t.add(Stage::TreeBuild, nanos_since(t0));
+            }
+            tree
+        };
 
-        let instrument = timer.is_some();
+        // An enabled session needs the scratch nano counters even when
+        // no StageTimer was passed: the per-chunk stage aggregates are
+        // drained from them.
+        let instrument = timer.is_some() || observing;
         let make_state = || {
             let mut scratch = self.new_scratch();
             scratch.instrument = instrument;
@@ -363,8 +411,13 @@ impl Engine {
                 n_primaries,
                 make_state,
                 |scratch, range| {
+                    let _g = obs.map(|o| o.tracer.span("chunk"));
+                    let n_items = range.len() as u64;
                     for i in range {
                         self.process_primary(scratch, galaxies, &tree, i, periodic);
+                    }
+                    if let Some(o) = obs {
+                        Self::emit_chunk_obs(o, scratch, n_items);
                     }
                 },
                 finish,
@@ -382,6 +435,8 @@ impl Engine {
                     leaves.len(),
                     make_state,
                     |scratch, range| {
+                        let _g = obs.map(|o| o.tracer.span("chunk"));
+                        let n_items = range.len() as u64;
                         for li in range {
                             self.process_leaf(
                                 scratch,
@@ -392,12 +447,32 @@ impl Engine {
                                 periodic,
                             );
                         }
+                        if let Some(o) = obs {
+                            Self::emit_chunk_obs(o, scratch, n_items);
+                        }
                     },
                     finish,
                     merge(),
                 )
             }
         }
+    }
+
+    /// Drain a finished chunk's scratch counters into the obs session:
+    /// the four tree stages as aggregate slices under the open `chunk`
+    /// span (so the Chrome track shows the per-worker breakdown) and
+    /// the pair counters into the registry. Aggregates make zero clock
+    /// reads; with a disabled session every call here is a no-op.
+    fn emit_chunk_obs(o: &ObsSession, scratch: &ComputeScratch, n_items: u64) {
+        o.tracer.add_aggregate("search", n_items, scratch.t_search);
+        o.tracer.add_aggregate("bin", n_items, scratch.t_bin);
+        o.tracer.add_aggregate("kernel", n_items, scratch.t_kernel);
+        o.tracer
+            .add_aggregate("assembly", n_items, scratch.t_assembly);
+        o.registry.add("engine.chunks", 1);
+        o.registry.add("engine.binned_pairs", scratch.binned_pairs);
+        o.registry
+            .add("engine.candidate_pairs", scratch.candidate_pairs);
     }
 
     /// Allocate worker scratch sized for this engine's configuration,

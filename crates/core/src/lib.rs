@@ -79,10 +79,12 @@ pub use estimator::{
     recommended_estimator, EstimatorChoice, EstimatorKind, GRID_CROSSOVER_GALAXIES,
 };
 pub use galactos_grid::{GridConfig, GridTimings, MassAssignment};
+pub use galactos_obs::{ObsSession, Registry, Tracer};
 pub use kernel::{BackendChoice, BackendKind, KernelBackend};
 pub use pipeline::{
-    compute_distributed, compute_distributed_sharded, compute_distributed_supervised, NoSleep,
-    RankReport, RetryPolicy, Sleeper, SupervisedError, SupervisedRun,
+    compute_distributed, compute_distributed_sharded, compute_distributed_supervised,
+    compute_distributed_supervised_observed, NoSleep, RankReport, RetryPolicy, Sleeper,
+    SupervisedError, SupervisedRun,
 };
 pub use result::{AnisotropicZeta, IsotropicZeta};
 pub use schedule::run_partitioned;

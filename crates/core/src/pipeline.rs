@@ -25,13 +25,14 @@ use crate::schedule::{self, Merge};
 use galactos_catalog::io::CatalogIoError;
 use galactos_catalog::shard::ShardManifest;
 use galactos_catalog::{Catalog, Galaxy};
-use galactos_cluster::fault::{FaultHarness, FaultPlan, RankFailure};
+use galactos_cluster::fault::{FailureCause, FaultHarness, FaultPlan, RankFailure};
 use galactos_cluster::run_cluster_with_stacks;
 use galactos_domain::exchange::{distribute, tagged_from_catalog};
 use galactos_domain::shard::{
     distribute_from_shards, distribute_shard_range, shard_range_for_rank,
 };
 use galactos_math::Aabb;
+use galactos_obs::ObsSession;
 use std::path::Path;
 
 /// Per-rank execution summary.
@@ -447,6 +448,36 @@ pub fn compute_distributed_supervised(
     policy: &RetryPolicy,
     plan: FaultPlan,
 ) -> Result<SupervisedRun, SupervisedError> {
+    compute_distributed_supervised_observed(
+        manifest_path,
+        config,
+        num_ranks,
+        policy,
+        plan,
+        &ObsSession::disabled(),
+    )
+}
+
+/// [`compute_distributed_supervised`] recording distributed telemetry
+/// into an [`ObsSession`]: each rank's round-0 `shard_task` runs in a
+/// span on its own track (`rank N`), retries and reassignments appear
+/// as `retry` / `reassign` spans on the supervisor's track, and the
+/// registry aggregates what [`RankReport`] records per piece of work —
+/// `supervised.attempts`, `supervised.failures`,
+/// `supervised.injected_faults`, `supervised.reassignments`,
+/// `supervised.backoff_units`, `supervised.dead_ranks`.
+///
+/// With a disabled session this is exactly
+/// [`compute_distributed_supervised`]: zero clock reads, bit-identical
+/// ζ (test-pinned).
+pub fn compute_distributed_supervised_observed(
+    manifest_path: impl AsRef<Path>,
+    config: &EngineConfig,
+    num_ranks: usize,
+    policy: &RetryPolicy,
+    plan: FaultPlan,
+    obs: &ObsSession,
+) -> Result<SupervisedRun, SupervisedError> {
     assert!(policy.max_attempts >= 1, "need at least one attempt");
     let manifest_path = manifest_path.as_ref();
     let dir = manifest_path
@@ -469,17 +500,30 @@ pub fn compute_distributed_supervised(
         (lo..hi).collect::<Vec<usize>>()
     };
 
-    // Round 0: every rank in parallel on the supervised cluster.
+    // Round 0: every rank in parallel on the supervised cluster. Each
+    // rank thread is its own obs track, so the trace shows the rank
+    // fan-out; a failed attempt still records its (truncated) span —
+    // the guard drops during unwinding, before the harness catches it.
     let round0 = galactos_cluster::run_cluster_supervised(
         num_ranks,
         std::sync::Arc::clone(&harness),
         |comm| {
             let rank = comm.rank();
+            obs.tracer.name_track(&format!("rank {rank}"));
+            let _g = obs.tracer.span("shard_task");
+            obs.registry.add("supervised.attempts", 1);
             shard_task(&dir, &manifest, config, rank, &range_of(rank), &|p| {
                 comm.set_phase(p)
             })
         },
     );
+
+    let record_failure = |failure: &RankFailure| {
+        obs.registry.add("supervised.failures", 1);
+        if matches!(failure.cause, FailureCause::InjectedKill) {
+            obs.registry.add("supervised.injected_faults", 1);
+        }
+    };
 
     let mut failures: Vec<RankFailure> = Vec::new();
     let mut reports: Vec<RankReport> = Vec::new();
@@ -507,6 +551,7 @@ pub fn compute_distributed_supervised(
             }
             Ok(Err(io)) => return Err(io.into()),
             Err(failure) => {
+                record_failure(&failure);
                 failures.push(failure);
                 failed_ranks.push(rank);
             }
@@ -521,11 +566,13 @@ pub fn compute_distributed_supervised(
         let mut recovered = false;
         let mut attempt = 1u32;
         while attempt < policy.max_attempts {
-            policy
-                .sleeper
-                .sleep(policy.backoff_base << (attempt - 1).min(62));
+            let units = policy.backoff_base << (attempt - 1).min(62);
+            obs.registry.add("supervised.backoff_units", units);
+            policy.sleeper.sleep(units);
             attempt += 1;
+            obs.registry.add("supervised.attempts", 1);
             let outcome = catch_failure(rank, &harness, || {
+                let _g = obs.tracer.span("retry");
                 shard_task(&dir, &manifest, config, rank, &range_of(rank), &|p| {
                     harness.enter_phase(rank, p)
                 })
@@ -539,10 +586,14 @@ pub fn compute_distributed_supervised(
                     break;
                 }
                 Ok(Err(io)) => return Err(io.into()),
-                Err(failure) => failures.push(failure),
+                Err(failure) => {
+                    record_failure(&failure);
+                    failures.push(failure);
+                }
             }
         }
         if !recovered {
+            obs.registry.add("supervised.dead_ranks", 1);
             dead_ranks.push(rank);
         }
     }
@@ -565,12 +616,14 @@ pub fn compute_distributed_supervised(
                 let mut attempt = 0u32;
                 while attempt < policy.max_attempts {
                     if attempt > 0 {
-                        policy
-                            .sleeper
-                            .sleep(policy.backoff_base << (attempt - 1).min(62));
+                        let units = policy.backoff_base << (attempt - 1).min(62);
+                        obs.registry.add("supervised.backoff_units", units);
+                        policy.sleeper.sleep(units);
                     }
                     attempt += 1;
+                    obs.registry.add("supervised.attempts", 1);
                     let outcome = catch_failure(surv, &harness, || {
+                        let _g = obs.tracer.span("reassign");
                         shard_task(&dir, &manifest, config, surv, &[s], &|p| {
                             harness.enter_phase(surv, p)
                         })
@@ -580,12 +633,16 @@ pub fn compute_distributed_supervised(
                             report.attempts = attempt;
                             report.reassigned_from = Some(dead);
                             absorb_success(&mut reports, &mut partials, report, parts);
+                            obs.registry.add("supervised.reassignments", 1);
                             done = true;
                             rr += 1;
                             break 'survivor;
                         }
                         Ok(Err(io)) => return Err(io.into()),
-                        Err(failure) => failures.push(failure),
+                        Err(failure) => {
+                            record_failure(&failure);
+                            failures.push(failure);
+                        }
                     }
                 }
             }

@@ -5,9 +5,17 @@
 //! function (55% of the total on the 225k-galaxy dataset). These timers
 //! accumulate per-thread CPU time per stage so the breakdown benchmark
 //! can print the same chart.
+//!
+//! Since the observability PR this type is an *adapter* over
+//! [`galactos_obs`] primitives: the per-stage accumulators are obs
+//! [`Counter`]s and the closure timer reads the clock through
+//! [`galactos_obs::clock`] — the registered W-CLOCK gate — so
+//! `StageTimer` reads show up in the global clock-read count that the
+//! zero-cost tests pin. The public API is unchanged; existing callers
+//! and tests keep working.
 
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::time::Instant;
+use galactos_obs::clock;
+use galactos_obs::registry::{Counter, Registry};
 
 /// Pipeline stages, in report order.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -48,6 +56,18 @@ impl Stage {
         }
     }
 
+    /// Snake-case identifier used for obs registry counter names.
+    pub fn key(self) -> &'static str {
+        match self {
+            Stage::Io => "io",
+            Stage::TreeBuild => "tree_build",
+            Stage::TreeSearch => "tree_search",
+            Stage::Binning => "binning",
+            Stage::Multipole => "multipole",
+            Stage::Assembly => "assembly",
+        }
+    }
+
     fn index(self) -> usize {
         match self {
             Stage::Io => 0,
@@ -60,10 +80,11 @@ impl Stage {
     }
 }
 
-/// Thread-safe per-stage nanosecond accumulator.
+/// Thread-safe per-stage nanosecond accumulator (an adapter over obs
+/// [`Counter`]s; see the module docs).
 #[derive(Debug, Default)]
 pub struct StageTimer {
-    nanos: [AtomicU64; 6],
+    nanos: [Counter; 6],
 }
 
 impl StageTimer {
@@ -73,19 +94,28 @@ impl StageTimer {
 
     /// Add a measured duration to a stage.
     pub fn add(&self, stage: Stage, nanos: u64) {
-        self.nanos[stage.index()].fetch_add(nanos, Ordering::Relaxed);
+        self.nanos[stage.index()].add(nanos);
     }
 
     /// Time a closure and attribute it to a stage.
     pub fn time<T>(&self, stage: Stage, f: impl FnOnce() -> T) -> T {
-        let t0 = Instant::now();
+        let t0 = clock::now_if(true);
         let out = f();
-        self.add(stage, t0.elapsed().as_nanos() as u64);
+        self.add(stage, clock::nanos_since(t0));
         out
     }
 
     pub fn get(&self, stage: Stage) -> u64 {
-        self.nanos[stage.index()].load(Ordering::Relaxed)
+        self.nanos[stage.index()].get()
+    }
+
+    /// Mirror the accumulated stage nanos into an obs [`Registry`] as
+    /// `stage.<name>_nanos` counters, so a metrics snapshot carries the
+    /// same breakdown the bench tables print.
+    pub fn export_to(&self, registry: &Registry) {
+        for &stage in &ALL_STAGES {
+            registry.add(&format!("stage.{}_nanos", stage.key()), self.get(stage));
+        }
     }
 
     /// Snapshot all stages as `(stage, nanos, fraction_of_total)`.
@@ -146,6 +176,29 @@ mod tests {
     #[test]
     fn names_are_stable() {
         assert_eq!(Stage::Multipole.name(), "multipole accumulation");
+        assert_eq!(Stage::Multipole.key(), "multipole");
         assert_eq!(ALL_STAGES.len(), 6);
+    }
+
+    #[test]
+    fn export_mirrors_stages_into_registry() {
+        let t = StageTimer::new();
+        t.add(Stage::TreeSearch, 120);
+        t.add(Stage::Assembly, 80);
+        let r = Registry::new();
+        t.export_to(&r);
+        assert_eq!(r.counter_value("stage.tree_search_nanos"), 120);
+        assert_eq!(r.counter_value("stage.assembly_nanos"), 80);
+        assert_eq!(r.counter_value("stage.io_nanos"), 0);
+    }
+
+    #[test]
+    fn closure_timer_counts_clock_reads() {
+        // StageTimer::time goes through the obs clock gate, so its
+        // reads are visible to the global read counter.
+        let before = clock::reads();
+        let t = StageTimer::new();
+        t.time(Stage::Io, || ());
+        assert!(clock::reads() >= before + 2);
     }
 }

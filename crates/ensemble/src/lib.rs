@@ -10,8 +10,8 @@
 //! `galactos-core` and makes the whole thing restartable:
 //!
 //! * [`runner::MockEnsemble`] generates K seeded lognormal mocks, fans
-//!   each through [`compute_distributed_supervised`]
-//!   (`galactos_core::pipeline`) — which retries transient rank deaths
+//!   each through
+//!   [`compute_distributed_supervised`](galactos_core::pipeline::compute_distributed_supervised) — which retries transient rank deaths
 //!   and reassigns shards of permanently dead ranks — and persists each
 //!   completed realization's flattened ζ vector;
 //! * [`checkpoint`] frames those per-realization files with FNV-1a
@@ -25,7 +25,7 @@
 //! # Determinism contract
 //!
 //! The assembled mean and covariance are a **pure function of the
-//! [`EnsembleConfig`](runner::EnsembleConfig)** — bit for bit
+//! [`EnsembleConfig`]** — bit for bit
 //! (`f64::to_bits` equal), no tolerances. In particular they do *not*
 //! depend on:
 //!

@@ -8,11 +8,12 @@ use galactos_catalog::io::CatalogIoError;
 use galactos_catalog::shard::MANIFEST_FILE;
 use galactos_cluster::fault::FaultPlan;
 use galactos_core::pipeline::{
-    compute_distributed_supervised, RetryPolicy, SupervisedError, SupervisedRun,
+    compute_distributed_supervised_observed, RetryPolicy, SupervisedError, SupervisedRun,
 };
 use galactos_core::EngineConfig;
 use galactos_domain::shard::write_sharded;
 use galactos_mocks::{lognormal, BaoSpectrum, PowerLawSpectrum, PowerSpectrum};
+use galactos_obs::ObsSession;
 
 use crate::checkpoint::{
     fnv1a, read_checkpoint, write_checkpoint, CheckpointError, CheckpointIdentity,
@@ -280,26 +281,51 @@ impl MockEnsemble {
     /// realization is durable the moment its checkpoint is renamed
     /// into place.
     pub fn run_limited(&self, max_new: usize) -> Result<RunStatus, EnsembleError> {
+        self.run_limited_observed(max_new, &ObsSession::disabled())
+    }
+
+    /// [`MockEnsemble::run_limited`] recording per-realization spans
+    /// (`realization K`, covering the checkpoint probe and, when one
+    /// runs, the full supervised computation) and the pass's
+    /// checkpoint-resume accounting as registry counters:
+    /// `ensemble.computed`, `ensemble.skipped` (checkpoint verified),
+    /// `ensemble.recomputed` (checkpoint failed verification),
+    /// `ensemble.remaining`. The supervised pipeline underneath records
+    /// its own telemetry into the same session.
+    ///
+    /// With a disabled session this is exactly
+    /// [`MockEnsemble::run_limited`]: zero clock reads, identical
+    /// checkpoints and status.
+    pub fn run_limited_observed(
+        &self,
+        max_new: usize,
+        obs: &ObsSession,
+    ) -> Result<RunStatus, EnsembleError> {
         std::fs::create_dir_all(&self.dir)?;
         let mut status = RunStatus::default();
         for k in 0..self.config.realizations {
+            let _g = obs.tracer.span(&format!("realization {k}"));
             let path = self.checkpoint_path(k);
             let had_file = path.exists();
             if had_file && read_checkpoint(&path, self.identity(k)).is_ok() {
                 status.skipped += 1;
+                obs.registry.add("ensemble.skipped", 1);
                 continue;
             }
             if status.computed + status.recomputed >= max_new {
                 status.remaining += 1;
+                obs.registry.add("ensemble.remaining", 1);
                 continue;
             }
-            let vector = self.compute_realization(k)?;
+            let vector = self.compute_realization(k, obs)?;
             write_checkpoint(&path, self.identity(k), &vector)
                 .map_err(EnsembleError::Checkpoint)?;
             if had_file {
                 status.recomputed += 1;
+                obs.registry.add("ensemble.recomputed", 1);
             } else {
                 status.computed += 1;
+                obs.registry.add("ensemble.computed", 1);
             }
         }
         Ok(status)
@@ -346,14 +372,25 @@ impl MockEnsemble {
     /// supervised pipeline; returns the flattened ζ vector. The
     /// scratch shard directory is removed afterwards — only the
     /// checkpoint is durable.
-    fn compute_realization(&self, k: usize) -> Result<Vec<f64>, EnsembleError> {
-        let run = self.supervised_run(k)?;
+    fn compute_realization(&self, k: usize, obs: &ObsSession) -> Result<Vec<f64>, EnsembleError> {
+        let run = self.supervised_run_observed(k, obs)?;
         Ok(zeta_to_vector(&run.zeta))
     }
 
-    /// The supervised run behind [`compute_realization`], exposed so
+    /// The supervised run behind `compute_realization`, exposed so
     /// the bench can report per-realization failure/retry counts.
     pub fn supervised_run(&self, k: usize) -> Result<SupervisedRun, EnsembleError> {
+        self.supervised_run_observed(k, &ObsSession::disabled())
+    }
+
+    /// [`MockEnsemble::supervised_run`] with distributed telemetry
+    /// recorded into `obs` (see
+    /// [`compute_distributed_supervised_observed`]).
+    pub fn supervised_run_observed(
+        &self,
+        k: usize,
+        obs: &ObsSession,
+    ) -> Result<SupervisedRun, EnsembleError> {
         let c = &self.config;
         let mock = lognormal::generate(
             c.spectrum.build().as_ref(),
@@ -379,12 +416,13 @@ impl MockEnsemble {
             .find(|(at, _)| *at == k)
             .map(|(_, plan)| plan.clone())
             .unwrap_or_else(FaultPlan::none);
-        let result = compute_distributed_supervised(
+        let result = compute_distributed_supervised_observed(
             work.join(MANIFEST_FILE),
             &c.engine,
             c.num_ranks,
             &c.retry,
             plan,
+            obs,
         );
         std::fs::remove_dir_all(&work).ok();
         result.map_err(|source| EnsembleError::Supervised {

@@ -1,0 +1,83 @@
+//! Zero-cost observability for the distributed layers.
+//!
+//! The supervised pipeline (rank threads, retries, reassignment) and
+//! the checkpointed ensemble runner both accept an [`ObsSession`]; with
+//! a *disabled* session they must perform **zero clock reads** — even
+//! while injected faults drive the retry machinery — and produce
+//! results bit-identical to the unobserved entry points. One `#[test]`,
+//! because the obs read counter is process-global.
+
+use galactos_catalog::shard::MANIFEST_FILE;
+use galactos_catalog::uniform_box;
+use galactos_cluster::fault::FaultPlan;
+use galactos_core::config::EngineConfig;
+use galactos_core::pipeline::{
+    compute_distributed_supervised, compute_distributed_supervised_observed, RetryPolicy,
+};
+use galactos_core::ObsSession;
+use galactos_domain::shard::write_sharded;
+use galactos_ensemble::{EnsembleConfig, MockEnsemble};
+use galactos_obs::clock;
+
+#[test]
+fn uninstrumented_supervised_and_ensemble_read_no_clock() {
+    let base = std::env::temp_dir().join(format!("galactos_obs_zeroclock_{}", std::process::id()));
+    std::fs::remove_dir_all(&base).ok();
+
+    // Supervised: 3 ranks over 5 shards, one injected transient kill so
+    // the retry/backoff path is inside the zero-read window too.
+    let mut cat = uniform_box(200, 14.0, 3);
+    cat.periodic = None;
+    let config = EngineConfig::test_default(4.0, 2, 3);
+    let shard_dir = base.join("shards");
+    write_sharded(&cat, 5, &shard_dir).unwrap();
+    let manifest = shard_dir.join(MANIFEST_FILE);
+    let policy = RetryPolicy::default();
+    let plan = || FaultPlan::none().with_phase_kill(1, "compute", 1);
+
+    let plain = compute_distributed_supervised(&manifest, &config, 3, &policy, plan()).unwrap();
+
+    let disabled = ObsSession::disabled();
+    let before = clock::reads();
+    let observed =
+        compute_distributed_supervised_observed(&manifest, &config, 3, &policy, plan(), &disabled)
+            .unwrap();
+    assert_eq!(
+        clock::reads(),
+        before,
+        "supervised run with a disabled session must read no clock"
+    );
+    assert_eq!(observed.failures.len(), 1, "the injected kill still fires");
+    assert_eq!(
+        plain.zeta.max_difference(&observed.zeta),
+        0.0,
+        "disabled-session supervised ζ is bit-identical"
+    );
+
+    // Ensemble: full run through checkpoints with a disabled session.
+    let cfg = EnsembleConfig::smoke(3, 42);
+    let plain_runner = MockEnsemble::new(cfg.clone(), base.join("ens_plain"));
+    plain_runner.run_limited(3).unwrap();
+    let plain_result = plain_runner.run().unwrap();
+
+    let observed_runner = MockEnsemble::new(cfg, base.join("ens_observed"));
+    let before = clock::reads();
+    let status = observed_runner.run_limited_observed(3, &disabled).unwrap();
+    assert_eq!(
+        clock::reads(),
+        before,
+        "ensemble run with a disabled session must read no clock"
+    );
+    assert_eq!(status.computed, 3);
+    let observed_result = observed_runner.run().unwrap();
+    for (a, b) in plain_result
+        .covariance
+        .mean
+        .iter()
+        .zip(&observed_result.covariance.mean)
+    {
+        assert_eq!(a.to_bits(), b.to_bits(), "ensemble mean is bit-identical");
+    }
+
+    std::fs::remove_dir_all(&base).ok();
+}

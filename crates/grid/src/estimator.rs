@@ -44,7 +44,6 @@ use galactos_math::fft::{signed_mode, Direction, Mesh3};
 use galactos_math::ylm::YlmPairProductTable;
 use galactos_math::{Complex64, Mat3, MonomialBasis, Vec3, YlmTable};
 use rayon::prelude::*;
-use std::time::Instant;
 
 /// Configuration of the gridded estimator.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -114,21 +113,12 @@ pub struct GridTimings {
     pub selfpair_nanos: u64,
 }
 
-/// The estimator's only clock gate: a timestamp is taken only when the
-/// caller asked for timings, so plain `compute()` pays no clock reads
-/// on the grid path (mirroring the tree engine's `now_if`).
-#[inline]
-fn now_if(instrument: bool) -> Option<Instant> {
-    // lint:allow(W-CLOCK): this is the instrument gate itself — the only
-    // clock read on the grid path, taken only when timings are requested.
-    instrument.then(Instant::now)
-}
-
-/// Nanoseconds since a gated timestamp (0 when uninstrumented).
-#[inline]
-fn nanos_since(t0: Option<Instant>) -> u64 {
-    t0.map_or(0, |t| t.elapsed().as_nanos() as u64)
-}
+// The estimator's clock gate: timestamps are taken only when the caller
+// asked for timings, so plain `compute()` pays no clock reads on the
+// grid path. Routed through the registered obs gate (the W-CLOCK
+// allowlist module) so grid reads show up in the global clock-read
+// count the zero-cost tests pin.
+use galactos_obs::clock::{nanos_since, now_if};
 
 /// One cell of the radial-shell kernel support: flat mesh index, radial
 /// bin, and the (rotated) unit separation direction.

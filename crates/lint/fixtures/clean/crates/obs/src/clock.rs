@@ -1,0 +1,11 @@
+//! Must-not-fire: obs::clock is the registered runtime clock gate.
+
+use std::time::Instant;
+
+pub fn now_if(instrument: bool) -> Option<Instant> {
+    if instrument {
+        Some(Instant::now())
+    } else {
+        None
+    }
+}

@@ -1,0 +1,8 @@
+//! Must-fire: only clock.rs is sanctioned inside crates/obs — the rest
+//! of the crate routes through it like every other runtime module.
+
+use std::time::Instant;
+
+pub fn enter() -> Instant {
+    Instant::now()
+}

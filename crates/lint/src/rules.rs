@@ -371,13 +371,20 @@ fn fn_contexts(toks: &[Token]) -> Vec<String> {
 }
 
 // ---------------------------------------------------------------------------
-// W-CLOCK — Instant::now only in bench code, core::timing, tests,
-// examples, or behind a reasoned suppression at an instrument gate.
+// W-CLOCK — Instant::now only in bench code, the obs clock gate,
+// core::timing, tests, examples, or behind a reasoned suppression at an
+// instrument gate.
 // ---------------------------------------------------------------------------
 
 fn rule_clock(f: &SourceFile, lexed: &LexedFile, raw: &mut Vec<Finding>) {
+    // obs::clock is the registered runtime gate: every compute-path
+    // clock read funnels through its now_if/nanos_since, which count
+    // reads so tests can pin "uninstrumented => zero reads". Only
+    // clock.rs is sanctioned — the rest of crates/obs must route
+    // through it like everyone else.
     if f.path.starts_with("crates/bench/")
         || f.path == "crates/core/src/timing.rs"
+        || f.path == "crates/obs/src/clock.rs"
         || is_test_or_example(&f.path)
     {
         return;
@@ -388,8 +395,8 @@ fn rule_clock(f: &SourceFile, lexed: &LexedFile, raw: &mut Vec<Finding>) {
             &f.path,
             lexed.tokens[i].line,
             "Instant::now() on a compute path: clock reads must live in \
-             crates/bench, core::timing, or behind an instrument gate \
-             (now_if) carrying a reasoned lint:allow"
+             crates/bench, obs::clock, core::timing, or behind an \
+             instrument gate (now_if) carrying a reasoned lint:allow"
                 .to_string(),
         ));
     }
@@ -628,12 +635,22 @@ mod tests {
         for path in [
             "crates/bench/src/main.rs",
             "crates/core/src/timing.rs",
+            "crates/obs/src/clock.rs",
             "crates/core/tests/perf.rs",
             "examples/quickstart.rs",
         ] {
             let out = run(path, "fn f() { let t = Instant::now(); }");
             assert!(out.is_clean(), "{path} should allow clocks");
         }
+    }
+
+    #[test]
+    fn clock_in_obs_outside_clock_module_still_fires() {
+        let out = run(
+            "crates/obs/src/span.rs",
+            "fn f() { let t = Instant::now(); }",
+        );
+        assert_eq!(rules_of(&out), ["W-CLOCK"]);
     }
 
     #[test]

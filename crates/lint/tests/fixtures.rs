@@ -55,6 +55,7 @@ fn violations_tree_fires_every_rule() {
         ("W-ENV", "crates/grid/src/env.rs", 5), // GALACTOS_ literal
         ("W-UNSAFE", "crates/math/src/mem.rs", 5), // missing SAFETY
         ("W-UNSAFE", "crates/math/src/mem.rs", 5), // unregistered
+        ("W-CLOCK", "crates/obs/src/span.rs", 7), // outside obs::clock
     ]
     .into_iter()
     .map(|(r, f, l)| (r.to_string(), f.to_string(), l))

@@ -1,0 +1,105 @@
+//! The one sanctioned wall-clock gate for the runtime crates.
+//!
+//! galactos-lint's W-CLOCK rule forbids `Instant::now` outside
+//! `crates/bench`, `core::timing`, tests/examples — and this module,
+//! which is on the allowlist **by registration, not suppression**. Every
+//! runtime crate (engine, grid, supervised pipeline, ensemble) times
+//! itself through [`now_if`]/[`nanos_since`], so the zero-cost contract
+//! is auditable in one place: when `instrument` is false, no branch in
+//! this module touches the clock.
+//!
+//! Each real clock read also bumps a process-global counter, exposed via
+//! [`reads`]. Tests pin the contract by asserting the counter does not
+//! move across an uninstrumented run — a much stronger check than
+//! "timings came back zero". The counter is one relaxed atomic add per
+//! read; uninstrumented runs never reach it.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+static CLOCK_READS: AtomicU64 = AtomicU64::new(0);
+
+/// Process-global number of real clock reads made through this module.
+pub fn reads() -> u64 {
+    CLOCK_READS.load(Ordering::Relaxed)
+}
+
+fn read_now() -> Instant {
+    CLOCK_READS.fetch_add(1, Ordering::Relaxed);
+    Instant::now()
+}
+
+/// Read the clock only when instrumentation is on.
+#[inline]
+pub fn now_if(instrument: bool) -> Option<Instant> {
+    if instrument {
+        Some(read_now())
+    } else {
+        None
+    }
+}
+
+/// Elapsed nanoseconds since `start`, or 0 without touching the clock
+/// when `start` is `None`.
+#[inline]
+pub fn nanos_since(start: Option<Instant>) -> u64 {
+    match start {
+        Some(t0) => {
+            CLOCK_READS.fetch_add(1, Ordering::Relaxed);
+            t0.elapsed().as_nanos() as u64
+        }
+        None => 0,
+    }
+}
+
+/// A fixed time origin for trace timestamps: span offsets are measured
+/// from the epoch so every track shares one timeline.
+#[derive(Clone, Copy, Debug)]
+pub struct Epoch(Instant);
+
+impl Epoch {
+    /// Capture the current instant as the origin (one clock read).
+    pub fn now() -> Self {
+        Epoch(read_now())
+    }
+
+    /// Nanoseconds from the epoch to `t` (saturating at 0 for instants
+    /// before the epoch; no clock read).
+    pub fn nanos_to(&self, t: Instant) -> u64 {
+        t.saturating_duration_since(self.0).as_nanos() as u64
+    }
+
+    /// Nanoseconds elapsed since the epoch (one clock read).
+    pub fn elapsed_nanos(&self) -> u64 {
+        nanos_since(Some(self.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uninstrumented_calls_never_read() {
+        let before = reads();
+        assert!(now_if(false).is_none());
+        assert_eq!(nanos_since(None), 0);
+        assert_eq!(reads(), before);
+    }
+
+    #[test]
+    fn instrumented_calls_count_reads() {
+        let before = reads();
+        let t0 = now_if(true);
+        assert!(t0.is_some());
+        let _ = nanos_since(t0);
+        assert!(reads() >= before + 2);
+    }
+
+    #[test]
+    fn epoch_orders_instants() {
+        let e = Epoch::now();
+        let later = now_if(true).unwrap();
+        assert!(e.nanos_to(later) <= e.elapsed_nanos() + 1_000_000_000);
+    }
+}

@@ -1,0 +1,311 @@
+//! Named metrics: counters, gauges, fixed-bucket histograms.
+//!
+//! All updates are relaxed atomic integer operations, so concurrent
+//! increments commute exactly and every snapshot total is bit-stable
+//! across thread pools — the property the registry inherits from the
+//! engine's integer pair counters and that the service-mode roadmap
+//! item (qps/latency metrics) needs.
+//!
+//! A disabled registry hands out one shared sink per metric kind, so
+//! hot-path `counter("x").add(1)` calls cost a mutex-free branch and an
+//! atomic add into a value nobody reads. Gate per-item work on
+//! [`Registry::is_enabled`] when even that is too much.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Monotonically increasing integer metric.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    pub const fn new() -> Self {
+        Counter {
+            value: AtomicU64::new(0),
+        }
+    }
+
+    pub fn add(&self, v: u64) {
+        self.value.fetch_add(v, Ordering::Relaxed);
+    }
+
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// Last-write-wins integer metric (e.g. resident set, queue depth).
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicU64,
+}
+
+impl Gauge {
+    pub const fn new() -> Self {
+        Gauge {
+            value: AtomicU64::new(0),
+        }
+    }
+
+    pub fn set(&self, v: u64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// Fixed-bucket histogram: bucket `i` counts observations `<= bounds[i]`,
+/// with one implicit overflow bucket. Bounds are set at registration and
+/// never change, so concurrent observes are plain atomic adds.
+#[derive(Debug)]
+pub struct Histogram {
+    bounds: Vec<u64>,
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Histogram {
+    pub fn new(bounds: &[u64]) -> Self {
+        let mut sorted = bounds.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        let buckets = (0..=sorted.len()).map(|_| AtomicU64::new(0)).collect();
+        Histogram {
+            bounds: sorted,
+            buckets,
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    pub fn observe(&self, v: u64) {
+        let idx = self.bounds.partition_point(|&b| b < v);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// `(upper_bound, count)` pairs; the final entry is the overflow
+    /// bucket with `u64::MAX` as its bound.
+    pub fn buckets(&self) -> Vec<(u64, u64)> {
+        let mut out = Vec::with_capacity(self.buckets.len());
+        for (i, b) in self.buckets.iter().enumerate() {
+            let bound = self.bounds.get(i).copied().unwrap_or(u64::MAX);
+            out.push((bound, b.load(Ordering::Relaxed)));
+        }
+        out
+    }
+}
+
+/// A snapshot value, for exports and assertions.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MetricValue {
+    Counter(u64),
+    Gauge(u64),
+    /// `(count, sum, buckets)` with buckets as `(upper_bound, count)`.
+    Histogram(u64, u64, Vec<(u64, u64)>),
+}
+
+#[derive(Debug, Default)]
+struct Metrics {
+    counters: BTreeMap<String, Arc<Counter>>,
+    gauges: BTreeMap<String, Arc<Gauge>>,
+    histograms: BTreeMap<String, Arc<Histogram>>,
+}
+
+/// Get-or-create registry of named metrics.
+///
+/// Registration takes a mutex; updates through the returned `Arc`s are
+/// lock-free. Callers on hot paths should register once and hold the
+/// `Arc`.
+#[derive(Debug)]
+pub struct Registry {
+    enabled: bool,
+    metrics: Mutex<Metrics>,
+    // Shared sinks handed out by a disabled registry so counter("x")
+    // never allocates or locks.
+    sink_counter: Arc<Counter>,
+    sink_gauge: Arc<Gauge>,
+    sink_histogram: Arc<Histogram>,
+}
+
+impl Registry {
+    pub fn new() -> Self {
+        Self::with_enabled(true)
+    }
+
+    pub fn disabled() -> Self {
+        Self::with_enabled(false)
+    }
+
+    fn with_enabled(enabled: bool) -> Self {
+        Registry {
+            enabled,
+            metrics: Mutex::new(Metrics::default()),
+            sink_counter: Arc::new(Counter::new()),
+            sink_gauge: Arc::new(Gauge::new()),
+            sink_histogram: Arc::new(Histogram::new(&[])),
+        }
+    }
+
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Get or create a counter by name.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        if !self.enabled {
+            return Arc::clone(&self.sink_counter);
+        }
+        let mut m = self.metrics.lock().expect("obs registry poisoned");
+        Arc::clone(
+            m.counters
+                .entry(name.to_string())
+                .or_insert_with(|| Arc::new(Counter::new())),
+        )
+    }
+
+    /// Get or create a gauge by name.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        if !self.enabled {
+            return Arc::clone(&self.sink_gauge);
+        }
+        let mut m = self.metrics.lock().expect("obs registry poisoned");
+        Arc::clone(
+            m.gauges
+                .entry(name.to_string())
+                .or_insert_with(|| Arc::new(Gauge::new())),
+        )
+    }
+
+    /// Get or create a histogram by name; `bounds` apply only on first
+    /// registration.
+    pub fn histogram(&self, name: &str, bounds: &[u64]) -> Arc<Histogram> {
+        if !self.enabled {
+            return Arc::clone(&self.sink_histogram);
+        }
+        let mut m = self.metrics.lock().expect("obs registry poisoned");
+        Arc::clone(
+            m.histograms
+                .entry(name.to_string())
+                .or_insert_with(|| Arc::new(Histogram::new(bounds))),
+        )
+    }
+
+    /// Convenience: bump a counter by name.
+    pub fn add(&self, name: &str, v: u64) {
+        if self.enabled {
+            self.counter(name).add(v);
+        }
+    }
+
+    /// Counter value by name (0 when absent or disabled).
+    pub fn counter_value(&self, name: &str) -> u64 {
+        if !self.enabled {
+            return 0;
+        }
+        let m = self.metrics.lock().expect("obs registry poisoned");
+        m.counters.get(name).map_or(0, |c| c.get())
+    }
+
+    /// Deterministic snapshot: all metrics sorted by kind then name.
+    pub fn snapshot(&self) -> Vec<(String, MetricValue)> {
+        let m = self.metrics.lock().expect("obs registry poisoned");
+        let mut out = Vec::new();
+        for (name, c) in &m.counters {
+            out.push((name.clone(), MetricValue::Counter(c.get())));
+        }
+        for (name, g) in &m.gauges {
+            out.push((name.clone(), MetricValue::Gauge(g.get())));
+        }
+        for (name, h) in &m.histograms {
+            out.push((
+                name.clone(),
+                MetricValue::Histogram(h.count(), h.sum(), h.buckets()),
+            ));
+        }
+        out
+    }
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn counters_accumulate_and_snapshot_sorted() {
+        let r = Registry::new();
+        r.counter("b.second").add(2);
+        r.counter("a.first").add(1);
+        r.counter("b.second").inc();
+        r.gauge("depth").set(7);
+        assert_eq!(r.counter_value("b.second"), 3);
+        let snap = r.snapshot();
+        let names: Vec<&str> = snap.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, vec!["a.first", "b.second", "depth"]);
+        assert_eq!(snap[2].1, MetricValue::Gauge(7));
+    }
+
+    #[test]
+    fn histogram_buckets_partition_observations() {
+        let h = Histogram::new(&[10, 100, 1000]);
+        for v in [1, 10, 11, 100, 5000] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 5122);
+        let buckets = h.buckets();
+        assert_eq!(buckets, vec![(10, 2), (100, 2), (1000, 0), (u64::MAX, 1)]);
+    }
+
+    #[test]
+    fn concurrent_adds_commute_exactly() {
+        let r = Registry::new();
+        let c = r.counter("hits");
+        thread::scope(|s| {
+            for _ in 0..4 {
+                let c = Arc::clone(&c);
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        c.inc();
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(), 4000);
+    }
+
+    #[test]
+    fn disabled_registry_swallows_everything() {
+        let r = Registry::disabled();
+        r.counter("x").add(5);
+        r.add("y", 9);
+        assert_eq!(r.counter_value("x"), 0);
+        assert!(r.snapshot().is_empty());
+    }
+}

@@ -1,0 +1,120 @@
+//! Deterministic plain-text span summary.
+//!
+//! Aggregates finished spans by their slash-joined path across all
+//! tracks (so eight workers' `compute/worker/search` slices fold into
+//! one row), then renders a sorted tree with total time, percent of the
+//! top-level total, and call counts. Row order is the lexicographic
+//! path order — stable across runs and thread pools — so the output is
+//! diffable; only the time columns vary run to run.
+
+use crate::span::Tracer;
+use std::collections::BTreeMap;
+
+#[derive(Debug, Default, Clone, Copy)]
+struct Row {
+    total_nanos: u64,
+    calls: u64,
+}
+
+fn format_secs(nanos: u64) -> String {
+    format!("{:.6}s", nanos as f64 / 1e9)
+}
+
+/// Render the summary; `title` becomes the header line.
+pub fn render_summary(tracer: &Tracer, title: &str) -> String {
+    let mut rows: BTreeMap<String, Row> = BTreeMap::new();
+    for span in tracer.finished() {
+        let row = rows.entry(span.path.clone()).or_default();
+        row.total_nanos += span.duration_nanos();
+        row.calls += span.calls;
+    }
+    // Percentages are relative to the summed top-level spans. Totals
+    // across parallel tracks are CPU time, so children can legitimately
+    // exceed 100% of one track's wall time; the root sum is the stable
+    // reference.
+    let root_total: u64 = rows
+        .iter()
+        .filter(|(path, _)| !path.contains('/'))
+        .map(|(_, row)| row.total_nanos)
+        .sum();
+
+    let name_width = rows
+        .keys()
+        .map(|path| {
+            let depth = path.matches('/').count();
+            let leaf = path.rsplit('/').next().unwrap_or(path);
+            2 * depth + leaf.chars().count()
+        })
+        .max()
+        .unwrap_or(4)
+        .max("span".len());
+
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{title} — {} span paths, {} tracks\n",
+        rows.len(),
+        tracer.tracks().len()
+    ));
+    out.push_str(&format!(
+        "{:<name_width$}  {:>14}  {:>7}  {:>10}\n",
+        "span", "total", "%", "calls"
+    ));
+    for (path, row) in &rows {
+        let depth = path.matches('/').count();
+        let leaf = path.rsplit('/').next().unwrap_or(path);
+        let pct = if root_total > 0 {
+            100.0 * row.total_nanos as f64 / root_total as f64
+        } else {
+            0.0
+        };
+        out.push_str(&format!(
+            "{:<name_width$}  {:>14}  {:>6.1}%  {:>10}\n",
+            format!("{}{}", "  ".repeat(depth), leaf),
+            format_secs(row.total_nanos),
+            pct,
+            row.calls
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_folds_tracks_and_sorts_paths() {
+        let tracer = Tracer::new();
+        {
+            let _g = tracer.span("compute");
+            tracer.add_aggregate("kernel", 7, 3_000);
+            tracer.add_aggregate("bin", 7, 1_000);
+        }
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                let _g = tracer.span("compute");
+                tracer.add_aggregate("kernel", 5, 2_000);
+            });
+        });
+        let text = render_summary(&tracer, "TEST");
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(lines[0].starts_with("TEST — 3 span paths, 2 tracks"));
+        // Path-sorted: compute, compute/bin, compute/kernel.
+        assert!(lines[2].trim_start().starts_with("compute"));
+        assert!(lines[3].trim_start().starts_with("bin"));
+        assert!(lines[4].trim_start().starts_with("kernel"));
+        // kernel folded across both tracks: 12 calls, 5 µs.
+        assert!(lines[4].contains("12"));
+        assert!(lines[4].contains("0.000005s"));
+        // Deterministic given identical span sets.
+        let again = render_summary(&tracer, "TEST");
+        assert_eq!(text, again);
+    }
+
+    #[test]
+    fn empty_tracer_renders_header_only() {
+        let tracer = Tracer::disabled();
+        let text = render_summary(&tracer, "EMPTY");
+        assert!(text.starts_with("EMPTY — 0 span paths, 0 tracks"));
+    }
+}

@@ -31,7 +31,7 @@
 //!
 //! The crates are re-exported under their subsystem names:
 //! [`math`], [`simd`], [`kdtree`], [`cluster`], [`domain`], [`catalog`],
-//! [`mocks`], [`grid`], [`core`], [`analysis`], [`ensemble`].
+//! [`mocks`], [`grid`], [`core`], [`analysis`], [`ensemble`], [`obs`].
 
 #![forbid(unsafe_code)]
 
@@ -45,6 +45,7 @@ pub use galactos_grid as grid;
 pub use galactos_kdtree as kdtree;
 pub use galactos_math as math;
 pub use galactos_mocks as mocks;
+pub use galactos_obs as obs;
 pub use galactos_simd as simd;
 
 /// The most common imports for application code.
@@ -59,7 +60,7 @@ pub mod prelude {
     pub use galactos_core::kernel::{BackendChoice, BackendKind};
     pub use galactos_core::pipeline::{
         compute_distributed, compute_distributed_sharded, compute_distributed_supervised,
-        RetryPolicy,
+        compute_distributed_supervised_observed, RetryPolicy,
     };
     pub use galactos_core::result::{AnisotropicZeta, IsotropicZeta};
     pub use galactos_core::survey::{SurveyCompute, SurveyConfig, SurveyZeta};
@@ -69,4 +70,7 @@ pub mod prelude {
     pub use galactos_math::cosmology::FiducialCosmology;
     pub use galactos_math::{LineOfSight, Vec3};
     pub use galactos_mocks::{BaoSpectrum, PowerLawSpectrum, PowerSpectrum};
+    pub use galactos_obs::chrome::chrome_trace_json;
+    pub use galactos_obs::summary::render_summary;
+    pub use galactos_obs::ObsSession;
 }
